@@ -1,0 +1,223 @@
+// Benchmark harness: one testing.B benchmark per evaluation figure in the
+// paper (§6). Each benchmark regenerates its figure at Quick scale and
+// reports the figure's headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation and prints the shape-defining numbers.
+// cmd/mira-bench renders the same figures as full tables (use -scale full
+// for figure-quality sweeps).
+package mira
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchFigure regenerates one figure per iteration and lets report extract
+// a metric from the last result.
+func benchFigure(b *testing.B, id string, report func(*Figure, *testing.B)) {
+	b.Helper()
+	var fig *Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = GenerateFigure(id, FigureQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if report != nil && fig != nil {
+		report(fig, b)
+	}
+}
+
+// seriesPoint fetches series y at the given x (0 if absent).
+func seriesPoint(f *Figure, name string, x float64) float64 {
+	for _, s := range f.Series {
+		if s.Name != name {
+			continue
+		}
+		for i, xv := range s.X {
+			if xv == x {
+				return s.Y[i]
+			}
+		}
+	}
+	return 0
+}
+
+// speedupOver reports series a's advantage over series b at x.
+func speedupOver(f *Figure, a, b string, x float64) float64 {
+	pb := seriesPoint(f, b, x)
+	if pb == 0 {
+		return 0
+	}
+	return seriesPoint(f, a, x) / pb
+}
+
+func BenchmarkFig05_GraphOverall(b *testing.B) {
+	benchFigure(b, "fig5", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira", "fastswap", 0.25), "mira/fastswap@25%")
+		b.ReportMetric(speedupOver(f, "mira", "leap", 0.25), "mira/leap@25%")
+	})
+}
+
+func BenchmarkFig06_TechniqueEffect(b *testing.B) {
+	benchFigure(b, "fig6", func(f *Figure, b *testing.B) {
+		s := f.Series[0]
+		b.ReportMetric(s.Y[len(s.Y)-1]/s.Y[0], "full-mira/swap")
+	})
+}
+
+func BenchmarkFig07_Separation(b *testing.B) {
+	benchFigure(b, "fig7", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira", "mira-swap", 0.25), "separated/joint@25%")
+	})
+}
+
+func BenchmarkFig08_MissRate(b *testing.B) {
+	benchFigure(b, "fig8", func(f *Figure, b *testing.B) {
+		joint := seriesPoint(f, "joint", 0.25)
+		sep := seriesPoint(f, "separated", 0.25)
+		if joint > 0 {
+			b.ReportMetric(100*(joint-sep)/joint, "miss-drop-%@25%")
+		}
+	})
+}
+
+func BenchmarkFig09_LineSize(b *testing.B)     { benchFigure(b, "fig9", nil) }
+func BenchmarkFig10_Structure(b *testing.B)    { benchFigure(b, "fig10", nil) }
+func BenchmarkFig11_SizeSampling(b *testing.B) { benchFigure(b, "fig11", nil) }
+func BenchmarkFig12_ILPPartition(b *testing.B) { benchFigure(b, "fig12", nil) }
+
+func BenchmarkFig15_PrefetchHints(b *testing.B) {
+	benchFigure(b, "fig15", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira+pf+hints", "mira-no-pf-no-hints", 0.25), "pf+hints-gain@25%")
+		b.ReportMetric(speedupOver(f, "mira+pf+hints", "leap", 0.25), "mira/leap@25%")
+	})
+}
+
+func BenchmarkFig16_DataFrame(b *testing.B) {
+	benchFigure(b, "fig16", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira", "fastswap", 0.5), "mira/fastswap@50%")
+	})
+}
+
+func BenchmarkFig17_GPT2(b *testing.B) {
+	benchFigure(b, "fig17", func(f *Figure, b *testing.B) {
+		quarter := seriesPoint(f, "mira", 0.25)
+		full := seriesPoint(f, "mira", 1.0)
+		if full > 0 {
+			b.ReportMetric(quarter/full, "mira-flatness-25%/100%")
+		}
+	})
+}
+
+func BenchmarkFig18_MCF(b *testing.B) {
+	benchFigure(b, "fig18", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira", "fastswap", 0.25), "mira/fastswap@25%")
+	})
+}
+
+func BenchmarkFig19_RuntimeOverhead(b *testing.B) {
+	benchFigure(b, "fig19", func(f *Figure, b *testing.B) {
+		// Graph example at index 1: Mira vs AIFM at full memory.
+		b.ReportMetric(speedupOver(f, "mira", "aifm", 1), "mira/aifm@100%mem")
+	})
+}
+
+func BenchmarkFig20_Metadata(b *testing.B) {
+	benchFigure(b, "fig20", func(f *Figure, b *testing.B) {
+		mira := seriesPoint(f, "mira", 1)
+		aifm := seriesPoint(f, "aifm", 1)
+		if mira > 0 {
+			b.ReportMetric(aifm/mira, "aifm/mira-metadata(graph)")
+		}
+	})
+}
+
+func BenchmarkFig21_Breakdown(b *testing.B) { benchFigure(b, "fig21", nil) }
+
+func BenchmarkFig22_Selective(b *testing.B) {
+	benchFigure(b, "fig22", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira+selective", "mira-no-selective", 0.5), "selective-gain@50%")
+	})
+}
+
+func BenchmarkFig23_Batching(b *testing.B) {
+	benchFigure(b, "fig23", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira+batching", "mira-no-batching", 0.25), "batching-gain@25%")
+	})
+}
+
+func BenchmarkFig24_MTReadOnly(b *testing.B) {
+	benchFigure(b, "fig24", func(f *Figure, b *testing.B) {
+		b.ReportMetric(seriesPoint(f, "mira", 4), "mira-speedup@4T")
+		b.ReportMetric(seriesPoint(f, "fastswap", 4), "fastswap-speedup@4T")
+	})
+}
+
+func BenchmarkFig25_MTShared(b *testing.B) {
+	benchFigure(b, "fig25", func(f *Figure, b *testing.B) {
+		b.ReportMetric(seriesPoint(f, "mira", 4), "mira-speedup@4T")
+	})
+}
+
+func BenchmarkStat_AnalysisScope(b *testing.B) { benchFigure(b, "scope", nil) }
+func BenchmarkStat_ProfilingOverhead(b *testing.B) {
+	benchFigure(b, "scope", func(f *Figure, b *testing.B) {
+		s := f.Series[0]
+		// The last three stats are profiling-overhead percentages.
+		var maxPct float64
+		for i := len(s.Y) - 3; i < len(s.Y); i++ {
+			if s.Y[i] > maxPct {
+				maxPct = s.Y[i]
+			}
+		}
+		b.ReportMetric(maxPct, "max-profiling-overhead-%")
+	})
+}
+
+// ExamplePlan demonstrates the public API end to end (also acts as a doc
+// test).
+func ExamplePlan() {
+	w := NewGraphWorkload(GraphConfig{Edges: 2048, Nodes: 2048, Passes: 1, Seed: 1})
+	res, err := Plan(w, PlanOptions{LocalBudget: w.FullMemoryBytes() / 4, MaxIterations: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("improved:", res.FinalTime < res.BaselineTime)
+	// Output: improved: true
+}
+
+// BenchmarkAblation_Offload measures §4.8's automatic function offloading
+// on a data-heavy scan (an extension figure; the paper has no dedicated
+// offload plot).
+func BenchmarkAblation_Offload(b *testing.B) {
+	benchFigure(b, "offload", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira+offload", "mira-no-offload", 0.25), "offload-gain@25%")
+	})
+}
+
+// BenchmarkAblation_Adapt measures §3's input adaptation: a compilation
+// trained on a sparse-filter input is evaluated on shifted inputs; the
+// adapted series must never fall below the stale one (Adapt keeps the
+// better compilation), and on this workload the trained plan generalizes —
+// Fig. 16's train/test finding.
+func BenchmarkAblation_Adapt(b *testing.B) {
+	benchFigure(b, "adapt", func(f *Figure, b *testing.B) {
+		b.ReportMetric(speedupOver(f, "mira-adapt", "mira-stale (no adaptation)", 0.9), "adapt/stale@0.9")
+	})
+}
+
+// BenchmarkAblation_ILP compares §4.3's sampled-curve ILP section split
+// against equal and footprint-proportional splits of the same budget.
+func BenchmarkAblation_ILP(b *testing.B) {
+	benchFigure(b, "ilp", func(f *Figure, b *testing.B) {
+		s := f.Series[0]
+		if len(s.Y) == 3 && s.Y[1] > 0 {
+			b.ReportMetric(s.Y[0]/s.Y[1], "ilp/equal-split")
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Command mira-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	mira-bench -fig fig5            # one figure, full scale
+//	mira-bench -fig all -scale quick
+//	mira-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mira"
+)
+
+func main() {
+	figID := flag.String("fig", "all", "figure id (fig5, fig6, ... or 'all')")
+	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range mira.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	scale := mira.FigureFull
+	switch *scaleName {
+	case "full":
+	case "quick":
+		scale = mira.FigureQuick
+	default:
+		fmt.Fprintf(os.Stderr, "mira-bench: unknown scale %q (quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids := []string{*figID}
+	if *figID == "all" {
+		ids = mira.FigureIDs()
+	}
+	for _, id := range ids {
+		f, err := mira.GenerateFigure(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Render())
+	}
+}

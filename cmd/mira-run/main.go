@@ -1,0 +1,74 @@
+// Command mira-run executes one of the paper's applications on one
+// far-memory system at a chosen local-memory fraction and reports the
+// simulated execution time (and verification result).
+//
+// Usage:
+//
+//	mira-run -app graph -system mira -mem 0.25
+//	mira-run -app mcf -system fastswap -mem 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mira"
+)
+
+func buildWorkload(app string) (mira.Workload, error) {
+	switch app {
+	case "graph":
+		return mira.NewGraphWorkload(mira.GraphConfig{}), nil
+	case "mcf":
+		return mira.NewMCFWorkload(mira.MCFConfig{}), nil
+	case "dataframe":
+		return mira.NewDataFrameWorkload(mira.DataFrameConfig{}), nil
+	case "gpt2":
+		return mira.NewGPT2Workload(mira.GPT2Config{}), nil
+	case "arraysum":
+		return mira.NewArraySumWorkload(mira.ArraySumConfig{}), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2, arraysum)", app)
+	}
+}
+
+func main() {
+	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum")
+	system := flag.String("system", "mira", "system: native, mira, mira-swap, fastswap, leap, aifm")
+	mem := flag.Float64("mem", 0.5, "local memory as a fraction of the workload's footprint")
+	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
+	aifmChunk := flag.Int64("aifm-chunk", 0, "AIFM remotable-object granularity in bytes (0 = per-element array library)")
+	aifmMeta := flag.Int64("aifm-meta", 0, "AIFM per-object metadata bytes (0 = default)")
+	flag.Parse()
+
+	w, err := buildWorkload(*app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
+		os.Exit(2)
+	}
+	budget := int64(float64(w.FullMemoryBytes()) * *mem)
+	opts := mira.RunOptions{Budget: budget, Verify: *verify}
+	opts.AIFM.ChunkBytes = *aifmChunk
+	opts.AIFM.MetaPerObject = *aifmMeta
+	res, err := mira.Run(mira.System(*system), w, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
+		os.Exit(1)
+	}
+	if res.Failed {
+		fmt.Printf("%s on %s at %.0f%% memory: FAILED TO EXECUTE (%s)\n",
+			*app, *system, *mem*100, res.FailReason)
+		return
+	}
+	fmt.Printf("%s on %s at %.0f%% local memory (%d bytes): %v\n",
+		*app, *system, *mem*100, budget, res.Time)
+	if res.PlanResult != nil {
+		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
+			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
+			len(res.PlanResult.Iterations), len(res.PlanResult.Config.Sections))
+	}
+	if *verify {
+		fmt.Println("  output verified against the native oracle")
+	}
+}

@@ -1,0 +1,103 @@
+// Command mirac is the Mira "compiler" driver: it runs the full
+// profile-analyze-configure-compile pipeline on one of the bundled
+// applications and prints what the paper's Figs. 13-14 illustrate — the
+// analysis report, the derived cache-section configuration, and the
+// transformed IR with rmem/native operations, prefetches, eviction hints,
+// and releases.
+//
+// Usage:
+//
+//	mirac -app graph -mem 0.25
+//	mirac -app graph -mem 0.25 -ir     # also dump before/after IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mira/internal/apps/dataframe"
+	"mira/internal/apps/gpt2"
+	"mira/internal/apps/graphtraverse"
+	"mira/internal/apps/mcf"
+	"mira/internal/ir"
+	"mira/internal/planner"
+	"mira/internal/workload"
+)
+
+func buildWorkload(app string) (workload.Workload, error) {
+	switch app {
+	case "graph":
+		return graphtraverse.New(graphtraverse.Config{}), nil
+	case "mcf":
+		return mcf.New(mcf.Config{}), nil
+	case "dataframe":
+		return dataframe.New(dataframe.Config{}), nil
+	case "gpt2":
+		return gpt2.New(gpt2.Config{}), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2)", app)
+	}
+}
+
+func main() {
+	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2")
+	mem := flag.Float64("mem", 0.25, "local memory fraction")
+	iters := flag.Int("iters", 3, "max profiling-optimization iterations")
+	dumpIR := flag.Bool("ir", false, "dump the IR before and after compilation")
+	flag.Parse()
+
+	w, err := buildWorkload(*app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirac: %v\n", err)
+		os.Exit(2)
+	}
+	budget := int64(float64(w.FullMemoryBytes()) * *mem)
+	res, err := planner.Plan(w, planner.Options{LocalBudget: budget, MaxIterations: *iters})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirac: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== %s at %.0f%% local memory (%d bytes) ==\n\n", *app, *mem*100, budget)
+	fmt.Printf("iterative optimization (swap baseline %v):\n", res.BaselineTime)
+	for _, it := range res.Iterations {
+		verdict := "rejected (rolled back)"
+		if it.Accepted {
+			verdict = "accepted"
+		}
+		fmt.Printf("  iteration %d: top %.0f%% funcs %v, %d objects -> %d sections, %v — %s\n",
+			it.Index, it.FuncFrac*100, it.Funcs, len(it.Objects), it.NumSecs, it.Time, verdict)
+		if len(it.Offloaded) > 0 {
+			fmt.Printf("    offloaded to far node: %v\n", it.Offloaded)
+		}
+	}
+	fmt.Printf("final: %v (%.2fx over swap)\n\n", res.FinalTime,
+		float64(res.BaselineTime)/float64(res.FinalTime))
+
+	if res.Report != nil {
+		fmt.Println("== analysis report ==")
+		fmt.Println(res.Report.String())
+	}
+
+	fmt.Println("== cache-section configuration ==")
+	for i, s := range res.Config.Sections {
+		comm := "one-sided"
+		if s.TwoSided {
+			comm = fmt.Sprintf("two-sided selective %v", s.SelectiveFields)
+		}
+		fmt.Printf("  section %d %q: %v line=%dB size=%dB comm=%s\n",
+			i, s.Cache.Name, s.Cache.Structure, s.Cache.LineBytes, s.Cache.SizeBytes, comm)
+	}
+	fmt.Printf("  swap pool: %d bytes\n", res.Config.SwapPool)
+	for name, pl := range res.Config.Placements {
+		fmt.Printf("  object %-12s -> %v\n", name, pl.Kind)
+	}
+
+	if *dumpIR {
+		fmt.Println("\n== original IR ==")
+		fmt.Println(ir.Print(w.Program()))
+		fmt.Println("== compiled IR ==")
+		fmt.Println(ir.Print(res.Program))
+	}
+}

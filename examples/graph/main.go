@@ -1,0 +1,41 @@
+// Graph example: sweep local-memory fractions on the Fig. 4 graph
+// traversal and print the paper's Fig. 5 comparison — Mira vs FastSwap,
+// Leap, and AIFM, normalized to native execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mira"
+)
+
+func main() {
+	cfg := mira.GraphConfig{Edges: 16384, Nodes: 4096, Passes: 4, Seed: 7}
+	w := mira.NewGraphWorkload(cfg)
+	native, err := mira.Run(mira.SystemNative, w, mira.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native (full local memory): %v\n\n", native.Time)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "mem%", "mira", "fastswap", "leap", "aifm")
+
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		budget := int64(float64(w.FullMemoryBytes()) * frac)
+		fmt.Printf("%-8.0f", frac*100)
+		for _, sys := range []mira.System{mira.SystemMira, mira.SystemFastSwap, mira.SystemLeap, mira.SystemAIFM} {
+			res, err := mira.Run(sys, mira.NewGraphWorkload(cfg), mira.RunOptions{Budget: budget})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Failed {
+				fmt.Printf(" %12s", "fail")
+				continue
+			}
+			rel := float64(native.Time) / float64(res.Time)
+			fmt.Printf(" %12.3f", rel)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nvalues are relative performance (native = 1.0)")
+}

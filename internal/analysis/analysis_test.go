@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"testing"
+
+	"mira/internal/ir"
+)
+
+// graphProgram is the Fig. 4 rundown example: sequential edges, indirect
+// nodes.
+func graphProgram() *ir.Program {
+	b := ir.NewBuilder("graph")
+	b.Object("edges", 16, 1000, ir.F("from", 0, 8), ir.F("to", 8, 8))
+	b.Object("nodes", 128, 200, ir.F("count", 0, 8))
+	fb := b.Func("traverse")
+	fb.Loop(ir.C(0), ir.C(1000), ir.C(1), func(i ir.Expr) {
+		from := fb.Load("edges", i, "from")
+		to := fb.Load("edges", i, "to")
+		c1 := fb.Load("nodes", from, "count")
+		fb.Store("nodes", from, "count", ir.Add(c1, ir.C(1)))
+		c2 := fb.Load("nodes", to, "count")
+		fb.Store("nodes", to, "count", ir.Add(c2, ir.C(1)))
+	})
+	return b.MustProgram()
+}
+
+func TestGraphExampleClassification(t *testing.T) {
+	r, err := Analyze(graphProgram(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := r.Access("traverse", "edges")
+	if edges == nil {
+		t.Fatal("edges not analyzed")
+	}
+	if edges.Pattern != PatternSequential {
+		t.Fatalf("edges pattern = %v, want sequential", edges.Pattern)
+	}
+	if !edges.ReadOnly() {
+		t.Fatal("edges should be read-only")
+	}
+	nodes := r.Access("traverse", "nodes")
+	if nodes.Pattern != PatternIndirect {
+		t.Fatalf("nodes pattern = %v, want indirect", nodes.Pattern)
+	}
+	if nodes.IndirectVia != "edges" {
+		t.Fatalf("nodes indirect via %q, want edges", nodes.IndirectVia)
+	}
+	if nodes.ReadOnly() || nodes.WriteOnly() {
+		t.Fatal("nodes should be read-write")
+	}
+	if got := edges.AccessedBytes; got != 16 {
+		t.Fatalf("edges accessed bytes = %d, want 16 (both fields)", got)
+	}
+	if got := nodes.AccessedBytes; got != 8 {
+		t.Fatalf("nodes accessed bytes = %d, want 8 (count only)", got)
+	}
+	if edges.TripCount != 1000 {
+		t.Fatalf("edges trip = %d, want 1000", edges.TripCount)
+	}
+}
+
+func TestChainedPrefetchDetection(t *testing.T) {
+	r, _ := Analyze(graphProgram(), nil, nil)
+	fr := r.Funcs["traverse"]
+	if len(fr.Chains) != 1 {
+		t.Fatalf("chains = %+v, want 1", fr.Chains)
+	}
+	ch := fr.Chains[0]
+	if ch.Source != "edges" || ch.Target != "nodes" {
+		t.Fatalf("chain %+v, want edges->nodes", ch)
+	}
+}
+
+func TestStridedClassification(t *testing.T) {
+	b := ir.NewBuilder("strided")
+	b.IntArray("a", 1024)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(128), ir.C(1), func(i ir.Expr) {
+		fb.Load("a", ir.Mul(i, ir.C(8)), "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	a := r.Access("main", "a")
+	if a.Pattern != PatternStrided || a.Stride != 8 {
+		t.Fatalf("pattern %v stride %d, want strided 8", a.Pattern, a.Stride)
+	}
+}
+
+func TestAffineNestedLoops(t *testing.T) {
+	// a[i*16 + j]: sequential in inner loop.
+	b := ir.NewBuilder("nest")
+	b.IntArray("a", 256)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(16), ir.C(1), func(i ir.Expr) {
+		fb.Loop(ir.C(0), ir.C(16), ir.C(1), func(j ir.Expr) {
+			fb.Load("a", ir.Add(ir.Mul(i, ir.C(16)), j), "")
+		})
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	a := r.Access("main", "a")
+	if a.Pattern != PatternSequential {
+		t.Fatalf("pattern = %v, want sequential", a.Pattern)
+	}
+	if a.TripCount != 256 {
+		t.Fatalf("trip = %d, want 256", a.TripCount)
+	}
+}
+
+func TestOuterLoopOnlyIndex(t *testing.T) {
+	// a[i] inside inner loop j: classified by the deepest IV present
+	// (outer i), so sequential — matches how the compiler would hoist.
+	b := ir.NewBuilder("outer")
+	b.IntArray("a", 64)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		fb.Loop(ir.C(0), ir.C(4), ir.C(1), func(j ir.Expr) {
+			fb.Load("a", i, "")
+		})
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if got := r.Access("main", "a").Pattern; got != PatternSequential {
+		t.Fatalf("pattern = %v, want sequential", got)
+	}
+}
+
+func TestInvariantClassification(t *testing.T) {
+	b := ir.NewBuilder("inv")
+	b.IntArray("a", 64)
+	fb := b.Func("main", "k")
+	fb.Loop(ir.C(0), ir.C(10), ir.C(1), func(i ir.Expr) {
+		fb.Load("a", ir.P("k"), "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if got := r.Access("main", "a").Pattern; got != PatternInvariant {
+		t.Fatalf("pattern = %v, want invariant", got)
+	}
+}
+
+func TestRandomClassification(t *testing.T) {
+	// a[(i*i) % 64]: quadratic, not affine, no load involved -> random.
+	b := ir.NewBuilder("rand")
+	b.IntArray("a", 64)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(100), ir.C(1), func(i ir.Expr) {
+		fb.Load("a", ir.Mod(ir.Mul(i, i), ir.C(64)), "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if got := r.Access("main", "a").Pattern; got != PatternRandom {
+		t.Fatalf("pattern = %v, want random", got)
+	}
+}
+
+func TestSequentialWholeElementWrite(t *testing.T) {
+	b := ir.NewBuilder("wo")
+	b.IntArray("out", 128)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(128), ir.C(1), func(i ir.Expr) {
+		fb.Store("out", i, "", ir.Mul(i, ir.C(2)))
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	a := r.Access("main", "out")
+	if !a.WriteOnly() {
+		t.Fatal("out should be write-only")
+	}
+	if !a.SequentialWholeElementWrite {
+		t.Fatal("sequential whole-element write not detected")
+	}
+}
+
+func TestPartialFieldWriteNotWholeElement(t *testing.T) {
+	b := ir.NewBuilder("partial")
+	b.Object("s", 16, 64, ir.F("a", 0, 8), ir.F("b", 8, 8))
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		fb.Store("s", i, "a", ir.C(1))
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if r.Access("main", "s").SequentialWholeElementWrite {
+		t.Fatal("partial-field store misdetected as whole-element")
+	}
+}
+
+func TestLifetimeOrdering(t *testing.T) {
+	b := ir.NewBuilder("life")
+	b.IntArray("early", 32)
+	b.IntArray("late", 32)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(32), ir.C(1), func(i ir.Expr) {
+		fb.Load("early", i, "")
+	})
+	fb.Loop(ir.C(0), ir.C(32), ir.C(1), func(i ir.Expr) {
+		fb.Load("late", i, "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	e, l := r.Access("main", "early"), r.Access("main", "late")
+	if e.LastUse >= l.FirstUse {
+		t.Fatalf("early.LastUse=%d not before late.FirstUse=%d", e.LastUse, l.FirstUse)
+	}
+}
+
+func TestFusionDetection(t *testing.T) {
+	b := ir.NewBuilder("fuse")
+	b.FloatArray("v", 1000)
+	fb := b.Func("main")
+	for op := 0; op < 3; op++ {
+		fb.Loop(ir.C(0), ir.C(1000), ir.C(1), func(i ir.Expr) {
+			fb.Load("v", i, "")
+		})
+	}
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	fr := r.Funcs["main"]
+	if len(fr.Fusions) != 1 {
+		t.Fatalf("fusions = %+v, want one group", fr.Fusions)
+	}
+	if len(fr.Fusions[0].Loops) != 3 {
+		t.Fatalf("group has %d loops, want 3", len(fr.Fusions[0].Loops))
+	}
+}
+
+func TestFusionBlockedByDependence(t *testing.T) {
+	// Loop 1 writes v; loop 2 reads v -> RAW, no fusion.
+	b := ir.NewBuilder("dep")
+	b.FloatArray("v", 100)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(100), ir.C(1), func(i ir.Expr) {
+		fb.Store("v", i, "", ir.CF(1))
+	})
+	fb.Loop(ir.C(0), ir.C(100), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if len(r.Funcs["main"].Fusions) != 0 {
+		t.Fatal("dependent loops fused")
+	}
+}
+
+func TestFusionBlockedByDifferentBounds(t *testing.T) {
+	b := ir.NewBuilder("bounds")
+	b.FloatArray("v", 100)
+	b.FloatArray("w", 100)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(100), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	fb.Loop(ir.C(0), ir.C(50), ir.C(1), func(i ir.Expr) {
+		fb.Load("w", i, "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	if len(r.Funcs["main"].Fusions) != 0 {
+		t.Fatal("different-bounds loops fused")
+	}
+}
+
+func TestScopeRestriction(t *testing.T) {
+	p := graphProgram()
+	r, err := Analyze(p, []string{"traverse"}, []string{"nodes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Access("traverse", "edges") != nil {
+		t.Fatal("edges analyzed despite object filter")
+	}
+	if r.Access("traverse", "nodes") == nil {
+		t.Fatal("nodes missing from filtered analysis")
+	}
+}
+
+func TestCalleesIncludedInScope(t *testing.T) {
+	b := ir.NewBuilder("callees")
+	b.IntArray("a", 16)
+	helper := b.Func("helper")
+	helper.Load("a", ir.C(0), "")
+	fb := b.Func("main")
+	fb.Call("helper")
+	b.SetEntry("main")
+	p := b.MustProgram()
+	r, err := Analyze(p, []string{"main"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Funcs["helper"]; !ok {
+		t.Fatal("callee not implicitly analyzed")
+	}
+}
+
+func TestMergedObjectTakesWorstPattern(t *testing.T) {
+	b := ir.NewBuilder("merge")
+	b.IntArray("a", 64)
+	b.IntArray("idx", 64)
+	f1 := b.Func("seq")
+	f1.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		f1.Load("a", i, "")
+	})
+	f2 := b.Func("ind")
+	f2.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		v := f2.Load("idx", i, "")
+		f2.Load("a", v, "")
+	})
+	fb := b.Func("main")
+	fb.Call("seq")
+	fb.Call("ind")
+	b.SetEntry("main")
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	m := r.MergedObject("a")
+	if m.Pattern != PatternIndirect {
+		t.Fatalf("merged pattern = %v, want indirect", m.Pattern)
+	}
+}
+
+func TestOffloadDecision(t *testing.T) {
+	// Data-heavy, compute-light function: offload. Compute-heavy
+	// function over tiny data: stay local.
+	b := ir.NewBuilder("off")
+	b.IntArray("big", 1<<20)
+	b.IntArray("tiny", 8)
+
+	dataHeavy := b.Func("scanBig")
+	dataHeavy.MarkNoSharedWrites()
+	acc := dataHeavy.Var(ir.C(0))
+	dataHeavy.Loop(ir.C(0), ir.C(1<<20), ir.C(1), func(i ir.Expr) {
+		v := dataHeavy.Load("big", i, "")
+		dataHeavy.Set(acc, ir.Add(ir.R(acc.ID), v))
+	})
+	dataHeavy.Return(ir.R(acc.ID))
+
+	computeHeavy := b.Func("crunchTiny")
+	computeHeavy.MarkNoSharedWrites()
+	acc2 := computeHeavy.Var(ir.C(1))
+	computeHeavy.Loop(ir.C(0), ir.C(1_000_000), ir.C(1), func(i ir.Expr) {
+		computeHeavy.Set(acc2, ir.Add(ir.Mul(ir.R(acc2.ID), ir.C(3)), ir.Mod(i, ir.C(7))))
+	})
+	computeHeavy.Load("tiny", ir.C(0), "")
+	computeHeavy.Return(ir.R(acc2.ID))
+
+	fb := b.Func("main")
+	fb.Call("scanBig")
+	fb.Call("crunchTiny")
+	b.SetEntry("main")
+	p := b.MustProgram()
+
+	r, _ := Analyze(p, nil, nil)
+	decisions := DecideOffload(p, r, DefaultOffloadParams())
+	byName := map[string]OffloadDecision{}
+	for _, d := range decisions {
+		byName[d.Func] = d
+	}
+	if d, ok := byName["scanBig"]; !ok || !d.Offload {
+		t.Fatalf("scanBig decision %+v, want offload", byName["scanBig"])
+	}
+	if d, ok := byName["crunchTiny"]; !ok || d.Offload {
+		t.Fatalf("crunchTiny decision %+v, want local", byName["crunchTiny"])
+	}
+}
+
+func TestOffloadRequiresSafety(t *testing.T) {
+	b := ir.NewBuilder("unsafe")
+	b.IntArray("a", 1024)
+	f := b.Func("notMarked")
+	f.Load("a", ir.C(0), "")
+	fb := b.Func("main")
+	fb.Call("notMarked")
+	b.SetEntry("main")
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	for _, d := range DecideOffload(p, r, DefaultOffloadParams()) {
+		if d.Func == "notMarked" {
+			t.Fatal("unmarked function considered for offload")
+		}
+	}
+}
+
+func TestIntrinsicSummaries(t *testing.T) {
+	b := ir.NewBuilder("intr")
+	b.FloatArray("m", 3*16)
+	fb := b.Func("main")
+	fb.MatMul(ir.T("m", ir.C(32), 4, 4), ir.T("m", ir.C(0), 4, 4), ir.T("m", ir.C(16), 4, 4))
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	a := r.Access("main", "m")
+	if a == nil {
+		t.Fatal("intrinsic object not analyzed")
+	}
+	if a.Pattern != PatternSequential {
+		t.Fatalf("pattern = %v, want sequential", a.Pattern)
+	}
+	if a.Reads == 0 || a.Writes == 0 {
+		t.Fatal("matmul should read and write")
+	}
+	fr := r.Funcs["main"]
+	if fr.Ops != 2*4*4*4 {
+		t.Fatalf("ops = %d, want %d", fr.Ops, 2*4*4*4)
+	}
+}
+
+func TestIfClobbersRegisterFacts(t *testing.T) {
+	// After an If that reassigns a register, the analysis must not keep
+	// treating it as affine.
+	b := ir.NewBuilder("clobber")
+	b.IntArray("a", 64)
+	b.IntArray("src", 64)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		x := fb.Var(i) // affine
+		fb.If(ir.Gt(i, ir.C(10)), func() {
+			v := fb.Load("src", i, "")
+			fb.Set(&ir.Reg{ID: x.ID}, v) // now data-dependent
+		}, nil)
+		fb.Load("a", ir.R(x.ID), "")
+	})
+	p := b.MustProgram()
+	r, _ := Analyze(p, nil, nil)
+	got := r.Access("main", "a").Pattern
+	if got == PatternSequential {
+		t.Fatalf("clobbered register still classified sequential")
+	}
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import "mira/internal/ir"
+
+// detectFusion finds runs of adjacent loops with identical bounds and safe
+// dependences — the batching opportunity of §4.5 ("when we identify two
+// arrays to be accessed by two adjacent loops, we fuse the loops and batch
+// access the two arrays"). Only top-level runs within each block are
+// considered, matching the paper's DataFrame example of three consecutive
+// operator loops over one vector.
+func detectFusion(p *ir.Program, fn *ir.Func, fr *FuncReport) {
+	var scan func(stmts []ir.Stmt)
+	scan = func(stmts []ir.Stmt) {
+		i := 0
+		for i < len(stmts) {
+			l0, ok := stmts[i].(*ir.Loop)
+			if !ok {
+				if ifSt, ok := stmts[i].(*ir.If); ok {
+					scan(ifSt.Then)
+					scan(ifSt.Else)
+				}
+				i++
+				continue
+			}
+			group := []int{i}
+			groupLoops := []ir.Stmt{l0}
+			j := i + 1
+			for j < len(stmts) {
+				// Constant scalar assigns between loops are
+				// hoistable and do not break the run (codegen
+				// hoists them above the fused loop).
+				k := j
+				for k < len(stmts) {
+					a, isAssign := stmts[k].(*ir.Assign)
+					if !isAssign || !isConstExpr(a.Val) {
+						break
+					}
+					k++
+				}
+				if k >= len(stmts) {
+					break
+				}
+				lj, ok := stmts[k].(*ir.Loop)
+				if !ok || !sameBounds(l0, lj) {
+					break
+				}
+				if !fusionSafe(append(append([]ir.Stmt(nil), groupLoops...), lj), p) {
+					break
+				}
+				group = append(group, k)
+				groupLoops = append(groupLoops, lj)
+				j = k + 1
+			}
+			if len(group) >= 2 {
+				fr.Fusions = append(fr.Fusions, FusionGroup{Func: fn.Name, Loops: group})
+			}
+			// Scan inside the loops too (nested opportunities).
+			for _, gi := range group {
+				scan(stmts[gi].(*ir.Loop).Body)
+			}
+			i = j
+		}
+	}
+	scan(fn.Body)
+}
+
+// SameBounds reports structural equality of loop bounds (exported for
+// codegen, which re-identifies fusable runs on the cloned IR it
+// transforms).
+func SameBounds(a, b *ir.Loop) bool { return sameBounds(a, b) }
+
+// CanFuse reports whether a run of loops is dependence-safe to fuse.
+func CanFuse(loops []ir.Stmt) bool { return fusionSafe(loops, nil) }
+
+// sameBounds reports structural equality of loop bounds.
+func sameBounds(a, b *ir.Loop) bool {
+	return exprEqual(a.Start, b.Start) && exprEqual(a.End, b.End) && exprEqual(a.Step, b.Step)
+}
+
+// exprEqual is structural equality over expressions, with registers
+// considered unequal across loops (their values differ) unless identical
+// ids — sufficient for the constant/param bounds apps use.
+func exprEqual(a, b ir.Expr) bool {
+	switch x := a.(type) {
+	case *ir.Const:
+		y, ok := b.(*ir.Const)
+		return ok && x.I == y.I
+	case *ir.ConstF:
+		y, ok := b.(*ir.ConstF)
+		return ok && x.F == y.F
+	case *ir.Param:
+		y, ok := b.(*ir.Param)
+		return ok && x.Name == y.Name
+	case *ir.Reg:
+		y, ok := b.(*ir.Reg)
+		return ok && x.ID == y.ID
+	case *ir.Bin:
+		y, ok := b.(*ir.Bin)
+		return ok && x.Op == y.Op && exprEqual(x.A, y.A) && exprEqual(x.B, y.B)
+	case *ir.Un:
+		y, ok := b.(*ir.Un)
+		return ok && x.Op == y.Op && exprEqual(x.A, y.A)
+	default:
+		return false
+	}
+}
+
+// fusionSafe checks cross-loop dependences over the candidate run: no
+// object written in one loop may be accessed in another (RAW/WAR/WAW all
+// forbidden; shared read-only objects are the batching win and are
+// allowed). Calls and offloads inside any loop veto fusion.
+func fusionSafe(loops []ir.Stmt, p *ir.Program) bool {
+	type rw struct{ reads, writes map[string]bool }
+	sets := make([]rw, len(loops))
+	for i, s := range loops {
+		l := s.(*ir.Loop)
+		sets[i] = rw{reads: map[string]bool{}, writes: map[string]bool{}}
+		unsafe := false
+		ir.Walk(l.Body, func(st ir.Stmt) bool {
+			switch t := st.(type) {
+			case *ir.Load:
+				sets[i].reads[t.Obj] = true
+			case *ir.Store:
+				sets[i].writes[t.Obj] = true
+			case *ir.Intrinsic:
+				if t.A.Obj != "" {
+					sets[i].reads[t.A.Obj] = true
+				}
+				if t.B.Obj != "" {
+					sets[i].reads[t.B.Obj] = true
+				}
+				if t.Dst.Obj != "" {
+					sets[i].writes[t.Dst.Obj] = true
+				}
+			case *ir.Call:
+				unsafe = true
+			}
+			return true
+		})
+		if unsafe {
+			return false
+		}
+	}
+	for i := range sets {
+		for j := range sets {
+			if i == j {
+				continue
+			}
+			for obj := range sets[i].writes {
+				if sets[j].reads[obj] || sets[j].writes[obj] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// isConstExpr reports whether e is a literal constant.
+func isConstExpr(e ir.Expr) bool {
+	switch e.(type) {
+	case *ir.Const, *ir.ConstF:
+		return true
+	default:
+		return false
+	}
+}
+
+// detectChains finds indirect pairs inside one loop body: a sequential load
+// of Source feeding the index of an access to Target. Codegen turns these
+// into two-step prefetches (fetch Source[i+d], then Target[Source[i+d]]).
+func detectChains(p *ir.Program, fn *ir.Func, fr *FuncReport) {
+	seen := map[[2]string]bool{}
+	for _, oa := range fr.Objects {
+		if oa.Pattern != PatternIndirect || oa.IndirectVia == "" {
+			continue
+		}
+		src := fr.Objects[oa.IndirectVia]
+		if src == nil || src.Pattern != PatternSequential {
+			continue
+		}
+		key := [2]string{oa.IndirectVia, oa.Object}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fr.Chains = append(fr.Chains, ChainedPrefetch{
+			Func:   fn.Name,
+			Source: oa.IndirectVia,
+			Target: oa.Object,
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"sort"
+
+	"mira/internal/ir"
+	"mira/internal/netmodel"
+	"mira/internal/sim"
+)
+
+// OffloadParams parameterizes the §4.8 cost model.
+type OffloadParams struct {
+	// Net is the interconnect model (for RTT and bandwidth).
+	Net netmodel.Config
+	// ComputeOp is the compute node's per-operation cost.
+	ComputeOp sim.Duration
+	// RemoteSlowdown is the far CPU's slowdown factor.
+	RemoteSlowdown float64
+	// LineBytes is the typical fetch granularity for estimating miss
+	// counts.
+	LineBytes int
+}
+
+// DefaultOffloadParams matches the default runtime and network models.
+func DefaultOffloadParams() OffloadParams {
+	return OffloadParams{
+		Net:            netmodel.DefaultConfig(),
+		ComputeOp:      1 * sim.Nanosecond,
+		RemoteSlowdown: 3.0,
+		LineBytes:      1024,
+	}
+}
+
+// OffloadDecision scores one function.
+type OffloadDecision struct {
+	Func string
+	// LocalCost estimates executing on the compute node with a cold
+	// section: fetch the touched bytes line by line.
+	LocalCost sim.Duration
+	// RemoteCost estimates offloading: one RPC plus compute at far-CPU
+	// speed.
+	RemoteCost sim.Duration
+	// Offload is the verdict.
+	Offload bool
+}
+
+// DecideOffload evaluates every offload-safe analyzed function. A function
+// is offloaded when executing it next to the data — paying the RPC and the
+// slower far CPU — beats moving its data across the network (§4.8:
+// "computation-light functions whose accessed data are already in far
+// memory").
+func DecideOffload(p *ir.Program, r *Report, params OffloadParams) []OffloadDecision {
+	var out []OffloadDecision
+	names := make([]string, 0, len(r.Funcs))
+	for n := range r.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fr := r.Funcs[name]
+		if !fr.OffloadSafe {
+			continue
+		}
+		ops, bytes := totalCost(p, r, name, map[string]bool{})
+		lines := (bytes + int64(params.LineBytes) - 1) / int64(params.LineBytes)
+		local := sim.Duration(ops)*params.ComputeOp +
+			sim.Duration(lines)*params.Net.RTTEstimate(params.LineBytes)
+		remote := sim.Duration(float64(ops)*float64(params.ComputeOp)*params.RemoteSlowdown) +
+			2*params.Net.TwoSidedCost(64)
+		out = append(out, OffloadDecision{
+			Func:       name,
+			LocalCost:  local,
+			RemoteCost: remote,
+			Offload:    remote < local,
+		})
+	}
+	return out
+}
+
+// totalCost sums ops and bytes of fn and its callees.
+func totalCost(p *ir.Program, r *Report, name string, visited map[string]bool) (ops, bytes int64) {
+	if visited[name] {
+		return 0, 0
+	}
+	visited[name] = true
+	fr, ok := r.Funcs[name]
+	if !ok {
+		return 0, 0
+	}
+	ops, bytes = fr.Ops, fr.BytesTouched
+	fn, ok := p.Func(name)
+	if !ok {
+		return ops, bytes
+	}
+	ir.Walk(fn.Body, func(s ir.Stmt) bool {
+		if c, isCall := s.(*ir.Call); isCall {
+			co, cb := totalCost(p, r, c.Callee, visited)
+			ops += co
+			bytes += cb
+		}
+		return true
+	})
+	return ops, bytes
+}

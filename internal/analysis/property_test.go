@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mira/internal/ir"
+)
+
+// Property: a load at index i*stride+offset classifies as Sequential when
+// stride == 1 and Strided (with the exact stride recovered) when stride >
+// 1, for arbitrary small strides and offsets. This is the scalar-evolution
+// core every planner decision rests on.
+func TestPropertyAffineClassification(t *testing.T) {
+	f := func(strideRaw, offRaw uint8) bool {
+		stride := int64(strideRaw%7) + 1
+		off := int64(offRaw % 16)
+		b := ir.NewBuilder("p")
+		b.Object("arr", 8, 4096, ir.F("v", 0, 8))
+		fb := b.Func("scan")
+		fb.Loop(ir.C(0), ir.C(256), ir.C(1), func(i ir.Expr) {
+			fb.Load("arr", ir.Add(ir.Mul(i, ir.C(stride)), ir.C(off)), "v")
+		})
+		r, err := Analyze(b.MustProgram(), nil, nil)
+		if err != nil {
+			return false
+		}
+		a := r.Access("scan", "arr")
+		if a == nil {
+			return false
+		}
+		if stride == 1 {
+			return a.Pattern == PatternSequential
+		}
+		return a.Pattern == PatternStrided && a.Stride == stride
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling the loop step instead of the index expression yields
+// the same classification — i in [0, n) step s indexing arr[i] is strided
+// by s exactly like i in [0, n/s) indexing arr[i*s].
+func TestPropertyStepEquivalentToScale(t *testing.T) {
+	f := func(strideRaw uint8) bool {
+		stride := int64(strideRaw%6) + 2
+		mk := func(byStep bool) *ir.Program {
+			b := ir.NewBuilder("p")
+			b.Object("arr", 8, 4096, ir.F("v", 0, 8))
+			fb := b.Func("scan")
+			if byStep {
+				fb.Loop(ir.C(0), ir.C(512), ir.C(stride), func(i ir.Expr) {
+					fb.Load("arr", i, "v")
+				})
+			} else {
+				fb.Loop(ir.C(0), ir.C(512/stride), ir.C(1), func(i ir.Expr) {
+					fb.Load("arr", ir.Mul(i, ir.C(stride)), "v")
+				})
+			}
+			return b.MustProgram()
+		}
+		ra, err := Analyze(mk(true), nil, nil)
+		if err != nil {
+			return false
+		}
+		rb, err := Analyze(mk(false), nil, nil)
+		if err != nil {
+			return false
+		}
+		a, bb := ra.Access("scan", "arr"), rb.Access("scan", "arr")
+		if a == nil || bb == nil {
+			return false
+		}
+		return a.Pattern == bb.Pattern && a.Stride == bb.Stride
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an index that depends on a value loaded from another object is
+// always classified Indirect with the correct via-object, no matter what
+// arithmetic wraps the loaded value.
+func TestPropertyIndirectViaDetected(t *testing.T) {
+	f := func(mulRaw, addRaw uint8) bool {
+		mul := int64(mulRaw%5) + 1
+		add := int64(addRaw % 32)
+		b := ir.NewBuilder("p")
+		b.Object("idx", 8, 1024, ir.F("v", 0, 8))
+		b.Object("data", 8, 8192, ir.F("v", 0, 8))
+		fb := b.Func("gather")
+		fb.Loop(ir.C(0), ir.C(256), ir.C(1), func(i ir.Expr) {
+			v := fb.Load("idx", i, "v")
+			fb.Load("data", ir.Add(ir.Mul(v, ir.C(mul)), ir.C(add)), "v")
+		})
+		r, err := Analyze(b.MustProgram(), nil, nil)
+		if err != nil {
+			return false
+		}
+		a := r.Access("gather", "data")
+		return a != nil && a.Pattern == PatternIndirect && a.IndirectVia == "idx"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

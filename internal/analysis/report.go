@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern classifies an object's access behavior within a scope (§4.2).
+type Pattern int
+
+const (
+	// PatternNone means the object was not accessed in the scope.
+	PatternNone Pattern = iota
+	// PatternSequential is stride-1 access over elements.
+	PatternSequential
+	// PatternStrided is constant-stride access, stride > 1.
+	PatternStrided
+	// PatternIndirect is access through values loaded from another
+	// object (pointer-valued indices).
+	PatternIndirect
+	// PatternInvariant is a loop-invariant (single-element) access.
+	PatternInvariant
+	// PatternRandom is anything the analysis cannot prove.
+	PatternRandom
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternNone:
+		return "none"
+	case PatternSequential:
+		return "sequential"
+	case PatternStrided:
+		return "strided"
+	case PatternIndirect:
+		return "indirect"
+	case PatternInvariant:
+		return "invariant"
+	case PatternRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// ObjectAccess summarizes how one function scope uses one object.
+type ObjectAccess struct {
+	Object  string
+	Pattern Pattern
+	// Stride is the element stride for PatternStrided.
+	Stride int64
+	// IndirectVia names the object whose values index this one
+	// (PatternIndirect).
+	IndirectVia string
+	// Fields lists accessed field names ("" = whole element), sorted.
+	Fields []string
+	// Reads / Writes count static access sites.
+	Reads  int
+	Writes int
+	// SequentialWholeElementWrite reports stride-1 stores covering whole
+	// elements — the precondition for no-fetch write allocation (§4.5).
+	SequentialWholeElementWrite bool
+	// FirstUse / LastUse are pre-order statement indices within the
+	// function (lifetime analysis).
+	FirstUse int
+	LastUse  int
+	// LastLoop is the loop containing the object's last access when
+	// that access is sequential — the site for per-iteration eviction
+	// hints (§4.5).
+	LastLoopSequential bool
+	// TripCount estimates dynamic accesses (trip count of the enclosing
+	// nest at the hottest site; falls back to the object's element
+	// count).
+	TripCount int64
+	// ElemBytes mirrors the object declaration for convenience.
+	ElemBytes int
+	// AccessedBytes is the number of bytes of each element the scope
+	// actually touches (selective-transmission input).
+	AccessedBytes int
+	// CoResidentBytes is the largest simultaneous working set of any
+	// tensor intrinsic touching this object (sum of operand footprints):
+	// a cache section serving tensor operands must hold at least this
+	// much to avoid refetching within one operator.
+	CoResidentBytes int64
+	// Scans counts distinct loops (or intrinsics) that traverse the
+	// object in this scope. An object scanned more than once is *reused*:
+	// caching its footprint beats streaming it repeatedly, which drives
+	// the planner to size its section by sampling rather than by
+	// prefetch window (§4.3).
+	Scans int
+}
+
+// ReadOnly reports whether the scope never writes the object.
+func (a *ObjectAccess) ReadOnly() bool { return a.Writes == 0 && a.Reads > 0 }
+
+// WriteOnly reports whether the scope never reads the object.
+func (a *ObjectAccess) WriteOnly() bool { return a.Reads == 0 && a.Writes > 0 }
+
+// FusionGroup identifies adjacent fusable loops within one block of a
+// function (§4.5 data access batching): same bounds, disjoint dependences.
+type FusionGroup struct {
+	Func string
+	// Block is the pre-order statement index of the first loop of the
+	// group within its containing block; Loops are the block-relative
+	// indices of the group's members.
+	Loops []int
+}
+
+// ChainedPrefetch records an indirect pair: Prefetching Source[i+d] then
+// Target[Source[i+d]] hides both latencies (§1's motivating example).
+type ChainedPrefetch struct {
+	Func   string
+	Source string
+	Target string
+}
+
+// FuncReport is the analysis result for one function scope.
+type FuncReport struct {
+	Name    string
+	Objects map[string]*ObjectAccess
+	Fusions []FusionGroup
+	Chains  []ChainedPrefetch
+	// Ops estimates the function's scalar-operation count per
+	// invocation (offload cost model input).
+	Ops int64
+	// BytesTouched estimates unique bytes of far objects touched per
+	// invocation.
+	BytesTouched int64
+	// OffloadSafe reports the §4.8 precondition: no shared writable
+	// data (declared by the program and not contradicted by analysis).
+	OffloadSafe bool
+}
+
+// Report is the whole-program analysis result, restricted to the scopes the
+// profiler selected.
+type Report struct {
+	Funcs map[string]*FuncReport
+	// CallCounts estimates how many times each function runs per
+	// program execution (entry = 1, multiplied through loops and call
+	// sites). Dynamic reuse — an object scanned once per call of a
+	// function called many times — multiplies through these.
+	CallCounts map[string]int64
+}
+
+// callCount returns the dynamic invocation estimate for fn (at least 1).
+func (r *Report) callCount(fn string) int64 {
+	if c, ok := r.CallCounts[fn]; ok && c > 1 {
+		return c
+	}
+	return 1
+}
+
+// Access returns the summary for obj in fn, or nil.
+func (r *Report) Access(fn, obj string) *ObjectAccess {
+	fr, ok := r.Funcs[fn]
+	if !ok {
+		return nil
+	}
+	return fr.Objects[obj]
+}
+
+// MergedObject folds the per-function summaries of obj into one
+// program-level view: the "worst" pattern wins (indirect > random > strided
+// > sequential > invariant) because the cache section must serve all scopes
+// that share it.
+func (r *Report) MergedObject(obj string) *ObjectAccess {
+	var out *ObjectAccess
+	names := make([]string, 0, len(r.Funcs))
+	for n := range r.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := r.Funcs[n].Objects[obj]
+		if a == nil {
+			continue
+		}
+		if out == nil {
+			cp := *a
+			cp.Fields = append([]string(nil), a.Fields...)
+			cp.Scans = a.Scans * int(r.callCount(n))
+			out = &cp
+			continue
+		}
+		out.Pattern = worsePattern(out.Pattern, a.Pattern)
+		if a.Pattern == PatternIndirect && out.IndirectVia == "" {
+			out.IndirectVia = a.IndirectVia
+		}
+		out.Reads += a.Reads
+		out.Writes += a.Writes
+		out.Fields = mergeFields(out.Fields, a.Fields)
+		out.SequentialWholeElementWrite = out.SequentialWholeElementWrite && a.SequentialWholeElementWrite
+		if a.TripCount > out.TripCount {
+			out.TripCount = a.TripCount
+		}
+		out.AccessedBytes = maxInt(out.AccessedBytes, a.AccessedBytes)
+		if a.CoResidentBytes > out.CoResidentBytes {
+			out.CoResidentBytes = a.CoResidentBytes
+		}
+		out.Scans += a.Scans * int(r.callCount(n))
+	}
+	return out
+}
+
+// patternRank orders patterns by how much cache flexibility they demand.
+func patternRank(p Pattern) int {
+	switch p {
+	case PatternInvariant:
+		return 0
+	case PatternSequential:
+		return 1
+	case PatternStrided:
+		return 2
+	case PatternRandom:
+		return 3
+	case PatternIndirect:
+		return 4
+	default:
+		return -1
+	}
+}
+
+func worsePattern(a, b Pattern) Pattern {
+	if patternRank(b) > patternRank(a) {
+		return b
+	}
+	return a
+}
+
+func mergeFields(a, b []string) []string {
+	set := map[string]bool{}
+	for _, f := range a {
+		set[f] = true
+	}
+	for _, f := range b {
+		set[f] = true
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the report for cmd/mirac.
+func (r *Report) String() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(r.Funcs))
+	for n := range r.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fr := r.Funcs[n]
+		fmt.Fprintf(&sb, "func %s (ops~%d, bytes~%d, offload-safe=%v)\n", n, fr.Ops, fr.BytesTouched, fr.OffloadSafe)
+		objs := make([]string, 0, len(fr.Objects))
+		for o := range fr.Objects {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		for _, o := range objs {
+			a := fr.Objects[o]
+			fmt.Fprintf(&sb, "  %s: %v", o, a.Pattern)
+			if a.Pattern == PatternStrided {
+				fmt.Fprintf(&sb, "(stride %d)", a.Stride)
+			}
+			if a.Pattern == PatternIndirect {
+				fmt.Fprintf(&sb, "(via %s)", a.IndirectVia)
+			}
+			fmt.Fprintf(&sb, " reads=%d writes=%d fields=%v bytes/elem=%d\n",
+				a.Reads, a.Writes, a.Fields, a.AccessedBytes)
+		}
+		for _, fg := range fr.Fusions {
+			fmt.Fprintf(&sb, "  fusable loops at block indices %v\n", fg.Loops)
+		}
+		for _, ch := range fr.Chains {
+			fmt.Fprintf(&sb, "  chained prefetch %s -> %s\n", ch.Source, ch.Target)
+		}
+	}
+	return sb.String()
+}

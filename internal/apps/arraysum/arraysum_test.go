@@ -1,0 +1,106 @@
+package arraysum
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mira/internal/analysis"
+	"mira/internal/ir"
+)
+
+func TestProgramShape(t *testing.T) {
+	w := New(Config{N: 512, Seed: 1})
+	p := w.Program()
+	if p.Entry != "sum" {
+		t.Fatalf("entry %q", p.Entry)
+	}
+	if err := ir.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	kernel, ok := p.Func("sumAll")
+	if !ok || !kernel.NoSharedWrites {
+		t.Fatal("kernel not marked offload-safe")
+	}
+}
+
+func TestExpectedMatchesData(t *testing.T) {
+	w := New(Config{N: 1000, Seed: 1})
+	var want int64
+	data := w.Data()
+	for i := 0; i < 1000; i++ {
+		want += int64(i * 7 % 1000)
+	}
+	if got := w.Expected(); got != want {
+		t.Fatalf("Expected() = %d, want %d", got, want)
+	}
+	if int64(len(data)) != 8000 {
+		t.Fatalf("data length %d", len(data))
+	}
+}
+
+func TestKernelIsOffloadCandidate(t *testing.T) {
+	w := New(Config{N: 1 << 14, Seed: 1})
+	r, err := analysis.Analyze(w.Program(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := analysis.DecideOffload(w.Program(), r, analysis.DefaultOffloadParams())
+	for _, d := range decisions {
+		if d.Func == "sumAll" {
+			if !d.Offload {
+				t.Fatalf("data-heavy kernel not chosen for offload: %+v", d)
+			}
+			return
+		}
+	}
+	t.Fatal("sumAll not evaluated for offload")
+}
+
+func TestDefaults(t *testing.T) {
+	w := New(Config{})
+	if w.FullMemoryBytes() <= 0 {
+		t.Fatal("no footprint")
+	}
+}
+
+type memStore map[string][]byte
+
+func (m memStore) InitObject(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[name] = cp
+	return nil
+}
+
+func (m memStore) DumpObject(name string) ([]byte, error) { return m[name], nil }
+
+func TestInitAndVerify(t *testing.T) {
+	w := New(Config{N: 256, Seed: 1})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st["a"]) != 256*8 {
+		t.Fatalf("array image %d bytes", len(st["a"]))
+	}
+	res := make([]byte, 8)
+	binary.LittleEndian.PutUint64(res, uint64(w.Expected()))
+	st["result"] = res
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	binary.LittleEndian.PutUint64(st["result"], uint64(w.Expected()+1))
+	if err := w.Verify(st); err == nil {
+		t.Fatal("wrong result accepted")
+	}
+}
+
+func TestNameAndParams(t *testing.T) {
+	w := New(Config{N: 16})
+	if w.Name() != "arraysum" {
+		t.Fatalf("name %q", w.Name())
+	}
+	if w.Params() != nil {
+		t.Fatal("unexpected params")
+	}
+}

@@ -1,0 +1,105 @@
+package dataframe
+
+import (
+	"testing"
+
+	"mira/internal/analysis"
+	"mira/internal/ir"
+)
+
+func TestProgramVariants(t *testing.T) {
+	full := New(Config{Rows: 128, Seed: 1})
+	fp, _ := full.Program().Func("pipeline")
+	if len(fp.Body) != 1 {
+		t.Fatalf("full pipeline has %d stmts, want 1 query loop", len(fp.Body))
+	}
+	if loop, ok := fp.Body[0].(*ir.Loop); !ok || len(loop.Body) != 3 {
+		t.Fatalf("query loop malformed: %T", fp.Body[0])
+	}
+	filter := New(Config{Rows: 128, Seed: 1, FilterOnly: true})
+	fo, _ := filter.Program().Func("pipeline")
+	if len(fo.Body) != 1 {
+		t.Fatalf("filter-only pipeline has %d calls", len(fo.Body))
+	}
+	batch := New(Config{Rows: 128, Seed: 1, BatchJobOnly: true})
+	bo, _ := batch.Program().Func("pipeline")
+	if len(bo.Body) != 1 {
+		t.Fatalf("batch-only pipeline has %d calls", len(bo.Body))
+	}
+}
+
+func TestBatchJobIsFusable(t *testing.T) {
+	w := New(Config{Rows: 256, Seed: 1, BatchJobOnly: true})
+	r, err := analysis.Analyze(w.Program(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := r.Funcs["avgMinMax"]
+	if len(fr.Fusions) == 0 {
+		t.Fatal("the three operator loops were not detected as fusable")
+	}
+}
+
+func TestFilterPartHasParams(t *testing.T) {
+	w := New(Config{Rows: 128, Seed: 1})
+	fp, ok := w.Program().Func("filterPart")
+	if !ok {
+		t.Fatal("filterPart missing")
+	}
+	if len(fp.Params) != 3 {
+		t.Fatalf("filterPart params %v", fp.Params)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := New(Config{Rows: 512, Seed: 2014})
+	b := New(Config{Rows: 512, Seed: 2014})
+	pa, fa := a.Columns()
+	pb, fb := b.Columns()
+	for i := range pa {
+		if pa[i] != pb[i] || fa[i] != fb[i] {
+			t.Fatal("same seed produced different tables")
+		}
+	}
+	c := New(Config{Rows: 512, Seed: 2015})
+	pc, _ := c.Columns()
+	same := true
+	for i := range pa {
+		if pa[i] != pc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical payment columns")
+	}
+}
+
+func TestReferenceInvariants(t *testing.T) {
+	w := New(Config{Rows: 1024, Seed: 3})
+	e := w.Reference()
+	if e.Min > e.Avg || e.Avg > e.Max {
+		t.Fatalf("min %g avg %g max %g not ordered", e.Min, e.Avg, e.Max)
+	}
+	if e.FilterCount <= 0 || e.FilterCount >= 1024 {
+		t.Fatalf("filter count %d implausible for 4 payment types", e.FilterCount)
+	}
+	var gs float64
+	for _, v := range e.GroupSum {
+		if v < 0 {
+			t.Fatal("negative group sum")
+		}
+		gs += v
+	}
+	if gs == 0 {
+		t.Fatal("group sums all zero")
+	}
+}
+
+func TestProgramValidates(t *testing.T) {
+	for _, cfg := range []Config{{Rows: 64, Seed: 1}, {Rows: 64, Seed: 1, FilterOnly: true}, {Rows: 64, Seed: 1, BatchJobOnly: true}} {
+		if err := ir.Validate(New(cfg).Program()); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+}

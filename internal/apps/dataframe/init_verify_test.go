@@ -1,0 +1,140 @@
+package dataframe
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+type memStore map[string][]byte
+
+func (m memStore) InitObject(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[name] = cp
+	return nil
+}
+
+func (m memStore) DumpObject(name string) ([]byte, error) {
+	return m[name], nil
+}
+
+func TestInitImageShapes(t *testing.T) {
+	w := New(Config{Rows: 256, Seed: 3})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"fare", "distance", "passengers", "zone", "payment"} {
+		if got := len(st[col]); got != 256*8 {
+			t.Fatalf("column %q image %d bytes, want %d", col, got, 256*8)
+		}
+	}
+	// Generated domains: passengers in [0,64), zone in [0,zones), payment
+	// in a small code set.
+	z := zones(w.Config())
+	for i := 0; i < 256; i++ {
+		p := int64(binary.LittleEndian.Uint64(st["passengers"][i*8:]))
+		if p < 0 || p >= 64 {
+			t.Fatalf("passengers[%d] = %d out of range", i, p)
+		}
+		zn := int64(binary.LittleEndian.Uint64(st["zone"][i*8:]))
+		if zn < 0 || zn >= z {
+			t.Fatalf("zone[%d] = %d out of range (zones=%d)", i, zn, z)
+		}
+	}
+}
+
+// TestVerifyAgainstReference synthesizes the final result images from the
+// package's own oracle and checks Verify accepts them and rejects
+// corruption — without running any far-memory system.
+func TestVerifyAgainstReference(t *testing.T) {
+	w := New(Config{Rows: 512, Seed: 6})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	e := w.Reference()
+	stats := make([]byte, 4*8)
+	binary.LittleEndian.PutUint64(stats[0:], math.Float64bits(e.Avg))
+	binary.LittleEndian.PutUint64(stats[8:], math.Float64bits(e.Min))
+	binary.LittleEndian.PutUint64(stats[16:], math.Float64bits(e.Max))
+	binary.LittleEndian.PutUint64(stats[24:], math.Float64bits(float64(e.FilterCount)))
+	st["stats"] = stats
+	gs := make([]byte, 64*8)
+	for i, v := range e.GroupSum {
+		binary.LittleEndian.PutUint64(gs[i*8:], math.Float64bits(v))
+	}
+	st["groupsum"] = gs
+	zs := make([]byte, len(e.ZoneSum)*8)
+	for i, v := range e.ZoneSum {
+		binary.LittleEndian.PutUint64(zs[i*8:], math.Float64bits(v))
+	}
+	st["zonesum"] = zs
+
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("reference image rejected: %v", err)
+	}
+
+	binary.LittleEndian.PutUint64(st["zonesum"][0:], math.Float64bits(e.ZoneSum[0]+1))
+	if err := w.Verify(st); err == nil {
+		t.Fatal("corrupted zonesum accepted")
+	}
+	binary.LittleEndian.PutUint64(st["zonesum"][0:], math.Float64bits(e.ZoneSum[0]))
+
+	binary.LittleEndian.PutUint64(st["stats"][0:], math.Float64bits(e.Avg+1))
+	if err := w.Verify(st); err == nil {
+		t.Fatal("corrupted avg accepted")
+	}
+}
+
+// Variant configs skip the checks for results their pipelines don't
+// produce.
+func TestVerifyVariantScopes(t *testing.T) {
+	// FilterOnly: only the filter count is checked.
+	w := New(Config{Rows: 128, Seed: 2, FilterOnly: true})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	e := w.Reference()
+	stats := make([]byte, 4*8)
+	binary.LittleEndian.PutUint64(stats[24:], math.Float64bits(float64(e.FilterCount)))
+	st["stats"] = stats
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("filter-only verify: %v", err)
+	}
+
+	// BatchJobOnly: only avg/min/max are checked.
+	wb := New(Config{Rows: 128, Seed: 2, BatchJobOnly: true})
+	stb := memStore{}
+	if err := wb.Init(stb); err != nil {
+		t.Fatal(err)
+	}
+	eb := wb.Reference()
+	statsb := make([]byte, 4*8)
+	binary.LittleEndian.PutUint64(statsb[0:], math.Float64bits(eb.Avg))
+	binary.LittleEndian.PutUint64(statsb[8:], math.Float64bits(eb.Min))
+	binary.LittleEndian.PutUint64(statsb[16:], math.Float64bits(eb.Max))
+	stb["stats"] = statsb
+	if err := wb.Verify(stb); err != nil {
+		t.Fatalf("batch-only verify: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "dataframe" {
+		t.Fatalf("name %q", w.Name())
+	}
+	if w.Params() != nil {
+		t.Fatal("unexpected params")
+	}
+	def := DefaultConfig()
+	if w.Config().Rows != def.Rows {
+		t.Fatalf("zero config not defaulted: %+v", w.Config())
+	}
+	if w.FullMemoryBytes() <= 0 {
+		t.Fatal("no footprint")
+	}
+}

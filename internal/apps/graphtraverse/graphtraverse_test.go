@@ -1,0 +1,161 @@
+package graphtraverse
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+func TestProgramValidatesAndSizes(t *testing.T) {
+	w := New(Config{Edges: 128, Nodes: 64, Passes: 2, Seed: 1})
+	p := w.Program()
+	if p.Entry != "traverse" {
+		t.Fatalf("entry %q", p.Entry)
+	}
+	if got := w.FullMemoryBytes(); got != 128*EdgeBytes+64*NodeBytes {
+		t.Fatalf("FullMemoryBytes = %d", got)
+	}
+	wt := New(Config{Edges: 128, Nodes: 64, Third: 32, Passes: 1, Seed: 1})
+	if _, ok := wt.Program().Object("rand3"); !ok {
+		t.Fatal("third array missing")
+	}
+	if wt.FullMemoryBytes() != 128*EdgeBytes+64*NodeBytes+32*ThirdBytes {
+		t.Fatal("third array not in footprint")
+	}
+}
+
+func TestEdgeDataDeterministicAndBounded(t *testing.T) {
+	a := New(Config{Edges: 256, Nodes: 32, Passes: 1, Seed: 5})
+	b := New(Config{Edges: 256, Nodes: 32, Passes: 1, Seed: 5})
+	da, db := a.EdgeData(), b.EdgeData()
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different edges")
+	}
+	for i := 0; i < 256; i++ {
+		from := binary.LittleEndian.Uint64(da[i*EdgeBytes:])
+		to := binary.LittleEndian.Uint64(da[i*EdgeBytes+8:])
+		if from >= 32 || to >= 32 {
+			t.Fatalf("edge %d endpoints out of range: %d %d", i, from, to)
+		}
+	}
+	c := New(Config{Edges: 256, Nodes: 32, Passes: 1, Seed: 6})
+	if string(c.EdgeData()) == string(da) {
+		t.Fatal("different seeds produced identical edges")
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	w := New(Config{Edges: 4096, Nodes: 256, Passes: 1, Seed: 9, Skew: 3})
+	data := w.EdgeData()
+	counts := make(map[uint64]int)
+	for i := 0; i < 4096; i++ {
+		counts[binary.LittleEndian.Uint64(data[i*EdgeBytes:])]++
+	}
+	// A skewed draw concentrates mass: the hottest endpoint must carry
+	// far more than the uniform expectation (4096/256 = 16).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 64 {
+		t.Fatalf("hottest node has %d draws; skew looks uniform", max)
+	}
+}
+
+func TestExpectedCountsConsistent(t *testing.T) {
+	w := New(Config{Edges: 100, Nodes: 16, Passes: 3, Seed: 2})
+	counts := w.ExpectedCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100*2*3 {
+		t.Fatalf("total count %d, want %d", total, 600)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	w := New(Config{})
+	if w.Config().Edges == 0 || w.Config().Passes == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+type memStore map[string][]byte
+
+func (m memStore) InitObject(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[name] = cp
+	return nil
+}
+
+func (m memStore) DumpObject(name string) ([]byte, error) { return m[name], nil }
+
+func TestInitAndVerifyRoundtrip(t *testing.T) {
+	w := New(Config{Edges: 512, Nodes: 64, Passes: 2, Seed: 13})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(st["edges"])) != 512*EdgeBytes {
+		t.Fatalf("edges image %d bytes", len(st["edges"]))
+	}
+	// Build the expected final node image from the oracle: counts at
+	// field 0, rest untouched (zero — Init loads only edges).
+	nodes := make([]byte, 64*NodeBytes)
+	for i, c := range w.ExpectedCounts() {
+		binary.LittleEndian.PutUint64(nodes[int64(i)*NodeBytes:], uint64(c))
+	}
+	st["nodes"] = nodes
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("oracle image rejected: %v", err)
+	}
+	binary.LittleEndian.PutUint64(st["nodes"][0:], 1<<40)
+	if err := w.Verify(st); err == nil {
+		t.Fatal("corrupted counts accepted")
+	}
+}
+
+func TestNameParamsAccessors(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "graphtraverse" || w.Params() != nil {
+		t.Fatalf("accessors wrong: %q %v", w.Name(), w.Params())
+	}
+	if w.Config().Edges != DefaultConfig().Edges {
+		t.Fatal("zero config not defaulted")
+	}
+}
+
+func TestSkewConcentratesEndpoints(t *testing.T) {
+	uniform := New(Config{Edges: 8192, Nodes: 1024, Seed: 5})
+	skewed := New(Config{Edges: 8192, Nodes: 1024, Seed: 5, Skew: 3.5})
+	// Skew concentrates endpoint *frequency*: the hottest 10% of nodes
+	// must absorb a clearly larger share of the draws than under the
+	// uniform distribution.
+	hotShare := func(w *Workload) float64 {
+		freq := map[uint64]int{}
+		data := w.EdgeData()
+		total := 0
+		for i := 0; i < len(data); i += 8 {
+			freq[binary.LittleEndian.Uint64(data[i:i+8])]++
+			total++
+		}
+		counts := make([]int, 0, len(freq))
+		for _, c := range freq {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		hot := 0
+		for i := 0; i < len(counts) && i < 102; i++ {
+			hot += counts[i]
+		}
+		return float64(hot) / float64(total)
+	}
+	su, ss := hotShare(uniform), hotShare(skewed)
+	if ss < su*1.5 {
+		t.Fatalf("skew did not concentrate endpoints: hot-10%% share %.3f vs uniform %.3f", ss, su)
+	}
+}

@@ -1,0 +1,112 @@
+package mcf
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// memStore implements workload.ObjectIniter and workload.ObjectDumper over
+// a plain map, so Init/Verify can be exercised without a runtime.
+type memStore map[string][]byte
+
+func (m memStore) InitObject(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[name] = cp
+	return nil
+}
+
+func (m memStore) DumpObject(name string) ([]byte, error) {
+	return m[name], nil
+}
+
+func TestInitImageShapes(t *testing.T) {
+	w := New(Config{Nodes: 64, Arcs: 256, Iterations: 4, WalkLen: 3, Seed: 9})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(st["arcs"])); got != 256*ArcBytes {
+		t.Fatalf("arcs image %d bytes, want %d", got, 256*ArcBytes)
+	}
+	if got := int64(len(st["nodes"])); got != 64*NodeBytes {
+		t.Fatalf("nodes image %d bytes, want %d", got, 64*NodeBytes)
+	}
+	// Arc endpoints must be valid node indices.
+	for i := int64(0); i < 256; i++ {
+		tail := binary.LittleEndian.Uint64(st["arcs"][i*ArcBytes:])
+		head := binary.LittleEndian.Uint64(st["arcs"][i*ArcBytes+8:])
+		if tail >= 64 || head >= 64 {
+			t.Fatalf("arc %d endpoints (%d,%d) out of range", i, tail, head)
+		}
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	a, b := memStore{}, memStore{}
+	if err := New(Config{Nodes: 32, Arcs: 128, Iterations: 2, WalkLen: 2, Seed: 4}).Init(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(Config{Nodes: 32, Arcs: 128, Iterations: 2, WalkLen: 2, Seed: 4}).Init(b); err != nil {
+		t.Fatal(err)
+	}
+	for name := range a {
+		if string(a[name]) != string(b[name]) {
+			t.Fatalf("object %q differs across identical seeds", name)
+		}
+	}
+}
+
+// TestVerifyAgainstReference builds the expected final memory image from
+// the package's own native reference and checks Verify accepts it — and
+// rejects any corruption of it.
+func TestVerifyAgainstReference(t *testing.T) {
+	w := New(Config{Nodes: 48, Arcs: 192, Iterations: 6, WalkLen: 4, Seed: 11})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	wantPot, wantFlow := w.reference()
+	for n := range wantPot {
+		binary.LittleEndian.PutUint64(st["nodes"][n*NodeBytes:], uint64(wantPot[n]))
+	}
+	for a := range wantFlow {
+		binary.LittleEndian.PutUint64(st["arcs"][a*ArcBytes+24:], uint64(wantFlow[a]))
+	}
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("reference image rejected: %v", err)
+	}
+
+	// Corrupt one potential.
+	binary.LittleEndian.PutUint64(st["nodes"][0:], uint64(wantPot[0]+99))
+	err := w.Verify(st)
+	if err == nil || !strings.Contains(err.Error(), "potential") {
+		t.Fatalf("corrupted potential accepted: %v", err)
+	}
+	binary.LittleEndian.PutUint64(st["nodes"][0:], uint64(wantPot[0]))
+
+	// Corrupt one flow.
+	binary.LittleEndian.PutUint64(st["arcs"][24:], uint64(wantFlow[0]+1))
+	if err := w.Verify(st); err == nil {
+		t.Fatal("corrupted flow accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := New(Config{})
+	if w.Name() != "mcf" {
+		t.Fatalf("name %q", w.Name())
+	}
+	if w.Params() != nil {
+		t.Fatal("unexpected params")
+	}
+	cfg := w.Config()
+	def := DefaultConfig()
+	if cfg.Arcs != def.Arcs || cfg.Nodes != def.Nodes {
+		t.Fatalf("zero config not defaulted: %+v vs %+v", cfg, def)
+	}
+	if w.FullMemoryBytes() != def.Arcs*ArcBytes+def.Nodes*NodeBytes {
+		t.Fatalf("footprint %d", w.FullMemoryBytes())
+	}
+}

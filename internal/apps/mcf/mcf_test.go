@@ -1,0 +1,88 @@
+package mcf
+
+import (
+	"testing"
+
+	"mira/internal/analysis"
+)
+
+func TestProgramStructure(t *testing.T) {
+	w := New(Config{Arcs: 256, Nodes: 64, Iterations: 4, WalkLen: 8, Seed: 1})
+	p := w.Program()
+	if p.Entry != "simplex" {
+		t.Fatalf("entry %q", p.Entry)
+	}
+	for _, fn := range []string{"price", "update", "simplex"} {
+		if _, ok := p.Func(fn); !ok {
+			t.Fatalf("function %q missing", fn)
+		}
+	}
+	if w.FullMemoryBytes() != 256*ArcBytes+64*NodeBytes {
+		t.Fatalf("footprint %d", w.FullMemoryBytes())
+	}
+}
+
+func TestAnalysisSeesMCFCharacter(t *testing.T) {
+	// The paper calls MCF the least analysis-friendly app: pricing scans
+	// arcs sequentially but reads nodes through arc endpoints, and the
+	// update walks parent pointers (self-indirect).
+	w := New(Config{Arcs: 256, Nodes: 64, Iterations: 4, WalkLen: 8, Seed: 1})
+	r, err := analysis.Analyze(w.Program(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := r.Funcs["price"]
+	if got := price.Objects["arcs"].Pattern; got != analysis.PatternSequential {
+		t.Fatalf("price/arcs pattern %v, want sequential", got)
+	}
+	if got := price.Objects["nodes"].Pattern; got != analysis.PatternIndirect {
+		t.Fatalf("price/nodes pattern %v, want indirect", got)
+	}
+	update := r.Funcs["update"]
+	n := update.Objects["nodes"]
+	// The walk seed comes from an arc load and then chases node parent
+	// pointers; either source marks the access indirect.
+	if n.Pattern != analysis.PatternIndirect {
+		t.Fatalf("update/nodes = %v, want indirect", n.Pattern)
+	}
+	if n.IndirectVia != "nodes" && n.IndirectVia != "arcs" {
+		t.Fatalf("update/nodes via %q", n.IndirectVia)
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	w := New(Config{Arcs: 512, Nodes: 128, Iterations: 6, WalkLen: 16, Seed: 3})
+	p1, f1 := w.reference()
+	p2, f2 := w.reference()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("reference potentials nondeterministic")
+		}
+	}
+	var flowTotal int64
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("reference flows nondeterministic")
+		}
+		flowTotal += f1[i]
+	}
+	if flowTotal == 0 {
+		t.Fatal("no pivots executed — workload degenerate")
+	}
+	if flowTotal > w.cfg.Iterations {
+		t.Fatalf("flow total %d exceeds iteration count", flowTotal)
+	}
+}
+
+func TestParentChainsTerminateAtRoot(t *testing.T) {
+	w := New(Config{Arcs: 64, Nodes: 512, Iterations: 1, WalkLen: 1, Seed: 7})
+	g := w.generate()
+	for n := int64(1); n < 512; n++ {
+		if g.parent[n] >= n {
+			t.Fatalf("node %d parent %d not strictly decreasing", n, g.parent[n])
+		}
+	}
+	if g.parent[0] != 0 {
+		t.Fatal("root not self-parented")
+	}
+}

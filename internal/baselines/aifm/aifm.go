@@ -1,0 +1,367 @@
+// Package aifm models AIFM [Ruan et al., OSDI'20]: a library-based
+// far-memory runtime with remotable pointers. Its paper-relevant behaviors
+// (§2.1, §6.1):
+//
+//   - every access to a remote data item pays a software dereference
+//     (remotable-pointer resolution, dereference-scope bookkeeping) — AIFM
+//     is slower than native even at 100% local memory;
+//   - each remotable object carries metadata that consumes local memory, so
+//     arrays of small elements lose a large fraction of their cache to
+//     metadata — the reason AIFM's MCF "fails to execute when local memory
+//     is smaller than full size" (Fig. 18);
+//   - data moves at object granularity with no program knowledge: no
+//     compiler prefetch, no batching across library calls, whole objects
+//     fetched even when one field is used.
+//
+// It implements exec.Backend, so the same IR programs that run on Mira run
+// on AIFM unchanged.
+package aifm
+
+import (
+	"container/list"
+	"fmt"
+
+	"mira/internal/farmem"
+	"mira/internal/ir"
+	"mira/internal/netmodel"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/transport"
+	"mira/internal/workload"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// LocalBudget is the local memory in bytes; metadata is carved out
+	// of it before any data caching.
+	LocalBudget int64
+	// MetaPerObject is the per-remotable-object metadata footprint
+	// (remotable pointer + dereference-scope entry). Default 8 B — the
+	// size of AIFM's unified remotable pointer; the element data itself
+	// carries the object header when cached.
+	MetaPerObject int64
+	// DerefCost is the software cost of each remotable-pointer
+	// dereference. Default 85 ns.
+	DerefCost sim.Duration
+	// ChunkBytes selects the remotable-object granularity. Zero models
+	// AIFM's array library (one remotable object per element — the
+	// configuration whose metadata makes MCF fail below full memory);
+	// a positive value models chunked libraries like AIFM's own
+	// DataFrame implementation, which packs elements into ~ChunkBytes
+	// remotable objects (fewer pointers, but whole chunks move even
+	// when one field is needed).
+	ChunkBytes int64
+	// Net overrides the interconnect model.
+	Net netmodel.Config
+	// NodeCfg overrides the far node.
+	NodeCfg farmem.NodeConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.MetaPerObject == 0 {
+		o.MetaPerObject = 8
+	}
+	if o.DerefCost == 0 {
+		o.DerefCost = 85 * sim.Nanosecond
+	}
+	if o.Net.BytesPerSecond == 0 {
+		o.Net = netmodel.DefaultConfig()
+	}
+	if o.NodeCfg.Capacity == 0 {
+		o.NodeCfg = farmem.DefaultNodeConfig()
+	}
+	return o
+}
+
+// Runtime is the AIFM-style backend.
+type Runtime struct {
+	opts    Options
+	node    *farmem.Node
+	tr      *transport.T
+	objs    map[string]*objState
+	cap     int64 // usable data bytes after metadata
+	used    int64
+	entries map[entryKey]*list.Element
+	lru     *list.List // front = most recent
+	meta    int64
+
+	// stats
+	derefs, hits, misses, evictions, writebacks int64
+}
+
+type objState struct {
+	decl    *ir.Object
+	farBase uint64
+	// chunkElems is the number of elements per remotable object.
+	chunkElems int64
+	// chunks is the remotable-object count.
+	chunks int64
+}
+
+type entryKey struct {
+	obj  string
+	elem int64
+}
+
+type entry struct {
+	key   entryKey
+	data  []byte
+	dirty bool
+}
+
+// New builds an AIFM runtime for w and loads its data. It returns an error
+// when metadata leaves no room for data — the failure mode the paper
+// observes for MCF below full memory.
+func New(w workload.Workload, opts Options) (*Runtime, error) {
+	opts = opts.withDefaults()
+	prog := w.Program()
+	r := &Runtime{
+		opts:    opts,
+		node:    farmem.NewNode(opts.NodeCfg),
+		objs:    map[string]*objState{},
+		entries: map[entryKey]*list.Element{},
+		lru:     list.New(),
+	}
+	r.tr = transport.New(r.node, opts.Net)
+	var maxUnit int64
+	for _, o := range prog.Objects {
+		if o.Local {
+			continue
+		}
+		base, err := r.node.Alloc(uint64(o.SizeBytes()))
+		if err != nil {
+			return nil, err
+		}
+		chunkElems := int64(1)
+		if opts.ChunkBytes > 0 {
+			chunkElems = opts.ChunkBytes / int64(o.ElemBytes)
+			if chunkElems < 1 {
+				chunkElems = 1
+			}
+		}
+		chunks := (o.Count + chunkElems - 1) / chunkElems
+		r.objs[o.Name] = &objState{decl: o, farBase: base, chunkElems: chunkElems, chunks: chunks}
+		r.meta += chunks * opts.MetaPerObject
+		if unit := chunkElems * int64(o.ElemBytes); unit > maxUnit {
+			maxUnit = unit
+		}
+	}
+	r.cap = opts.LocalBudget - r.meta
+	if r.cap < maxUnit {
+		return nil, fmt.Errorf("aifm: %d bytes of remotable-pointer metadata leave no usable cache in %d-byte budget (fails to execute)",
+			r.meta, opts.LocalBudget)
+	}
+	if err := w.Init(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MetadataBytes reports the remotable-pointer metadata footprint (Fig. 20).
+func (r *Runtime) MetadataBytes() int64 { return r.meta }
+
+// InitObject loads workload bytes (untimed setup).
+func (r *Runtime) InitObject(name string, data []byte) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("aifm: unknown object %q", name)
+	}
+	return r.node.Write(o.farBase, data)
+}
+
+// DumpObject reads back far contents; call FlushAll first.
+func (r *Runtime) DumpObject(name string) ([]byte, error) {
+	o, ok := r.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("aifm: unknown object %q", name)
+	}
+	out := make([]byte, o.decl.SizeBytes())
+	if err := r.node.Read(o.farBase, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Access dereferences one remotable object (element) and copies the field
+// bytes. Every access pays the dereference cost; misses fetch the whole
+// element.
+func (r *Runtime) Access(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool, _ rt.AccessOpts) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("aifm: access to unknown object %q", name)
+	}
+	if elem < 0 || elem >= o.decl.Count {
+		return fmt.Errorf("aifm: %q[%d] out of range", name, elem)
+	}
+	r.derefs++
+	clk.Advance(r.opts.DerefCost)
+	e, err := r.deref(clk, o, elem/o.chunkElems)
+	if err != nil {
+		return err
+	}
+	off := (elem%o.chunkElems)*int64(o.decl.ElemBytes) + int64(field.Offset)
+	if len(buf) > field.Bytes {
+		buf = buf[:field.Bytes]
+	}
+	if write {
+		copy(e.data[off:], buf)
+		e.dirty = true
+	} else {
+		copy(buf, e.data[off:])
+	}
+	return nil
+}
+
+// chunkSize is the byte size of chunk c (the last chunk may be short).
+func (o *objState) chunkSize(c int64) int64 {
+	elems := o.chunkElems
+	if last := o.decl.Count - c*o.chunkElems; last < elems {
+		elems = last
+	}
+	return elems * int64(o.decl.ElemBytes)
+}
+
+// deref resolves (obj, chunk) to a cached remotable object, fetching on
+// miss.
+func (r *Runtime) deref(clk *sim.Clock, o *objState, chunk int64) (*entry, error) {
+	key := entryKey{obj: o.decl.Name, elem: chunk}
+	if el, ok := r.entries[key]; ok {
+		r.hits++
+		r.lru.MoveToFront(el)
+		return el.Value.(*entry), nil
+	}
+	r.misses++
+	size := o.chunkSize(chunk)
+	for r.used+size > r.cap {
+		if err := r.evictOne(clk); err != nil {
+			return nil, err
+		}
+	}
+	e := &entry{key: key, data: make([]byte, size)}
+	addr := o.farBase + uint64(chunk)*uint64(o.chunkElems)*uint64(o.decl.ElemBytes)
+	// AIFM moves objects in messages handled by a remote agent:
+	// two-sided.
+	data, done, err := r.tr.GatherTwoSided(clk.Now(), []uint64{addr}, []int{int(size)})
+	if err != nil {
+		return nil, err
+	}
+	copy(e.data, data)
+	clk.AdvanceTo(done)
+	r.entries[key] = r.lru.PushFront(e)
+	r.used += size
+	return e, nil
+}
+
+// evictOne swaps out the LRU element.
+func (r *Runtime) evictOne(clk *sim.Clock) error {
+	el := r.lru.Back()
+	if el == nil {
+		return fmt.Errorf("aifm: cache exhausted with nothing to evict")
+	}
+	e := el.Value.(*entry)
+	r.lru.Remove(el)
+	delete(r.entries, e.key)
+	r.used -= int64(len(e.data))
+	r.evictions++
+	if e.dirty {
+		r.writebacks++
+		o := r.objs[e.key.obj]
+		addr := o.farBase + uint64(e.key.elem)*uint64(o.chunkElems)*uint64(o.decl.ElemBytes)
+		if _, err := r.tr.ScatterTwoSided(clk.Now(), []uint64{addr}, [][]byte{e.data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetch is a no-op: AIFM has no program knowledge to prefetch with.
+func (r *Runtime) Prefetch(*sim.Clock, string, int64, ir.Field) error { return nil }
+
+// PrefetchBatch is a no-op (no cross-call batching, §6.2 Fig. 23).
+func (r *Runtime) PrefetchBatch(*sim.Clock, []rt.BatchEntry) error { return nil }
+
+// EvictHint is a no-op: eviction is purely LRU.
+func (r *Runtime) EvictHint(*sim.Clock, string, int64) error { return nil }
+
+// Fence is a no-op: all AIFM operations here are synchronous.
+func (r *Runtime) Fence(*sim.Clock) {}
+
+// Release is a no-op: AIFM has no lifetime knowledge — eviction is LRU
+// only, which is exactly the paper's contrast with Mira's
+// compiler-directed lifetimes.
+func (r *Runtime) Release(*sim.Clock, string) error { return nil }
+
+// BulkRead loops element-wise — every element pays a dereference, the
+// behavior behind AIFM's array-library overhead (Fig. 18, 19).
+func (r *Runtime) BulkRead(clk *sim.Clock, name string, elem int64, buf []byte) error {
+	return r.bulk(clk, name, elem, buf, false)
+}
+
+// BulkWrite loops element-wise.
+func (r *Runtime) BulkWrite(clk *sim.Clock, name string, elem int64, buf []byte) error {
+	return r.bulk(clk, name, elem, buf, true)
+}
+
+func (r *Runtime) bulk(clk *sim.Clock, name string, elem int64, buf []byte, write bool) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("aifm: bulk access to unknown object %q", name)
+	}
+	eb := o.decl.ElemBytes
+	if len(buf)%eb != 0 {
+		return fmt.Errorf("aifm: bulk access of %d bytes not element-aligned (%d)", len(buf), eb)
+	}
+	whole := ir.Field{Offset: 0, Bytes: eb, Float: o.decl.Float}
+	for off := 0; off < len(buf); off += eb {
+		if err := r.Access(clk, name, elem+int64(off/eb), whole, buf[off:off+eb], write, rt.AccessOpts{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushObject writes back and drops every cached element of the object.
+func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
+	var keys []entryKey
+	for k := range r.entries {
+		if k.obj == name {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		el := r.entries[k]
+		e := el.Value.(*entry)
+		if e.dirty {
+			o := r.objs[k.obj]
+			addr := o.farBase + uint64(k.elem)*uint64(o.chunkElems)*uint64(o.decl.ElemBytes)
+			done, err := r.tr.ScatterTwoSided(clk.Now(), []uint64{addr}, [][]byte{e.data})
+			if err != nil {
+				return err
+			}
+			clk.AdvanceTo(done)
+			r.writebacks++
+		}
+		r.lru.Remove(el)
+		delete(r.entries, k)
+		r.used -= int64(len(e.data))
+	}
+	return nil
+}
+
+// FlushAll flushes every object (end of run, before DumpObject).
+func (r *Runtime) FlushAll(clk *sim.Clock) error {
+	for name := range r.objs {
+		if err := r.FlushObject(clk, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MissCount reports cumulative misses (the profiler's per-access probe).
+func (r *Runtime) MissCount() int64 { return r.misses }
+
+// Stats reports dereference counters.
+func (r *Runtime) Stats() (derefs, hits, misses, evictions, writebacks int64) {
+	return r.derefs, r.hits, r.misses, r.evictions, r.writebacks
+}

@@ -1,0 +1,308 @@
+package aifm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mira/internal/apps/arraysum"
+	"mira/internal/exec"
+	"mira/internal/ir"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/workload"
+)
+
+// tinyWorkload is a 64-element int array with identity Init.
+type tinyWorkload struct {
+	prog *ir.Program
+	data []byte
+}
+
+func newTiny() *tinyWorkload {
+	b := ir.NewBuilder("tiny")
+	b.IntArray("a", 64)
+	b.Func("main")
+	data := make([]byte, 64*8)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(i*3))
+	}
+	return &tinyWorkload{prog: b.MustProgram(), data: data}
+}
+
+func (w *tinyWorkload) Name() string                       { return "tiny" }
+func (w *tinyWorkload) Program() *ir.Program               { return w.prog }
+func (w *tinyWorkload) Params() map[string]exec.Value      { return nil }
+func (w *tinyWorkload) FullMemoryBytes() int64             { return 64 * 8 }
+func (w *tinyWorkload) Init(t workload.ObjectIniter) error { return t.InitObject("a", w.data) }
+
+func fld() ir.Field { return ir.Field{Offset: 0, Bytes: 8} }
+
+func TestAccessRoundtrip(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	got := make([]byte, 8)
+	if err := r.Access(clk, "a", 5, fld(), got, false, rt.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got) != 15 {
+		t.Fatalf("a[5] = %d, want 15", binary.LittleEndian.Uint64(got))
+	}
+	// Write, flush, dump.
+	w8 := []byte{9, 0, 0, 0, 0, 0, 0, 0}
+	if err := r.Access(clk, "a", 5, fld(), w8, true, rt.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.DumpObject("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump[5*8:5*8+8], w8) {
+		t.Fatal("write lost")
+	}
+}
+
+func TestEveryAccessPaysDeref(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	buf := make([]byte, 8)
+	_ = r.Access(clk, "a", 0, fld(), buf, false, rt.AccessOpts{})
+	warm := clk.Now()
+	_ = r.Access(clk, "a", 0, fld(), buf, false, rt.AccessOpts{})
+	hitCost := clk.Now().Sub(warm)
+	if hitCost < 85*sim.Nanosecond {
+		t.Fatalf("cached dereference cost %v below the 85ns software floor", hitCost)
+	}
+	derefs, hits, misses, _, _ := r.Stats()
+	if derefs != 2 || hits != 1 || misses != 1 {
+		t.Fatalf("stats derefs=%d hits=%d misses=%d", derefs, hits, misses)
+	}
+}
+
+func TestMetadataExhaustionFails(t *testing.T) {
+	w := newTiny()
+	// 64 objects x 8B meta = 512B; budget 512 leaves nothing for data.
+	if _, err := New(w, Options{LocalBudget: 512}); err == nil {
+		t.Fatal("metadata exhaustion not detected")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	w := newTiny()
+	// Budget: 512B meta + room for 4 elements.
+	r, err := New(w, Options{LocalBudget: 512 + 4*8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	buf := make([]byte, 8)
+	for e := int64(0); e < 8; e++ {
+		_ = r.Access(clk, "a", e, fld(), buf, false, rt.AccessOpts{})
+	}
+	_, _, _, evictions, _ := r.Stats()
+	if evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", evictions)
+	}
+	// Element 7 is most recent: must be cached.
+	_, hitsBefore, _, _, _ := r.Stats()
+	_ = r.Access(clk, "a", 7, fld(), buf, false, rt.AccessOpts{})
+	_, hitsAfter, _, _, _ := r.Stats()
+	if hitsAfter != hitsBefore+1 {
+		t.Fatal("most-recent element not cached")
+	}
+}
+
+func TestChunkedMode(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 4096, ChunkBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64B chunks of 8B elements: 8 elements/chunk, 8 chunks, 8B meta per
+	// chunk.
+	if r.MetadataBytes() != 8*8 {
+		t.Fatalf("chunked metadata = %d, want 64", r.MetadataBytes())
+	}
+	clk := sim.NewClock(0)
+	buf := make([]byte, 8)
+	// Touching element 0 fetches the whole chunk; element 1 must hit.
+	_ = r.Access(clk, "a", 0, fld(), buf, false, rt.AccessOpts{})
+	_ = r.Access(clk, "a", 1, fld(), buf, false, rt.AccessOpts{})
+	_, hits, misses, _, _ := r.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("chunked hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if binary.LittleEndian.Uint64(buf) != 3 {
+		t.Fatalf("a[1] = %d, want 3", binary.LittleEndian.Uint64(buf))
+	}
+}
+
+func TestChunkedWritebackRoundtrip(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 600, ChunkBytes: 64}) // tiny: forces evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	for e := int64(0); e < 64; e++ {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(e*7))
+		if err := r.Access(clk, "a", e, fld(), buf, true, rt.AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := r.DumpObject("a")
+	for e := 0; e < 64; e++ {
+		if got := binary.LittleEndian.Uint64(dump[e*8:]); got != uint64(e*7) {
+			t.Fatalf("a[%d] = %d, want %d", e, got, e*7)
+		}
+	}
+}
+
+func TestBulkElementwise(t *testing.T) {
+	w := arraysum.New(arraysum.Config{N: 256, Seed: 1})
+	r, err := New(w, Options{LocalBudget: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(w.Program(), r, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	v, err := ex.Run(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != w.Expected() {
+		t.Fatalf("sum %d, want %d", v.AsInt(), w.Expected())
+	}
+}
+
+func TestNoOpHooks(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if err := r.Prefetch(clk, "a", 0, fld()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release(clk, "a"); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence(clk)
+	if clk.Now() != 0 {
+		t.Fatal("no-op hooks charged time")
+	}
+}
+
+func TestBulkRoundtripElementwise(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	// Bulk write 8 elements starting at 4, read them back via both the
+	// bulk and element paths.
+	out := make([]byte, 8*8)
+	for i := range out {
+		out[i] = byte(200 + i%8)
+	}
+	if err := r.BulkWrite(clk, "a", 4, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 8*8)
+	if err := r.BulkRead(clk, "a", 4, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("bulk roundtrip mismatch")
+	}
+	one := make([]byte, 8)
+	if err := r.Access(clk, "a", 4, fld(), one, false, rt.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, out[:8]) {
+		t.Fatal("element read disagrees with bulk write")
+	}
+}
+
+func TestBulkErrors(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if err := r.BulkRead(clk, "nosuch", 0, make([]byte, 8)); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+	if err := r.BulkRead(clk, "a", 0, make([]byte, 7)); err == nil {
+		t.Fatal("unaligned bulk accepted")
+	}
+}
+
+// Bulk access pays the per-element dereference cost — AIFM cannot batch
+// (the Fig. 23 contrast), so bulk of n elements costs at least n derefs.
+func TestBulkPaysPerElementDeref(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	buf := make([]byte, 16*8)
+	if err := r.BulkRead(clk, "a", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	warm := clk.Now()
+	// Re-read warm: still at least 16 dereference costs.
+	if err := r.BulkRead(clk, "a", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.Now().Sub(warm); d < 16*85*sim.Nanosecond {
+		t.Fatalf("warm bulk of 16 elements cost %v, want >= 16 derefs", d)
+	}
+}
+
+func TestNoopHooksAndMissCount(t *testing.T) {
+	w := newTiny()
+	r, err := New(w, Options{LocalBudget: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if err := r.PrefetchBatch(clk, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence(clk)
+	if clk.Now() != 0 {
+		t.Fatal("no-op hooks advanced time")
+	}
+	if err := r.Access(clk, "a", 9, fld(), make([]byte, 8), false, rt.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.MissCount() == 0 {
+		t.Fatal("cold access not counted as miss")
+	}
+}

@@ -1,0 +1,102 @@
+// Package fastswap models FastSwap [Amaro et al., EuroSys'20]: a
+// kernel-swap-based far-memory system with an optimized fault datapath and
+// Linux-style cluster readahead. Like all page-swap systems it is agnostic
+// to program semantics (§2.1): every object lives in one 4 KB-paged region,
+// prefetching follows faulting page adjacency only, and eviction is global
+// approximate LRU.
+package fastswap
+
+import (
+	"fmt"
+
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/swap"
+	"mira/internal/workload"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// LocalBudget is the page pool size in bytes.
+	LocalBudget int64
+	// Readahead is the number of following pages pulled on each fault
+	// (Linux swap cluster readahead). Default 2.
+	Readahead int64
+	// Net overrides the interconnect model.
+	Net netmodel.Config
+	// NodeCfg overrides the far node.
+	NodeCfg farmem.NodeConfig
+	// MajorFaultOverhead overrides the fault-path cost (zero: 4.5 µs).
+	// The multithreaded driver scales it to model kernel-lock
+	// contention (§6.2).
+	MajorFaultOverhead sim.Duration
+}
+
+// Readahead prefetches the pages following each fault — profitable for
+// sequential access, wasted bandwidth otherwise.
+type Readahead struct{ N int64 }
+
+// OnFault returns the next N pages.
+func (r Readahead) OnFault(page int64) []int64 {
+	out := make([]int64, 0, r.N)
+	for i := int64(1); i <= r.N; i++ {
+		out = append(out, page+i)
+	}
+	return out
+}
+
+// PerFaultOverhead is zero: FastSwap's datapath is the fast one the other
+// baselines are measured against.
+func (Readahead) PerFaultOverhead() sim.Duration { return 0 }
+
+// New builds a FastSwap runtime for w: everything in the swap section.
+func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
+	if opts.Readahead == 0 {
+		opts.Readahead = 2
+	}
+	if opts.Net.BytesPerSecond == 0 {
+		opts.Net = netmodel.DefaultConfig()
+	}
+	if opts.NodeCfg.Capacity == 0 {
+		opts.NodeCfg = farmem.DefaultNodeConfig()
+	}
+	if opts.MajorFaultOverhead == 0 {
+		opts.MajorFaultOverhead = 4500 * sim.Nanosecond
+	}
+	// Local (pinned) objects consume budget before the page pool.
+	var local int64
+	for _, o := range w.Program().Objects {
+		if o.Local {
+			local += o.SizeBytes()
+		}
+	}
+	pool := opts.LocalBudget - local
+	if pool <= 0 {
+		return nil, fmt.Errorf("local objects (%d bytes) exceed budget %d", local, opts.LocalBudget)
+	}
+	cfg := rt.Config{
+		LocalBudget: opts.LocalBudget,
+		SwapPool:    pool,
+		Placements:  map[string]rt.Placement{},
+		Net:         opts.Net,
+		SwapCfg: swap.Config{
+			MajorFaultOverhead: opts.MajorFaultOverhead,
+			MinorFaultOverhead: 1000 * sim.Nanosecond,
+		},
+	}
+	node := farmem.NewNode(opts.NodeCfg)
+	r, err := rt.New(cfg, node)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Bind(w.Program()); err != nil {
+		return nil, err
+	}
+	r.SwapPrefetcher(Readahead{N: opts.Readahead})
+	if err := w.Init(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,149 @@
+// Package leap models Leap [Al Maruf & Chowdhury, ATC'20]: an online
+// prefetcher for swap-based far memory that detects the process's
+// *majority* access trend from the recent page-fault history and prefetches
+// along it. It captures one global stride well but — as the paper's Fig. 15
+// discussion notes — cannot track the interleaved per-object patterns Mira
+// separates, and its trend detection adds fault-path latency relative to
+// FastSwap's leaner datapath.
+package leap
+
+import (
+	"fmt"
+
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/swap"
+	"mira/internal/workload"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// LocalBudget is the page pool size in bytes.
+	LocalBudget int64
+	// Window is the fault-history window for majority detection
+	// (default 32).
+	Window int
+	// Depth is the prefetch depth along a detected trend (default 8).
+	Depth int64
+	// Net overrides the interconnect model.
+	Net netmodel.Config
+	// NodeCfg overrides the far node.
+	NodeCfg farmem.NodeConfig
+}
+
+// Prefetcher implements Leap's majority-trend detection: if one fault-delta
+// wins a Boyer-Moore majority vote over the recent window, prefetch Depth
+// pages along it; otherwise do nothing.
+type Prefetcher struct {
+	window   int
+	depth    int64
+	history  []int64 // recent fault deltas
+	last     int64
+	haveLast bool
+}
+
+// NewPrefetcher builds the trend detector.
+func NewPrefetcher(window int, depth int64) *Prefetcher {
+	return &Prefetcher{window: window, depth: depth}
+}
+
+// OnFault records the fault and prefetches along the majority trend.
+func (p *Prefetcher) OnFault(page int64) []int64 {
+	if p.haveLast {
+		delta := page - p.last
+		p.history = append(p.history, delta)
+		if len(p.history) > p.window {
+			p.history = p.history[1:]
+		}
+	}
+	p.last = page
+	p.haveLast = true
+	if len(p.history) < p.window/2 {
+		return nil
+	}
+	// Boyer-Moore majority vote over the window (the algorithm Leap
+	// uses).
+	var cand int64
+	count := 0
+	for _, d := range p.history {
+		if count == 0 {
+			cand = d
+			count = 1
+		} else if d == cand {
+			count++
+		} else {
+			count--
+		}
+	}
+	// Verify it is a true majority.
+	occurrences := 0
+	for _, d := range p.history {
+		if d == cand {
+			occurrences++
+		}
+	}
+	if occurrences*2 <= len(p.history) || cand == 0 {
+		return nil
+	}
+	out := make([]int64, 0, p.depth)
+	for i := int64(1); i <= p.depth; i++ {
+		out = append(out, page+cand*i)
+	}
+	return out
+}
+
+// PerFaultOverhead is the trend-detection cost on every fault.
+func (p *Prefetcher) PerFaultOverhead() sim.Duration { return 300 * sim.Nanosecond }
+
+// New builds a Leap runtime for w: everything in the swap section with the
+// majority-trend prefetcher.
+func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
+	if opts.Window == 0 {
+		opts.Window = 32
+	}
+	if opts.Depth == 0 {
+		opts.Depth = 8
+	}
+	if opts.Net.BytesPerSecond == 0 {
+		opts.Net = netmodel.DefaultConfig()
+	}
+	if opts.NodeCfg.Capacity == 0 {
+		opts.NodeCfg = farmem.DefaultNodeConfig()
+	}
+	// Local (pinned) objects consume budget before the page pool.
+	var local int64
+	for _, o := range w.Program().Objects {
+		if o.Local {
+			local += o.SizeBytes()
+		}
+	}
+	pool := opts.LocalBudget - local
+	if pool <= 0 {
+		return nil, fmt.Errorf("local objects (%d bytes) exceed budget %d", local, opts.LocalBudget)
+	}
+	cfg := rt.Config{
+		LocalBudget: opts.LocalBudget,
+		SwapPool:    pool,
+		Placements:  map[string]rt.Placement{},
+		Net:         opts.Net,
+		SwapCfg: swap.Config{
+			MajorFaultOverhead: 4500 * sim.Nanosecond,
+			MinorFaultOverhead: 1000 * sim.Nanosecond,
+		},
+	}
+	node := farmem.NewNode(opts.NodeCfg)
+	r, err := rt.New(cfg, node)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Bind(w.Program()); err != nil {
+		return nil, err
+	}
+	r.SwapPrefetcher(NewPrefetcher(opts.Window, opts.Depth))
+	if err := w.Init(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

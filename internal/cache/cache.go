@@ -1,0 +1,192 @@
+// Package cache implements Mira's configurable local-cache sections (§4.2,
+// §5.3). A Section caches far-memory data in lines of a configurable size
+// with one of three structures — direct-mapped, K-way set-associative, or
+// fully-associative — and supports the program-guided mechanisms the
+// compiler emits: eviction hints (mark-evictable + prefer-evictable victim
+// selection), don't-evict pins for shared multithreaded sections (§4.6), and
+// dirty-line write-back.
+//
+// Sections are purely mechanical: they track lines, choose victims, and
+// count events. They perform no I/O and charge no time; the runtime layer
+// (internal/rt) moves bytes over the network and charges virtual time based
+// on the events a Section reports.
+package cache
+
+import (
+	"fmt"
+)
+
+// Structure selects a cache section's organization (§4.2 "determining cache
+// section structure").
+type Structure int
+
+const (
+	// Direct is a direct-mapped section: no conflict handling, cheapest
+	// lookup. Chosen for sequential/strided patterns.
+	Direct Structure = iota
+	// SetAssoc is a K-way set-associative section with per-set LRU.
+	SetAssoc
+	// FullAssoc is a fully-associative section with active/inactive-list
+	// approximate LRU (§5.3): best utilization, costliest lookup.
+	FullAssoc
+)
+
+func (s Structure) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case SetAssoc:
+		return "set-assoc"
+	case FullAssoc:
+		return "full-assoc"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Config describes one cache section.
+type Config struct {
+	// Name labels the section in profiles and plans (e.g. "nodes").
+	Name string
+	// Structure is the section's organization.
+	Structure Structure
+	// Ways is the associativity for SetAssoc sections (ignored
+	// otherwise).
+	Ways int
+	// LineBytes is the cache line size: one or more data items (§4.2).
+	LineBytes int
+	// SizeBytes is the section's local-memory budget. The line count is
+	// SizeBytes/LineBytes, minimum 1.
+	SizeBytes int64
+}
+
+// Validate reports an error for malformed configurations.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 {
+		return fmt.Errorf("cache: section %q: LineBytes must be positive, got %d", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("cache: section %q: SizeBytes must be positive, got %d", c.Name, c.SizeBytes)
+	}
+	if c.Structure == SetAssoc && c.Ways <= 0 {
+		return fmt.Errorf("cache: section %q: set-associative section needs Ways >= 1, got %d", c.Name, c.Ways)
+	}
+	return nil
+}
+
+// Lines reports how many lines the configuration holds.
+func (c Config) Lines() int {
+	n := int(c.SizeBytes / int64(c.LineBytes))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Line is one resident cache line.
+type Line struct {
+	// Tag is the far-memory address of the line's first byte (aligned to
+	// LineBytes).
+	Tag uint64
+	// Data is the line's local copy; len(Data) == LineBytes.
+	Data []byte
+	// Dirty records whether Data diverged from far memory.
+	Dirty bool
+	// Evictable is the compiler's eviction hint (§4.5): set after the
+	// last access in a scope; victim selection prefers these lines.
+	Evictable bool
+	// pins is the don't-evict reference count for shared sections
+	// (§4.6). A pinned line is never chosen as a victim.
+	pins int
+	// lastUse is a logical timestamp for LRU within sets.
+	lastUse uint64
+	// valid distinguishes an occupied slot from an empty one.
+	valid bool
+}
+
+// Pinned reports whether the line is protected by don't-evict pins.
+func (l *Line) Pinned() bool { return l.pins > 0 }
+
+// Victim describes an evicted line the caller must handle: if Dirty, its
+// bytes must be written back to far memory before the slot is reused.
+type Victim struct {
+	Tag   uint64
+	Data  []byte
+	Dirty bool
+	// Conflict reports whether the eviction happened with spare capacity
+	// elsewhere in the section (i.e. a mapping conflict rather than
+	// capacity pressure). Only meaningful for Direct/SetAssoc.
+	Conflict bool
+}
+
+// Stats counts section events since creation (or the last Reset). The
+// profiler turns these into the paper's "cache performance overhead" metric
+// (§4.1).
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Writebacks  int64 // dirty victims handed to the caller
+	HintEvicts  int64 // victims chosen because they were marked evictable
+	Conflicts   int64 // evictions with spare capacity elsewhere
+	PinSkips    int64 // victim candidates skipped because pinned
+	FlushedHint int64 // lines flushed early via eviction hints
+}
+
+// Section is a configured cache section. Implementations are not safe for
+// concurrent use; shared sections are serialized by the runtime with the
+// pin protocol of §4.6.
+type Section interface {
+	// Config returns the section's configuration.
+	Config() Config
+	// Lookup finds the line holding far address addr. On a hit it
+	// returns the line and true after updating recency.
+	Lookup(addr uint64) (*Line, bool)
+	// Peek is Lookup without recency or stats side effects.
+	Peek(addr uint64) (*Line, bool)
+	// Reserve allocates a slot for the line containing addr and returns
+	// it with zeroed Data, plus the victim it displaced (Victim.Data nil
+	// if none). The caller fills Data (from far memory or by zero-fill
+	// for write-only allocation) and must write back dirty victims.
+	// Reserve panics if addr's line is already resident — callers always
+	// Lookup first.
+	Reserve(addr uint64) (*Line, Victim)
+	// MarkEvictable applies an eviction hint to addr's line if resident.
+	MarkEvictable(addr uint64) bool
+	// Pin adjusts the don't-evict count of addr's line if resident
+	// (delta may be negative). It reports whether the line was found.
+	Pin(addr uint64, delta int) bool
+	// Drop invalidates addr's line if resident and returns it as a
+	// victim so the caller can write back dirty data. Used by early
+	// flush (§4.5) and by section teardown at lifetime end.
+	Drop(addr uint64) (Victim, bool)
+	// ForEachResident visits every valid line. Used by flush-on-offload
+	// (§4.8) and section teardown.
+	ForEachResident(fn func(*Line))
+	// Stats returns a copy of the section's counters.
+	Stats() Stats
+	// ResetStats zeroes the counters (profiling rounds).
+	ResetStats()
+}
+
+// New builds a Section from cfg.
+func New(cfg Config) (Section, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Structure {
+	case Direct:
+		return newDirect(cfg), nil
+	case SetAssoc:
+		return newSetAssoc(cfg), nil
+	case FullAssoc:
+		return newFullAssoc(cfg), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown structure %v", cfg.Structure)
+	}
+}
+
+// AlignDown returns the line-aligned base address for addr.
+func AlignDown(addr uint64, lineBytes int) uint64 {
+	return addr - addr%uint64(lineBytes)
+}

@@ -1,0 +1,188 @@
+package cache
+
+// setAssoc is a K-way set-associative section: line tags map to sets of K
+// slots with true LRU within the set. Victim selection prefers lines marked
+// evictable by compiler hints and never picks pinned lines unless the whole
+// set is pinned (in which case the LRU pinned line is evicted anyway — a
+// pinned-full set would otherwise deadlock; the compiler's conservative
+// shared-section sizing makes this rare).
+type setAssoc struct {
+	cfg      Config
+	ways     int
+	nSets    int
+	slots    []Line // nSets * ways, set-major
+	stats    Stats
+	tick     uint64
+	occupied int
+}
+
+func newSetAssoc(cfg Config) *setAssoc {
+	lines := cfg.Lines()
+	ways := cfg.Ways
+	if ways > lines {
+		ways = lines
+	}
+	nSets := lines / ways
+	if nSets < 1 {
+		nSets = 1
+	}
+	return &setAssoc{
+		cfg:   cfg,
+		ways:  ways,
+		nSets: nSets,
+		slots: make([]Line, nSets*ways),
+	}
+}
+
+func (s *setAssoc) Config() Config { return s.cfg }
+
+func (s *setAssoc) setOf(tag uint64) int {
+	return int((tag / uint64(s.cfg.LineBytes)) % uint64(s.nSets))
+}
+
+// set returns the slot slice backing tag's set.
+func (s *setAssoc) set(tag uint64) []Line {
+	i := s.setOf(tag) * s.ways
+	return s.slots[i : i+s.ways]
+}
+
+func (s *setAssoc) Lookup(addr uint64) (*Line, bool) {
+	tag := AlignDown(addr, s.cfg.LineBytes)
+	set := s.set(tag)
+	for i := range set {
+		if set[i].valid && set[i].Tag == tag {
+			s.tick++
+			set[i].lastUse = s.tick
+			s.stats.Hits++
+			return &set[i], true
+		}
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+func (s *setAssoc) Peek(addr uint64) (*Line, bool) {
+	tag := AlignDown(addr, s.cfg.LineBytes)
+	set := s.set(tag)
+	for i := range set {
+		if set[i].valid && set[i].Tag == tag {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+func (s *setAssoc) Reserve(addr uint64) (*Line, Victim) {
+	tag := AlignDown(addr, s.cfg.LineBytes)
+	set := s.set(tag)
+
+	// Empty slot first.
+	for i := range set {
+		if !set[i].valid {
+			s.tick++
+			set[i] = Line{Tag: tag, Data: make([]byte, s.cfg.LineBytes), valid: true, lastUse: s.tick}
+			s.occupied++
+			return &set[i], Victim{}
+		}
+		if set[i].Tag == tag {
+			panic("cache: Reserve of resident line")
+		}
+	}
+
+	victim := s.chooseVictim(set)
+	vl := &set[victim]
+	v := Victim{Tag: vl.Tag, Data: vl.Data, Dirty: vl.Dirty}
+	s.stats.Evictions++
+	if vl.Evictable {
+		s.stats.HintEvicts++
+	}
+	if vl.Dirty {
+		s.stats.Writebacks++
+	}
+	if s.occupied < len(s.slots) {
+		s.stats.Conflicts++
+		v.Conflict = true
+	}
+	s.tick++
+	*vl = Line{Tag: tag, Data: make([]byte, s.cfg.LineBytes), valid: true, lastUse: s.tick}
+	return vl, v
+}
+
+// chooseVictim picks a slot index within a full set: evictable-marked lines
+// first (LRU among them), then unpinned LRU, then overall LRU.
+func (s *setAssoc) chooseVictim(set []Line) int {
+	best, bestEvictable := -1, -1
+	for i := range set {
+		l := &set[i]
+		if l.Pinned() {
+			s.stats.PinSkips++
+			continue
+		}
+		if l.Evictable && (bestEvictable == -1 || l.lastUse < set[bestEvictable].lastUse) {
+			bestEvictable = i
+		}
+		if best == -1 || l.lastUse < set[best].lastUse {
+			best = i
+		}
+	}
+	if bestEvictable != -1 {
+		return bestEvictable
+	}
+	if best != -1 {
+		return best
+	}
+	// Whole set pinned: fall back to global LRU of the set.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < set[lru].lastUse {
+			lru = i
+		}
+	}
+	return lru
+}
+
+func (s *setAssoc) MarkEvictable(addr uint64) bool {
+	if l, ok := s.Peek(addr); ok {
+		l.Evictable = true
+		return true
+	}
+	return false
+}
+
+func (s *setAssoc) Pin(addr uint64, delta int) bool {
+	if l, ok := s.Peek(addr); ok {
+		l.pins += delta
+		if l.pins < 0 {
+			l.pins = 0
+		}
+		return true
+	}
+	return false
+}
+
+func (s *setAssoc) Drop(addr uint64) (Victim, bool) {
+	l, ok := s.Peek(addr)
+	if !ok {
+		return Victim{}, false
+	}
+	v := Victim{Tag: l.Tag, Data: l.Data, Dirty: l.Dirty}
+	if l.Evictable {
+		s.stats.FlushedHint++
+	}
+	*l = Line{}
+	s.occupied--
+	return v, true
+}
+
+func (s *setAssoc) ForEachResident(fn func(*Line)) {
+	for i := range s.slots {
+		if s.slots[i].valid {
+			fn(&s.slots[i])
+		}
+	}
+}
+
+func (s *setAssoc) Stats() Stats { return s.stats }
+func (s *setAssoc) ResetStats()  { s.stats = Stats{} }
+
+var _ Section = (*setAssoc)(nil)

@@ -1,0 +1,458 @@
+// Package codegen rewrites IR programs according to a Plan: it fuses
+// adjacent loops (§4.5 batching), inserts prefetch operations one network
+// round-trip ahead of accesses (§4.5 adaptive prefetching, including
+// chained indirect prefetches), inserts eviction hints after last accesses
+// (§4.5), converts provably-resident dereferences to native loads (§4.4),
+// marks write-only full-line stores as no-fetch (§4.5), and marks calls to
+// offloaded functions (§4.8). The input program is never mutated; Apply
+// returns a transformed clone.
+package codegen
+
+import (
+	"fmt"
+
+	"mira/internal/analysis"
+	"mira/internal/ir"
+)
+
+// ObjectPlan carries the per-object decisions the planner made.
+type ObjectPlan struct {
+	Object string
+	// Pattern is the merged analyzed pattern driving the choices below.
+	Pattern analysis.Pattern
+	// PrefetchDistance is how many elements ahead to prefetch (0
+	// disables). The planner computes it as ceil(RTT / per-iteration
+	// time) (§4.5).
+	PrefetchDistance int64
+	// LineElems is elements per cache line: prefetches and eviction
+	// hints fire once per line boundary, not per element.
+	LineElems int64
+	// Native converts this object's loop accesses to native loads —
+	// legal when the planner proved prefetch-covered residency and no
+	// conflicting accesses (§4.4).
+	Native bool
+	// NoFetch marks sequential whole-element stores as
+	// allocate-without-fetch (§4.5 read/write optimization).
+	NoFetch bool
+	// EvictLag inserts eviction hints EvictLag elements behind the
+	// current access (0 disables).
+	EvictLag int64
+	// ChainedFrom enables indirect prefetching: this object's indices
+	// come from values loaded from ChainedFrom, so codegen loads
+	// ChainedFrom[i+D] and prefetches this object at that value (§1's
+	// motivating example).
+	ChainedFrom string
+}
+
+// Plan is codegen's complete instruction set for one compilation.
+type Plan struct {
+	Objects map[string]*ObjectPlan
+	// FuseLoops applies loop fusion to dependence-safe adjacent loops.
+	FuseLoops bool
+	// BatchFusedPrefetch replaces the per-object prefetches of a fused
+	// loop with one scatter-gather BatchPrefetch per line boundary.
+	BatchFusedPrefetch bool
+	// Offload marks calls to these functions as far-node executions.
+	Offload map[string]bool
+	// ReleaseAfter appends rmem.release operations at the end of each
+	// listed function for the objects whose global lifetime ends there
+	// (§4.1 lifetime-bounded sections).
+	ReleaseAfter map[string][]string
+}
+
+// Apply transforms a clone of p according to plan.
+func Apply(p *ir.Program, plan *Plan) (*ir.Program, error) {
+	out := ir.Clone(p)
+	for _, fn := range out.Funcs {
+		if plan.FuseLoops {
+			fn.Body = fuseBlocks(fn.Body)
+		}
+		if plan.Offload[fn.Name] {
+			// Offloaded bodies execute on the far node next to the
+			// data: cache-section instrumentation (prefetch/evict
+			// guards, native annotations, releases) would only burn
+			// far-CPU cycles there.
+			continue
+		}
+		g := &gen{p: out, fn: fn, plan: plan}
+		g.block(fn.Body, nil)
+		if len(plan.Offload) > 0 {
+			fn.Body = markOffloads(fn.Body, plan.Offload)
+		}
+		for _, obj := range plan.ReleaseAfter[fn.Name] {
+			// Keep a trailing Return last.
+			if n := len(fn.Body); n > 0 {
+				if _, isRet := fn.Body[n-1].(*ir.Return); isRet {
+					fn.Body = append(fn.Body[:n-1], &ir.Release{Obj: obj}, fn.Body[n-1])
+					continue
+				}
+			}
+			fn.Body = append(fn.Body, &ir.Release{Obj: obj})
+		}
+	}
+	if err := ir.Validate(out); err != nil {
+		return nil, fmt.Errorf("codegen: transformed program invalid: %w", err)
+	}
+	return out, nil
+}
+
+// fuseBlocks merges runs of same-bounds dependence-free loops, recursively.
+// Loops in a run may be separated by constant-valued scalar assignments
+// (accumulator initializations); those are hoisted above the fused loop,
+// which preserves semantics because they read no registers and touch no
+// memory.
+func fuseBlocks(body []ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	i := 0
+	for i < len(body) {
+		l0, ok := body[i].(*ir.Loop)
+		if !ok {
+			if ifSt, isIf := body[i].(*ir.If); isIf {
+				ifSt.Then = fuseBlocks(ifSt.Then)
+				ifSt.Else = fuseBlocks(ifSt.Else)
+			}
+			out = append(out, body[i])
+			i++
+			continue
+		}
+		// Extend the run: [loop] (hoistable* loop)*
+		loops := []*ir.Loop{l0}
+		loopIdx := []int{i}
+		var hoisted []ir.Stmt
+		j := i + 1
+		for j < len(body) {
+			// Skip a stretch of hoistable scalar assigns.
+			k := j
+			var pending []ir.Stmt
+			for k < len(body) {
+				a, isAssign := body[k].(*ir.Assign)
+				if !isAssign || ir.ExprOps(a.Val) != 0 || !constExpr(a.Val) {
+					break
+				}
+				pending = append(pending, a)
+				k++
+			}
+			lk, isLoop := (ir.Stmt)(nil), false
+			if k < len(body) {
+				var l *ir.Loop
+				l, isLoop = body[k].(*ir.Loop)
+				lk = l
+			}
+			if !isLoop || !analysis.SameBounds(l0, lk.(*ir.Loop)) {
+				break
+			}
+			candidate := make([]ir.Stmt, 0, len(loops)+1)
+			for _, l := range loops {
+				candidate = append(candidate, l)
+			}
+			candidate = append(candidate, lk)
+			if !analysis.CanFuse(candidate) {
+				break
+			}
+			hoisted = append(hoisted, pending...)
+			loops = append(loops, lk.(*ir.Loop))
+			loopIdx = append(loopIdx, k)
+			j = k + 1
+		}
+		if len(loops) > 1 {
+			out = append(out, hoisted...)
+			fused := &ir.Loop{
+				Name:  l0.Name,
+				IVReg: l0.IVReg,
+				Start: l0.Start,
+				End:   l0.End,
+				Step:  l0.Step,
+				Body:  append([]ir.Stmt(nil), l0.Body...),
+			}
+			for _, lk := range loops[1:] {
+				ir.SubstRegBlock(lk.Body, lk.IVReg, fused.IVReg)
+				fused.Body = append(fused.Body, lk.Body...)
+			}
+			fused.Body = fuseBlocks(fused.Body)
+			out = append(out, fused)
+		} else {
+			l0.Body = fuseBlocks(l0.Body)
+			out = append(out, l0)
+		}
+		i = j
+	}
+	return out
+}
+
+// constExpr reports whether e is a literal constant.
+func constExpr(e ir.Expr) bool {
+	switch e.(type) {
+	case *ir.Const, *ir.ConstF:
+		return true
+	default:
+		return false
+	}
+}
+
+// gen walks a function inserting runtime operations.
+type gen struct {
+	p    *ir.Program
+	fn   *ir.Func
+	plan *Plan
+}
+
+// newReg allocates a fresh register on the transformed function.
+func (g *gen) newReg() int {
+	r := g.fn.NumRegs
+	g.fn.NumRegs++
+	return r
+}
+
+// block processes statements; loops get prefetch/evict instrumentation.
+func (g *gen) block(body []ir.Stmt, enclosing []*ir.Loop) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Loop:
+			g.instrumentLoop(st)
+			g.block(st.Body, append(enclosing, st))
+		case *ir.If:
+			g.block(st.Then, enclosing)
+			g.block(st.Else, enclosing)
+		case *ir.Load:
+			if op := g.plan.Objects[st.Obj]; op != nil && op.Native {
+				st.Native = true
+			}
+		case *ir.Store:
+			if op := g.plan.Objects[st.Obj]; op != nil {
+				if op.Native {
+					st.Native = true
+				}
+				if op.NoFetch {
+					st.NoFetch = true
+				}
+			}
+		}
+	}
+}
+
+// loopAccess describes one object's direct accesses in a loop body.
+type loopAccess struct {
+	obj    string
+	field  string // a field accessed at the sequential index (for prefetch)
+	plan   *ObjectPlan
+	chains []chainSite
+}
+
+// chainSite is a sequential load whose result indexes another object.
+type chainSite struct {
+	srcField string
+	target   string
+}
+
+// instrumentLoop inserts prefetches at the top of the body and eviction
+// hints at the bottom, per the object plans.
+func (g *gen) instrumentLoop(l *ir.Loop) {
+	accesses := g.collectAccesses(l)
+	if len(accesses) == 0 {
+		return
+	}
+	iv := func() ir.Expr { return &ir.Reg{ID: l.IVReg} }
+
+	var pre []ir.Stmt
+	var post []ir.Stmt
+
+	// Sequential prefetches (possibly batched across fused objects).
+	var seqPF []*loopAccess
+	for _, a := range accesses {
+		if a.plan.PrefetchDistance > 0 && isSeqLike(a.plan.Pattern) {
+			seqPF = append(seqPF, a)
+		}
+	}
+	if len(seqPF) >= 2 && g.plan.BatchFusedPrefetch && sameLineElems(seqPF) {
+		d := seqPF[0].plan.PrefetchDistance
+		le := seqPF[0].plan.LineElems
+		entries := make([]ir.PrefetchRef, len(seqPF))
+		for i, a := range seqPF {
+			entries[i] = ir.PrefetchRef{Obj: a.obj, Index: ir.Add(iv(), ir.C(d)), Field: a.field}
+		}
+		pre = append(pre, guarded(iv, d, le, &ir.BatchPrefetch{Entries: entries}))
+	} else {
+		for _, a := range seqPF {
+			pf := &ir.Prefetch{Obj: a.obj, Index: ir.Add(iv(), ir.C(a.plan.PrefetchDistance)), Field: a.field}
+			pre = append(pre, guarded(iv, a.plan.PrefetchDistance, a.plan.LineElems, pf))
+		}
+	}
+
+	// Chained prefetches: load src[i+D], prefetch target[that value].
+	for _, a := range accesses {
+		for _, ch := range a.chains {
+			tplan := g.plan.Objects[ch.target]
+			if tplan == nil || tplan.PrefetchDistance <= 0 || tplan.ChainedFrom != a.obj {
+				continue
+			}
+			d := tplan.PrefetchDistance
+			tmp := g.newReg()
+			chainBody := []ir.Stmt{
+				&ir.Load{Dst: tmp, Obj: a.obj, Index: ir.Add(iv(), ir.C(d)), Field: ch.srcField},
+				&ir.Prefetch{Obj: ch.target, Index: &ir.Reg{ID: tmp}},
+			}
+			// Guard i+D < End so the chain load never runs past the
+			// source object.
+			pre = append(pre, &ir.If{
+				Cond: ir.Lt(ir.Add(iv(), ir.C(d)), ir.CloneExpr(l.End)),
+				Then: chainBody,
+			})
+		}
+	}
+
+	// Eviction hints behind the access front.
+	for _, a := range accesses {
+		if a.plan.EvictLag <= 0 || !isSeqLike(a.plan.Pattern) {
+			continue
+		}
+		lag := a.plan.EvictLag
+		ev := &ir.Evict{Obj: a.obj, Index: ir.Sub(iv(), ir.C(lag))}
+		cond := ir.Ge(iv(), ir.C(lag))
+		if a.plan.LineElems > 1 {
+			cond = ir.And(cond, ir.Eq(ir.Mod(ir.Sub(iv(), ir.C(lag)), ir.C(a.plan.LineElems)), ir.C(0)))
+		}
+		post = append(post, &ir.If{Cond: cond, Then: []ir.Stmt{ev}})
+	}
+
+	if len(pre) > 0 || len(post) > 0 {
+		l.Body = append(append(pre, l.Body...), post...)
+	}
+}
+
+// guarded wraps op in a line-boundary guard: fire when (iv+d) enters a new
+// line.
+func guarded(iv func() ir.Expr, d, lineElems int64, op ir.Stmt) ir.Stmt {
+	if lineElems <= 1 {
+		return op
+	}
+	return &ir.If{
+		Cond: ir.Eq(ir.Mod(ir.Add(iv(), ir.C(d)), ir.C(lineElems)), ir.C(0)),
+		Then: []ir.Stmt{op},
+	}
+}
+
+func isSeqLike(p analysis.Pattern) bool {
+	return p == analysis.PatternSequential || p == analysis.PatternStrided
+}
+
+func sameLineElems(as []*loopAccess) bool {
+	for _, a := range as[1:] {
+		if a.plan.LineElems != as[0].plan.LineElems {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAccesses finds the planned objects accessed directly in the loop
+// body (not in nested loops — those get their own instrumentation), along
+// with chain sites: loads whose destination registers index other planned
+// objects.
+func (g *gen) collectAccesses(l *ir.Loop) []*loopAccess {
+	byObj := map[string]*loopAccess{}
+	var order []string
+	loadDst := map[int]struct {
+		obj   string
+		field string
+	}{}
+
+	record := func(obj, field string) *loopAccess {
+		a, ok := byObj[obj]
+		if !ok {
+			op := g.plan.Objects[obj]
+			if op == nil {
+				return nil
+			}
+			a = &loopAccess{obj: obj, field: field, plan: op}
+			byObj[obj] = a
+			order = append(order, obj)
+		}
+		return a
+	}
+
+	var walk func(body []ir.Stmt, nested bool)
+	walk = func(body []ir.Stmt, nested bool) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ir.Load:
+				if !nested {
+					record(st.Obj, st.Field)
+					loadDst[st.Dst] = struct {
+						obj   string
+						field string
+					}{st.Obj, st.Field}
+				}
+				g.chainCheck(byObj, st.Obj, st.Index, loadDst)
+			case *ir.Store:
+				if !nested {
+					record(st.Obj, st.Field)
+				}
+				g.chainCheck(byObj, st.Obj, st.Index, loadDst)
+			case *ir.If:
+				walk(st.Then, nested)
+				walk(st.Else, nested)
+			case *ir.Loop:
+				walk(st.Body, true)
+			}
+		}
+	}
+	walk(l.Body, false)
+
+	out := make([]*loopAccess, 0, len(order))
+	for _, obj := range order {
+		out = append(out, byObj[obj])
+	}
+	return out
+}
+
+// chainCheck records a chain site when an access's index uses a register
+// loaded from another planned object.
+func (g *gen) chainCheck(byObj map[string]*loopAccess, target string, index ir.Expr, loadDst map[int]struct {
+	obj   string
+	field string
+}) {
+	if g.plan.Objects[target] == nil {
+		return
+	}
+	ir.WalkExpr(index, func(e ir.Expr) bool {
+		r, ok := e.(*ir.Reg)
+		if !ok {
+			return true
+		}
+		src, ok := loadDst[r.ID]
+		if !ok || src.obj == target {
+			return true
+		}
+		if a := byObj[src.obj]; a != nil {
+			for _, c := range a.chains {
+				if c.target == target && c.srcField == src.field {
+					return true
+				}
+			}
+			a.chains = append(a.chains, chainSite{srcField: src.field, target: target})
+		}
+		return true
+	})
+}
+
+// markOffloads sets the Offload flag on calls to planned functions and
+// fences in-flight asynchronous work before each.
+func markOffloads(body []ir.Stmt, offload map[string]bool) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ir.Call:
+			if offload[st.Callee] {
+				st.Offload = true
+				out = append(out, &ir.Fence{})
+			}
+		case *ir.Loop:
+			st.Body = markOffloads(st.Body, offload)
+		case *ir.If:
+			st.Then = markOffloads(st.Then, offload)
+			st.Else = markOffloads(st.Else, offload)
+		}
+		out = append(out, s)
+	}
+	return out
+}

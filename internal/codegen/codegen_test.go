@@ -1,0 +1,333 @@
+package codegen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"mira/internal/analysis"
+	"mira/internal/cache"
+	"mira/internal/exec"
+	"mira/internal/farmem"
+	"mira/internal/ir"
+	"mira/internal/rt"
+	"mira/internal/sim"
+)
+
+const (
+	nEdges = 4000
+	nNodes = 512
+)
+
+// graphProgram is the Fig. 4 example.
+func graphProgram() *ir.Program {
+	b := ir.NewBuilder("graph")
+	b.Object("edges", 16, nEdges, ir.F("from", 0, 8), ir.F("to", 8, 8))
+	b.Object("nodes", 128, nNodes, ir.F("count", 0, 8))
+	fb := b.Func("traverse")
+	fb.Loop(ir.C(0), ir.C(nEdges), ir.C(1), func(i ir.Expr) {
+		from := fb.Load("edges", i, "from")
+		to := fb.Load("edges", i, "to")
+		c1 := fb.Load("nodes", from, "count")
+		fb.Store("nodes", from, "count", ir.Add(c1, ir.C(1)))
+		c2 := fb.Load("nodes", to, "count")
+		fb.Store("nodes", to, "count", ir.Add(c2, ir.C(1)))
+	})
+	return b.MustProgram()
+}
+
+// graphPlan is what the planner would produce for the example.
+func graphPlan() *Plan {
+	return &Plan{
+		Objects: map[string]*ObjectPlan{
+			"edges": {
+				Object:           "edges",
+				Pattern:          analysis.PatternSequential,
+				PrefetchDistance: 64,  // 2x the node distance
+				LineElems:        128, // 2KB lines / 16B elems
+				Native:           true,
+			},
+			"nodes": {
+				Object:           "nodes",
+				Pattern:          analysis.PatternIndirect,
+				PrefetchDistance: 32, // in-flight window fits the section
+				LineElems:        1,  // 128B lines / 128B elems
+				ChainedFrom:      "edges",
+			},
+		},
+	}
+}
+
+func TestApplyInsertsOperations(t *testing.T) {
+	p := graphProgram()
+	out, err := Apply(p, graphPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	origText := ir.Print(p)
+	if strings.Contains(origText, "prefetch") {
+		t.Fatal("Apply mutated the input program")
+	}
+	text := ir.Print(out)
+	for _, want := range []string{"rmem.prefetch edges[", "rmem.prefetch nodes[", "native.load edges["} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transformed IR missing %q:\n%s", want, text)
+		}
+	}
+	// The chain load guard: i+128 < nEdges.
+	if !strings.Contains(text, "< 4000") {
+		t.Errorf("chain prefetch not bounds-guarded:\n%s", text)
+	}
+}
+
+// run executes a program over a two-section Mira runtime configured for the
+// graph example and returns elapsed time plus the final nodes dump.
+func run(t *testing.T, p *ir.Program) (sim.Duration, []byte) {
+	t.Helper()
+	cfg := rt.Config{
+		LocalBudget: 1 << 20,
+		Sections: []rt.SectionSpec{
+			{Cache: cache.Config{Name: "edges", Structure: cache.Direct, LineBytes: 2048, SizeBytes: 16 << 10}},
+			{Cache: cache.Config{Name: "nodes", Structure: cache.SetAssoc, Ways: 4, LineBytes: 128, SizeBytes: 16 << 10}},
+		},
+		Placements: map[string]rt.Placement{
+			"edges": {Kind: rt.PlaceSection, Section: 0},
+			"nodes": {Kind: rt.PlaceSection, Section: 1},
+		},
+	}
+	node := farmem.NewNode(farmem.NodeConfig{Capacity: 1 << 26, CPUSlowdown: 1})
+	r, err := rt.New(cfg, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(p); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic edge data.
+	rng := sim.NewRNG(99)
+	edges := make([]byte, nEdges*16)
+	for i := 0; i < nEdges; i++ {
+		binary.LittleEndian.PutUint64(edges[i*16:], uint64(rng.Intn(nNodes)))
+		binary.LittleEndian.PutUint64(edges[i*16+8:], uint64(rng.Intn(nNodes)))
+	}
+	if err := r.InitObject("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(p, r, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.DumpObject("nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clk.Now().Sub(0), dump
+}
+
+func TestTransformedProgramCorrectAndFaster(t *testing.T) {
+	base := graphProgram()
+	baseTime, baseDump := run(t, base)
+
+	opt, err := Apply(graphProgram(), graphPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optTime, optDump := run(t, opt)
+
+	if !bytes.Equal(baseDump, optDump) {
+		t.Fatal("optimized program computed different node counts")
+	}
+	if optTime >= baseTime {
+		t.Fatalf("optimized %v not faster than baseline %v", optTime, baseTime)
+	}
+	t.Logf("baseline %v, optimized %v (%.2fx)", baseTime, optTime, float64(baseTime)/float64(optTime))
+}
+
+func TestLoopFusion(t *testing.T) {
+	b := ir.NewBuilder("fuse")
+	b.FloatArray("v", 256)
+	b.FloatArray("w", 256)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(256), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	fb.Loop(ir.C(0), ir.C(256), ir.C(1), func(i ir.Expr) {
+		fb.Load("w", i, "")
+	})
+	p := b.MustProgram()
+	out, err := Apply(p, &Plan{FuseLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := out.Func("main")
+	loops := 0
+	for _, s := range fn.Body {
+		if _, ok := s.(*ir.Loop); ok {
+			loops++
+		}
+	}
+	if loops != 1 {
+		t.Fatalf("after fusion: %d top-level loops, want 1:\n%s", loops, ir.Print(out))
+	}
+	// Fused body must reference both objects using the surviving IV.
+	l := fn.Body[0].(*ir.Loop)
+	objs := map[string]bool{}
+	ir.Walk(l.Body, func(s ir.Stmt) bool {
+		if ld, ok := s.(*ir.Load); ok {
+			objs[ld.Obj] = true
+			r, isReg := ld.Index.(*ir.Reg)
+			if !isReg || r.ID != l.IVReg {
+				t.Fatalf("fused load index not remapped to surviving IV: %s", ir.ExprString(ld.Index))
+			}
+		}
+		return true
+	})
+	if !objs["v"] || !objs["w"] {
+		t.Fatal("fused loop lost accesses")
+	}
+}
+
+func TestFusionRespectsDependences(t *testing.T) {
+	b := ir.NewBuilder("nodep")
+	b.FloatArray("v", 64)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		fb.Store("v", i, "", ir.CF(1))
+	})
+	fb.Loop(ir.C(0), ir.C(64), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	p := b.MustProgram()
+	out, err := Apply(p, &Plan{FuseLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := out.Func("main")
+	if len(fn.Body) != 2 {
+		t.Fatalf("dependent loops fused: %d top-level stmts", len(fn.Body))
+	}
+}
+
+func TestBatchedPrefetchEmission(t *testing.T) {
+	b := ir.NewBuilder("batch")
+	b.FloatArray("v", 512)
+	b.FloatArray("w", 512)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(512), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	fb.Loop(ir.C(0), ir.C(512), ir.C(1), func(i ir.Expr) {
+		fb.Load("w", i, "")
+	})
+	p := b.MustProgram()
+	plan := &Plan{
+		FuseLoops:          true,
+		BatchFusedPrefetch: true,
+		Objects: map[string]*ObjectPlan{
+			"v": {Object: "v", Pattern: analysis.PatternSequential, PrefetchDistance: 64, LineElems: 32},
+			"w": {Object: "w", Pattern: analysis.PatternSequential, PrefetchDistance: 64, LineElems: 32},
+		},
+	}
+	out, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(out)
+	if !strings.Contains(text, "rmem.prefetch_batch") {
+		t.Fatalf("no batched prefetch emitted:\n%s", text)
+	}
+	if strings.Count(text, "rmem.prefetch ") > 0 {
+		t.Fatalf("separate prefetches emitted despite batching:\n%s", text)
+	}
+}
+
+func TestEvictionHintEmission(t *testing.T) {
+	b := ir.NewBuilder("evict")
+	b.FloatArray("v", 512)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(512), ir.C(1), func(i ir.Expr) {
+		fb.Load("v", i, "")
+	})
+	p := b.MustProgram()
+	plan := &Plan{Objects: map[string]*ObjectPlan{
+		"v": {Object: "v", Pattern: analysis.PatternSequential, LineElems: 32, EvictLag: 64},
+	}}
+	out, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ir.Print(out), "rmem.evict v[") {
+		t.Fatalf("no eviction hint emitted:\n%s", ir.Print(out))
+	}
+}
+
+func TestNoFetchAnnotation(t *testing.T) {
+	b := ir.NewBuilder("nofetch")
+	b.FloatArray("out", 128)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(128), ir.C(1), func(i ir.Expr) {
+		fb.Store("out", i, "", ir.CF(3))
+	})
+	p := b.MustProgram()
+	plan := &Plan{Objects: map[string]*ObjectPlan{
+		"out": {Object: "out", Pattern: analysis.PatternSequential, NoFetch: true},
+	}}
+	out, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	fn, _ := out.Func("main")
+	ir.Walk(fn.Body, func(s ir.Stmt) bool {
+		if st, ok := s.(*ir.Store); ok && st.NoFetch {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("NoFetch not annotated")
+	}
+}
+
+func TestOffloadMarking(t *testing.T) {
+	b := ir.NewBuilder("off")
+	b.IntArray("a", 64)
+	callee := b.Func("work")
+	callee.MarkNoSharedWrites()
+	callee.Load("a", ir.C(0), "")
+	fb := b.Func("main")
+	fb.Call("work")
+	b.SetEntry("main")
+	p := b.MustProgram()
+	out, err := Apply(p, &Plan{Offload: map[string]bool{"work": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(out)
+	if !strings.Contains(text, "rmem.call_offloaded work") {
+		t.Fatalf("offload not marked:\n%s", text)
+	}
+	if !strings.Contains(text, "rmem.fence") {
+		t.Fatalf("no fence before offloaded call:\n%s", text)
+	}
+}
+
+func TestEmptyPlanIsIdentity(t *testing.T) {
+	p := graphProgram()
+	out, err := Apply(p, &Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(out) != ir.Print(p) {
+		t.Fatal("empty plan changed the program")
+	}
+}

@@ -1,0 +1,109 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/analysis"
+	"mira/internal/ir"
+)
+
+func phaseProgram() *ir.Program {
+	b := ir.NewBuilder("phases")
+	b.FloatArray("w0", 64)
+	b.FloatArray("w1", 64)
+	l0 := b.Func("layer0")
+	l0.Unary(ir.IntrCopy, ir.T("w0", ir.C(0), 4, 8), ir.T("w0", ir.C(32), 4, 8))
+	l1 := b.Func("layer1")
+	l1.Unary(ir.IntrCopy, ir.T("w1", ir.C(0), 4, 8), ir.T("w1", ir.C(32), 4, 8))
+	fb := b.Func("main")
+	fb.Call("layer0")
+	fb.Call("layer1")
+	b.SetEntry("main")
+	return b.MustProgram()
+}
+
+func TestReleaseAfterEmission(t *testing.T) {
+	p := phaseProgram()
+	plan := &Plan{
+		ReleaseAfter: map[string][]string{
+			"layer0": {"w0"},
+			"layer1": {"w1"},
+		},
+	}
+	out, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(out)
+	if !strings.Contains(text, "rmem.release w0") || !strings.Contains(text, "rmem.release w1") {
+		t.Fatalf("releases missing:\n%s", text)
+	}
+	// The release lands at the end of the owning function.
+	fn, _ := out.Func("layer0")
+	if _, ok := fn.Body[len(fn.Body)-1].(*ir.Release); !ok {
+		t.Fatalf("layer0 does not end with a release: %T", fn.Body[len(fn.Body)-1])
+	}
+}
+
+func TestReleaseBeforeTrailingReturn(t *testing.T) {
+	b := ir.NewBuilder("ret")
+	b.IntArray("a", 8)
+	fb := b.Func("main")
+	fb.Load("a", ir.C(0), "")
+	fb.Return(ir.C(1))
+	p := b.MustProgram()
+	out, err := Apply(p, &Plan{ReleaseAfter: map[string][]string{"main": {"a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := out.Func("main")
+	n := len(fn.Body)
+	if _, ok := fn.Body[n-1].(*ir.Return); !ok {
+		t.Fatalf("return displaced: last stmt %T", fn.Body[n-1])
+	}
+	if _, ok := fn.Body[n-2].(*ir.Release); !ok {
+		t.Fatalf("release not before return: %T", fn.Body[n-2])
+	}
+}
+
+func TestOffloadedFunctionsNotInstrumented(t *testing.T) {
+	b := ir.NewBuilder("off")
+	b.IntArray("a", 1024)
+	work := b.Func("work")
+	work.MarkNoSharedWrites()
+	work.Loop(ir.C(0), ir.C(1024), ir.C(1), func(i ir.Expr) {
+		work.Load("a", i, "")
+	})
+	fb := b.Func("main")
+	fb.Call("work")
+	b.SetEntry("main")
+	p := b.MustProgram()
+
+	plan := &Plan{
+		Objects: map[string]*ObjectPlan{
+			"a": {Object: "a", Pattern: analysis.PatternSequential, PrefetchDistance: 64, LineElems: 256, Native: true, EvictLag: 128},
+		},
+		Offload:      map[string]bool{"work": true},
+		ReleaseAfter: map[string][]string{"work": {"a"}},
+	}
+	out, err := Apply(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := out.Func("work")
+	ir.Walk(fn.Body, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.Prefetch, *ir.Evict, *ir.Release, *ir.If:
+			t.Fatalf("offloaded body instrumented with %T", s)
+		case *ir.Load:
+			if st.Native {
+				t.Fatal("offloaded body carries native annotation")
+			}
+		}
+		return true
+	})
+	if !strings.Contains(ir.Print(out), "rmem.call_offloaded work") {
+		t.Fatal("call not marked offloaded")
+	}
+}

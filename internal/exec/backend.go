@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"mira/internal/ir"
+	"mira/internal/rt"
+	"mira/internal/sim"
+)
+
+// Backend is what the interpreter executes memory operations against. The
+// Mira runtime (*rt.Runtime) satisfies it directly; the baselines
+// (fastswap/leap/aifm) provide their own implementations, which is how one
+// IR program runs unchanged on four different far-memory systems.
+type Backend interface {
+	// Access moves the bytes of obj[elem].field, charging clk.
+	Access(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool, opts rt.AccessOpts) error
+	// Prefetch starts an asynchronous line fetch (no-op for systems
+	// without compiler-directed prefetch).
+	Prefetch(clk *sim.Clock, name string, elem int64, field ir.Field) error
+	// PrefetchBatch fetches several lines in one message.
+	PrefetchBatch(clk *sim.Clock, entries []rt.BatchEntry) error
+	// EvictHint marks obj[elem]'s line evictable and flushes it if
+	// dirty.
+	EvictHint(clk *sim.Clock, name string, elem int64) error
+	// Fence blocks until asynchronous work completes.
+	Fence(clk *sim.Clock)
+	// BulkRead / BulkWrite move contiguous element ranges (tensor
+	// intrinsics).
+	BulkRead(clk *sim.Clock, name string, elem int64, buf []byte) error
+	BulkWrite(clk *sim.Clock, name string, elem int64, buf []byte) error
+	// FlushObject writes back and invalidates all cached state of the
+	// object (offload call boundaries); blocks until far memory is up to
+	// date.
+	FlushObject(clk *sim.Clock, name string) error
+	// Release ends the object's cached lifetime without blocking: lines
+	// are dropped, dirty ones flushed asynchronously (§4.1 lifetime
+	// ends). No-op for systems without lifetime knowledge.
+	Release(clk *sim.Clock, name string) error
+}
+
+// RemoteEnv is the optional capability a backend exposes to execute
+// offloaded functions on the far-memory node (§4.8). Only the Mira runtime
+// implements it; executing an Offload call against a backend without it is
+// an error the planner never produces.
+type RemoteEnv interface {
+	// RemoteAccess moves bytes directly in far-node memory, no network.
+	RemoteAccess(name string, elem int64, field ir.Field, buf []byte, write bool) error
+	// RemoteBulk is RemoteAccess for contiguous element ranges.
+	RemoteBulk(name string, elem int64, buf []byte, write bool) error
+	// CPUSlowdown is the far node's compute slowdown factor.
+	CPUSlowdown() float64
+	// OffloadTransfer charges clk for the RPC: argument transfer, the
+	// (already measured, unscaled) remote compute time, and the result
+	// transfer.
+	OffloadTransfer(clk *sim.Clock, argBytes, resBytes int, remoteCompute sim.Duration)
+}
+
+var _ Backend = (*rt.Runtime)(nil)

@@ -1,0 +1,288 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mira/internal/ir"
+	"mira/internal/sim"
+)
+
+// floatMem builds a program over one float array, initializes it from vals,
+// runs it, and returns the flushed memory image as float64s.
+func runFloatProgram(t *testing.T, total int64, vals []float64, emit func(fb *ir.FuncBuilder)) []float64 {
+	t.Helper()
+	b := ir.NewBuilder("intr")
+	b.FloatArray("mem", total)
+	fb := b.Func("main")
+	emit(fb)
+	p := b.MustProgram()
+
+	r := rtBackend(t, p)
+	buf := make([]byte, total*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := r.InitObject("mem", buf); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(p, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.DumpObject("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, total)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(dump[i*8:]))
+	}
+	return out
+}
+
+func TestMatMulTAgainstReference(t *testing.T) {
+	const m, k, n = 4, 6, 3
+	rng := sim.NewRNG(9)
+	vals := make([]float64, m*k+n*k+m*n)
+	for i := 0; i < m*k+n*k; i++ {
+		vals[i] = rng.Float64()*2 - 1
+	}
+	out := runFloatProgram(t, m*k+n*k+m*n, vals, func(fb *ir.FuncBuilder) {
+		fb.MatMulT(
+			ir.T("mem", ir.C(m*k+n*k), m, n),
+			ir.T("mem", ir.C(0), m, k),
+			ir.T("mem", ir.C(m*k), n, k))
+	})
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for kk := 0; kk < k; kk++ {
+				want += vals[i*k+kk] * vals[m*k+j*k+kk]
+			}
+			got := out[m*k+n*k+i*n+j]
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAddIntrinsic(t *testing.T) {
+	const elems = 12
+	vals := make([]float64, 3*elems)
+	for i := 0; i < elems; i++ {
+		vals[i] = float64(i)
+		vals[elems+i] = float64(i * 10)
+	}
+	out := runFloatProgram(t, 3*elems, vals, func(fb *ir.FuncBuilder) {
+		fb.Binary(ir.IntrAdd,
+			ir.T("mem", ir.C(2*elems), 1, elems),
+			ir.T("mem", ir.C(0), 1, elems),
+			ir.T("mem", ir.C(elems), 1, elems))
+	})
+	for i := 0; i < elems; i++ {
+		if want := float64(i) + float64(i*10); out[2*elems+i] != want {
+			t.Fatalf("add[%d] = %g, want %g", i, out[2*elems+i], want)
+		}
+	}
+}
+
+func TestGeluShape(t *testing.T) {
+	const elems = 8
+	vals := []float64{-3, -1, -0.5, 0, 0.5, 1, 2, 3}
+	out := runFloatProgram(t, 2*elems, vals, func(fb *ir.FuncBuilder) {
+		fb.Unary(ir.IntrGelu,
+			ir.T("mem", ir.C(elems), 1, elems),
+			ir.T("mem", ir.C(0), 1, elems))
+	})
+	g := out[elems : 2*elems]
+	// GELU fundamentals: g(0)=0, monotone above its dip at x≈-0.75,
+	// g(x)≈x for large positive x, |g(x)| small for very negative x.
+	if g[3] != 0 {
+		t.Fatalf("gelu(0) = %g", g[3])
+	}
+	for i := 3; i < elems; i++ {
+		if g[i] < g[i-1] {
+			t.Fatalf("gelu not monotone for x >= -0.5: g[%d]=%g < g[%d]=%g", i, g[i], i-1, g[i-1])
+		}
+	}
+	if g[1] >= 0 || g[2] >= 0 {
+		t.Fatalf("gelu negative lobe missing: g(-1)=%g g(-0.5)=%g", g[1], g[2])
+	}
+	if math.Abs(g[7]-3) > 0.02 {
+		t.Fatalf("gelu(3) = %g, want ~3", g[7])
+	}
+	if math.Abs(g[0]) > 0.01 {
+		t.Fatalf("gelu(-3) = %g, want ~0", g[0])
+	}
+}
+
+func TestLayerNormReference(t *testing.T) {
+	const rows, cols = 2, 4
+	vals := []float64{1, 2, 3, 4, -1, -1, 1, 1}
+	out := runFloatProgram(t, 2*rows*cols, vals, func(fb *ir.FuncBuilder) {
+		fb.Unary(ir.IntrLayerNorm,
+			ir.T("mem", ir.C(rows*cols), rows, cols),
+			ir.T("mem", ir.C(0), rows, cols))
+	})
+	for i := 0; i < rows; i++ {
+		row := out[rows*cols+i*cols : rows*cols+(i+1)*cols]
+		var mean, variance float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= cols
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= cols
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("row %d mean = %g, want 0", i, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("row %d variance = %g, want ~1", i, variance)
+		}
+	}
+}
+
+func TestCopyIntrinsic(t *testing.T) {
+	const elems = 10
+	vals := make([]float64, 2*elems)
+	for i := 0; i < elems; i++ {
+		vals[i] = float64(i)*1.5 - 3
+		vals[elems+i] = 99
+	}
+	out := runFloatProgram(t, 2*elems, vals, func(fb *ir.FuncBuilder) {
+		fb.Unary(ir.IntrCopy,
+			ir.T("mem", ir.C(elems), 1, elems),
+			ir.T("mem", ir.C(0), 1, elems))
+	})
+	for i := 0; i < elems; i++ {
+		if out[elems+i] != vals[i] {
+			t.Fatalf("copy[%d] = %g, want %g", i, out[elems+i], vals[i])
+		}
+	}
+}
+
+func TestIntrinsicsAdvanceClock(t *testing.T) {
+	const m, k, n = 4, 4, 4
+	b := ir.NewBuilder("mmclk")
+	b.FloatArray("mem", m*k+k*n+m*n)
+	fb := b.Func("main")
+	fb.MatMul(
+		ir.T("mem", ir.C(m*k+k*n), m, n),
+		ir.T("mem", ir.C(0), m, k),
+		ir.T("mem", ir.C(m*k), k, n))
+	p := b.MustProgram()
+	r := rtBackend(t, p)
+	ex, err := New(p, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() == 0 {
+		t.Fatal("matmul advanced no virtual time")
+	}
+}
+
+func TestBinaryOpsAgainstReference(t *testing.T) {
+	cases := []struct {
+		op   ir.BinOp
+		a, b Value
+		want Value
+	}{
+		{ir.OpSub, IntV(9), IntV(4), IntV(5)},
+		{ir.OpMin, IntV(3), IntV(7), IntV(3)},
+		{ir.OpMax, IntV(3), IntV(7), IntV(7)},
+		{ir.OpMin, FloatV(2.5), FloatV(1.5), FloatV(1.5)},
+		{ir.OpMax, FloatV(2.5), FloatV(1.5), FloatV(2.5)},
+		{ir.OpDiv, FloatV(1), FloatV(4), FloatV(0.25)},
+		{ir.OpSub, FloatV(1.5), IntV(1), FloatV(0.5)},
+		{ir.OpLt, IntV(1), IntV(2), IntV(1)},
+		{ir.OpLe, IntV(2), IntV(2), IntV(1)},
+		{ir.OpGt, IntV(1), IntV(2), IntV(0)},
+		{ir.OpGe, FloatV(2), FloatV(2), IntV(1)},
+		{ir.OpEq, FloatV(1), IntV(1), IntV(1)},
+		{ir.OpNe, IntV(1), IntV(2), IntV(1)},
+		{ir.OpAnd, IntV(1), IntV(0), IntV(0)},
+		{ir.OpOr, IntV(1), IntV(0), IntV(1)},
+		{ir.OpAnd, FloatV(1), FloatV(2), IntV(1)},
+	}
+	for _, c := range cases {
+		got, err := applyBin(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got.AsFloat() != c.want.AsFloat() {
+			t.Fatalf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntDivAndFloatModErrors(t *testing.T) {
+	if _, err := applyBin(ir.OpDiv, IntV(1), IntV(0)); err == nil {
+		t.Fatal("integer division by zero accepted")
+	}
+	if _, err := applyBin(ir.OpMod, FloatV(1), FloatV(2)); err == nil {
+		t.Fatal("float modulo accepted")
+	}
+}
+
+func TestUnboundParamError(t *testing.T) {
+	b := ir.NewBuilder("p")
+	b.IntArray("dummy", 1)
+	fb := b.Func("main", "n")
+	fb.Return(ir.P("n"))
+	p := b.MustProgram()
+	r := rtBackend(t, p)
+	ex, err := New(p, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(sim.NewClock(0)); err == nil {
+		t.Fatal("unbound parameter accepted")
+	}
+}
+
+func TestRuntimeErrorsPropagate(t *testing.T) {
+	// A division by zero deep inside an expression must surface as a run
+	// error, not a panic or a silent wrong value.
+	b := ir.NewBuilder("boom")
+	b.IntArray("a", 8)
+	fb := b.Func("main")
+	fb.Loop(ir.C(0), ir.C(4), ir.C(1), func(i ir.Expr) {
+		v := fb.Load("a", i, "")
+		fb.Store("a", i, "", ir.Div(ir.Add(v, ir.C(1)), i))
+	})
+	p := b.MustProgram()
+	r := rtBackend(t, p)
+	ex, err := New(p, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(sim.NewClock(0)); err == nil {
+		t.Fatal("division by zero at i=0 did not error")
+	}
+}
+
+func TestCallUnknownFunctionRejectedAtValidate(t *testing.T) {
+	b := ir.NewBuilder("callmiss")
+	b.IntArray("a", 8)
+	fb := b.Func("main")
+	fb.Call("ghost")
+	if _, err := b.Program(); err == nil {
+		t.Fatal("call to unknown function validated")
+	}
+}

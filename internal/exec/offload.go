@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+
+	"mira/internal/ir"
+	"mira/internal/sim"
+)
+
+// offloadCall executes fn on the far-memory node (§4.8): flush the cached
+// state of every far object the function touches, ship the scalar arguments
+// over, run the body against far-node memory on the far CPU, and ship the
+// result back. The remote body is measured on its own clock; the local
+// clock is charged the full RPC.
+func (e *Executor) offloadCall(clk *sim.Clock, fn *ir.Func, args []Value) (Value, error) {
+	renv, ok := e.be.(RemoteEnv)
+	if !ok {
+		return Value{}, fmt.Errorf("exec: backend cannot offload %q", fn.Name)
+	}
+	// Flush objects the function (transitively) accesses so the far node
+	// sees up-to-date data, and so post-call local reads refetch data the
+	// far node wrote (§5.2.1 "generating offloaded function binaries").
+	for _, obj := range e.objectsOf(fn, map[string]bool{}) {
+		t0 := clk.Now()
+		if err := e.be.FlushObject(clk, obj); err != nil {
+			return Value{}, err
+		}
+		// Flushing is runtime work; attribute to the caller's profile
+		// under the offloaded function's name.
+		if e.opt.Collector != nil {
+			e.opt.Collector.RuntimeTime(fn.Name, clk.Now().Sub(t0))
+		}
+	}
+
+	// Run the body remotely on a fresh clock.
+	remoteExec := &Executor{
+		p:      e.p,
+		be:     e.be,
+		opt:    Options{ComputeOp: e.opt.ComputeOp, FloatOp: e.opt.FloatOp},
+		fields: e.fields,
+		remote: renv,
+	}
+	rclk := sim.NewClock(0)
+	ret, err := remoteExec.call(rclk, fn, args)
+	if err != nil {
+		return Value{}, err
+	}
+	remoteCompute := rclk.Now().Sub(0)
+
+	argBytes := 8 * len(args)
+	resBytes := 8
+	renv.OffloadTransfer(clk, argBytes, resBytes, remoteCompute)
+	if e.opt.Collector != nil {
+		e.opt.Collector.FuncCall(fn.Name+"@far", sim.Duration(float64(remoteCompute)*renv.CPUSlowdown()))
+	}
+	return ret, nil
+}
+
+// objectsOf lists the far-relevant objects a function (and its callees)
+// accesses.
+func (e *Executor) objectsOf(fn *ir.Func, visited map[string]bool) []string {
+	if visited[fn.Name] {
+		return nil
+	}
+	visited[fn.Name] = true
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	ir.Walk(fn.Body, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.Load:
+			add(st.Obj)
+		case *ir.Store:
+			add(st.Obj)
+		case *ir.Intrinsic:
+			for _, t := range []ir.TensorRef{st.Dst, st.A, st.B} {
+				if t.Obj != "" {
+					add(t.Obj)
+				}
+			}
+		case *ir.Call:
+			if callee, ok := e.p.Func(st.Callee); ok {
+				for _, o := range e.objectsOf(callee, visited) {
+					add(o)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

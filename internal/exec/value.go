@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mira/internal/ir"
+)
+
+// Value is a scalar the interpreter computes with: an int64 or a float64.
+type Value struct {
+	I     int64
+	F     float64
+	Float bool
+}
+
+// IntV builds an integer value.
+func IntV(i int64) Value { return Value{I: i} }
+
+// FloatV builds a floating-point value.
+func FloatV(f float64) Value { return Value{F: f, Float: true} }
+
+// AsInt converts to int64 (truncating floats).
+func (v Value) AsInt() int64 {
+	if v.Float {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	if v.Float {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Truthy reports whether the value is non-zero.
+func (v Value) Truthy() bool {
+	if v.Float {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+func (v Value) String() string {
+	if v.Float {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// decodeField interprets buf (len == field.Bytes) as a Value.
+func decodeField(f ir.Field, buf []byte) (Value, error) {
+	if f.Float {
+		if f.Bytes != 8 {
+			return Value{}, fmt.Errorf("exec: float field %q must be 8 bytes, got %d", f.Name, f.Bytes)
+		}
+		return FloatV(math.Float64frombits(binary.LittleEndian.Uint64(buf))), nil
+	}
+	switch f.Bytes {
+	case 1:
+		return IntV(int64(int8(buf[0]))), nil
+	case 2:
+		return IntV(int64(int16(binary.LittleEndian.Uint16(buf)))), nil
+	case 4:
+		return IntV(int64(int32(binary.LittleEndian.Uint32(buf)))), nil
+	case 8:
+		return IntV(int64(binary.LittleEndian.Uint64(buf))), nil
+	default:
+		return Value{}, fmt.Errorf("exec: unsupported integer field width %d", f.Bytes)
+	}
+}
+
+// encodeField writes v into buf (len == field.Bytes).
+func encodeField(f ir.Field, v Value, buf []byte) error {
+	if f.Float {
+		if f.Bytes != 8 {
+			return fmt.Errorf("exec: float field %q must be 8 bytes, got %d", f.Name, f.Bytes)
+		}
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v.AsFloat()))
+		return nil
+	}
+	i := v.AsInt()
+	switch f.Bytes {
+	case 1:
+		buf[0] = byte(i)
+	case 2:
+		binary.LittleEndian.PutUint16(buf, uint16(i))
+	case 4:
+		binary.LittleEndian.PutUint32(buf, uint32(i))
+	case 8:
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+	default:
+		return fmt.Errorf("exec: unsupported integer field width %d", f.Bytes)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package farmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator is the far-memory node's low-level allocator (§5.1: "the remote
+// allocator works like a low-level systems allocator"). It hands out ranges
+// of the node's virtual address space using first-fit with free-list
+// coalescing. Addresses it returns are usable directly by one-sided
+// accesses.
+//
+// Allocator is not safe for concurrent use; Node serializes access.
+type Allocator struct {
+	base uint64 // first valid address (non-zero so that 0 stays "nil")
+	size uint64 // total bytes managed
+	free []span // sorted by addr, coalesced, non-overlapping
+	used map[uint64]uint64
+	// inUse tracks currently-allocated bytes for accounting.
+	inUse uint64
+}
+
+type span struct {
+	addr uint64
+	size uint64
+}
+
+// NewAllocator manages [base, base+size). base must be non-zero so that
+// address 0 can represent "no object".
+func NewAllocator(base, size uint64) *Allocator {
+	if base == 0 {
+		panic("farmem: allocator base must be non-zero")
+	}
+	return &Allocator{
+		base: base,
+		size: size,
+		free: []span{{addr: base, size: size}},
+		used: make(map[uint64]uint64),
+	}
+}
+
+// Alloc reserves size bytes and returns the address of the range.
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("farmem: zero-size allocation")
+	}
+	// Align to 8 bytes, like any systems allocator would.
+	size = (size + 7) &^ 7
+	for i, s := range a.free {
+		if s.size >= size {
+			addr := s.addr
+			if s.size == size {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{addr: s.addr + size, size: s.size - size}
+			}
+			a.used[addr] = size
+			a.inUse += size
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("farmem: out of memory allocating %d bytes (in use %d of %d)", size, a.inUse, a.size)
+}
+
+// Free releases a previously-allocated range.
+func (a *Allocator) Free(addr uint64) error {
+	size, ok := a.used[addr]
+	if !ok {
+		return fmt.Errorf("farmem: free of unallocated address %#x", addr)
+	}
+	delete(a.used, addr)
+	a.inUse -= size
+	a.insertFree(span{addr: addr, size: size})
+	return nil
+}
+
+// insertFree adds s back to the sorted free list and coalesces neighbours.
+func (a *Allocator) insertFree(s span) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > s.addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with successor first, then predecessor.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// SizeOf reports the allocated size of addr, or 0 if addr is unallocated.
+func (a *Allocator) SizeOf(addr uint64) uint64 { return a.used[addr] }
+
+// InUse reports the currently allocated byte count.
+func (a *Allocator) InUse() uint64 { return a.inUse }
+
+// Contains reports whether [addr, addr+n) lies inside a single live
+// allocation. Used by Node to police one-sided accesses the way an RDMA
+// memory region registration would.
+func (a *Allocator) Contains(addr uint64, n int) bool {
+	if n < 0 {
+		return false
+	}
+	// Walk allocations; allocation count is modest in our workloads
+	// (objects, not elements), but keep a fast path for exact bases.
+	if sz, ok := a.used[addr]; ok {
+		return uint64(n) <= sz
+	}
+	for base, sz := range a.used {
+		if addr >= base && addr+uint64(n) <= base+sz {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeSpans returns a copy of the free list, for tests and debugging.
+func (a *Allocator) FreeSpans() []struct{ Addr, Size uint64 } {
+	out := make([]struct{ Addr, Size uint64 }, len(a.free))
+	for i, s := range a.free {
+		out[i] = struct{ Addr, Size uint64 }{s.addr, s.size}
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package farmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mira/internal/sim"
+)
+
+func newTestNode() *Node {
+	return NewNode(NodeConfig{Capacity: 1 << 20, CPUSlowdown: 3})
+}
+
+func TestAllocFreeRoundtrip(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	addr, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr < 4096 {
+		t.Fatalf("allocation below base: %#x", addr)
+	}
+	if a.SizeOf(addr) != 104 { // rounded up to 8
+		t.Fatalf("SizeOf = %d, want 104", a.SizeOf(addr))
+	}
+	if err := a.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("InUse = %d after free", a.InUse())
+	}
+}
+
+func TestAllocZeroFails(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+}
+
+func TestDoubleFreeFails(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	addr, _ := a.Alloc(64)
+	if err := a.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addr); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewAllocator(4096, 1024)
+	if _, err := a.Alloc(2048); err == nil {
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	addr, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(8); err == nil {
+		t.Fatal("alloc beyond exhausted pool succeeded")
+	}
+	if err := a.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestFreeCoalescing(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	addrs := make([]uint64, 8)
+	for i := range addrs {
+		var err error
+		addrs[i], err = a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free in an interleaved order; the free list must coalesce back to
+	// a single span.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 4, 6} {
+		if err := a.Free(addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := a.FreeSpans()
+	if len(spans) != 1 {
+		t.Fatalf("free list has %d spans after freeing everything, want 1: %+v", len(spans), spans)
+	}
+	if spans[0].Addr != 4096 || spans[0].Size != 1<<16 {
+		t.Fatalf("coalesced span = %+v, want {4096, %d}", spans[0], 1<<16)
+	}
+}
+
+// Property: any sequence of allocations that all get freed restores the
+// allocator to a single free span covering the whole arena.
+func TestAllocatorConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		const arena = 1 << 20
+		a := NewAllocator(4096, arena)
+		var live []uint64
+		for _, s := range sizes {
+			sz := uint64(s%4096) + 1
+			addr, err := a.Alloc(sz)
+			if err != nil {
+				// Exhaustion is fine; skip.
+				continue
+			}
+			live = append(live, addr)
+		}
+		for _, addr := range live {
+			if err := a.Free(addr); err != nil {
+				return false
+			}
+		}
+		spans := a.FreeSpans()
+		return len(spans) == 1 && spans[0].Size == arena && a.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	type rng struct{ lo, hi uint64 }
+	var got []rng
+	for i := 0; i < 50; i++ {
+		sz := uint64(8 + i*8)
+		addr, err := a.Alloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rng{addr, addr + a.SizeOf(addr)})
+	}
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if got[i].lo < got[j].hi && got[j].lo < got[i].hi {
+				t.Fatalf("allocations %d and %d overlap: %+v %+v", i, j, got[i], got[j])
+			}
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := NewAllocator(4096, 1<<16)
+	addr, _ := a.Alloc(128)
+	if !a.Contains(addr, 128) {
+		t.Fatal("Contains rejected exact allocation")
+	}
+	if !a.Contains(addr+64, 64) {
+		t.Fatal("Contains rejected interior range")
+	}
+	if a.Contains(addr, 4096) {
+		t.Fatal("Contains accepted out-of-allocation range")
+	}
+	if a.Contains(addr, -1) {
+		t.Fatal("Contains accepted negative length")
+	}
+}
+
+func TestNodeReadWrite(t *testing.T) {
+	n := newTestNode()
+	addr, err := n.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xab}, 256)
+	if err := n.Write(addr, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := n.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back different bytes")
+	}
+	r, w, _ := n.Stats()
+	if r != 256 || w != 256 {
+		t.Fatalf("stats read=%d write=%d, want 256/256", r, w)
+	}
+}
+
+func TestNodeOutOfRangeAccess(t *testing.T) {
+	n := newTestNode()
+	if err := n.Read(DefaultBase+n.Capacity(), make([]byte, 8)); err == nil {
+		t.Fatal("read past slab succeeded")
+	}
+	if err := n.Write(1, []byte{1}); err == nil {
+		t.Fatal("write below base succeeded")
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	n := newTestNode()
+	a1, _ := n.Alloc(64)
+	a2, _ := n.Alloc(64)
+	if err := n.Scatter([]uint64{a1, a2}, [][]byte{{1, 2, 3}, {4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Gather([]uint64{a1, a2, a1 + 1}, []int{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{1, 2, 3, 4, 5, 2}) {
+		t.Fatalf("gather = %v", out)
+	}
+}
+
+func TestGatherMismatchedArgs(t *testing.T) {
+	n := newTestNode()
+	if _, err := n.Gather([]uint64{1}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched gather args accepted")
+	}
+	if err := n.Scatter([]uint64{1, 2}, [][]byte{{1}}); err == nil {
+		t.Fatal("mismatched scatter args accepted")
+	}
+}
+
+func TestMemSliceAliases(t *testing.T) {
+	n := newTestNode()
+	addr, _ := n.Alloc(16)
+	sl, err := n.Mem().Slice(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl[0] = 42
+	got := make([]byte, 1)
+	if err := n.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatal("Slice write not visible through Read")
+	}
+}
+
+func TestRPCCall(t *testing.T) {
+	n := newTestNode()
+	addr, _ := n.Alloc(8)
+	_ = n.Write(addr, []byte{10, 0, 0, 0, 0, 0, 0, 0})
+	n.Register("double", func(mem *Mem, args []byte) ([]byte, sim.Duration, error) {
+		buf, err := mem.Slice(addr, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf[0] *= 2
+		return []byte{buf[0]}, 100 * sim.Nanosecond, nil
+	})
+	res, farCPU, err := n.Call("double", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 20 {
+		t.Fatalf("rpc result %d, want 20", res[0])
+	}
+	if farCPU != 300*sim.Nanosecond {
+		t.Fatalf("far CPU time %v, want 300ns (3x slowdown)", farCPU)
+	}
+	_, _, calls := n.Stats()
+	if calls != 1 {
+		t.Fatalf("rpcCalls = %d, want 1", calls)
+	}
+}
+
+func TestRPCUnknownProc(t *testing.T) {
+	n := newTestNode()
+	if _, _, err := n.Call("nope", nil); err == nil {
+		t.Fatal("unknown procedure call succeeded")
+	}
+}
+
+func TestNodeDefaults(t *testing.T) {
+	n := NewNode(NodeConfig{})
+	if n.Capacity() != 64<<30 {
+		t.Fatalf("default capacity %d, want 64GiB", n.Capacity())
+	}
+}
+
+func TestFreeReleasesAndInvalidates(t *testing.T) {
+	n := NewNode(NodeConfig{Capacity: 1 << 20, CPUSlowdown: 1})
+	a, err := n.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.AllocatedBytes(); got < 4096 {
+		t.Fatalf("allocated %d, want >= 4096", got)
+	}
+	if err := n.Write(a, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.AllocatedBytes(); got != 0 {
+		t.Fatalf("allocated %d after free, want 0", got)
+	}
+	// The freed region no longer backs reads.
+	if err := n.Read(a, make([]byte, 3)); err == nil {
+		t.Fatal("read from freed region accepted")
+	}
+	// Double free is rejected.
+	if err := n.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestFreeMiddleRegionKeepsNeighbors(t *testing.T) {
+	n := NewNode(NodeConfig{Capacity: 1 << 20, CPUSlowdown: 1})
+	var addrs []uint64
+	for i := 0; i < 3; i++ {
+		a, err := n.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Write(a, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if err := n.Free(addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := n.Read(addrs[0], buf); err != nil || buf[0] != 1 {
+		t.Fatalf("left neighbor damaged: %v %v", buf, err)
+	}
+	if err := n.Read(addrs[2], buf); err != nil || buf[0] != 3 {
+		t.Fatalf("right neighbor damaged: %v %v", buf, err)
+	}
+	if err := n.Read(addrs[1], buf); err == nil {
+		t.Fatal("freed middle region still readable")
+	}
+}
+
+func TestCPUSlowdownAccessor(t *testing.T) {
+	n := NewNode(NodeConfig{Capacity: 1 << 16, CPUSlowdown: 3})
+	if got := n.CPUSlowdown(); got != 3 {
+		t.Fatalf("slowdown %v", got)
+	}
+	// Default config carries the paper's 3x-slower far CPU.
+	d := NewNode(DefaultNodeConfig())
+	if d.CPUSlowdown() <= 1 {
+		t.Fatalf("default far CPU not slower: %v", d.CPUSlowdown())
+	}
+}

@@ -1,0 +1,157 @@
+// Package figures regenerates every experiment figure in the paper's
+// evaluation (§6). Each generator runs the relevant systems over the
+// relevant workload sweep and returns the series the paper plots —
+// typically relative performance normalized to native execution on full
+// local memory, against the local-memory fraction. cmd/mira-bench renders
+// them as tables; EXPERIMENTS.md records the paper-vs-measured comparison.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/sim"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Absent marks x-positions where the system failed to execute
+	// (AIFM metadata exhaustion); Y holds 0 there.
+	Absent []bool
+}
+
+// Figure is one regenerated experiment.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks workloads and sweeps for tests and smoke runs.
+	Quick Scale = iota
+	// Full is the figure-quality configuration cmd/mira-bench uses.
+	Full
+)
+
+// generator produces one figure.
+type generator struct {
+	id    string
+	title string
+	fn    func(Scale) (*Figure, error)
+}
+
+var registry []generator
+
+func register(id, title string, fn func(Scale) (*Figure, error)) {
+	registry = append(registry, generator{id: id, title: title, fn: fn})
+}
+
+// IDs lists the available figure identifiers in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, g := range registry {
+		out[i] = g.id
+	}
+	return out
+}
+
+// Generate regenerates one figure by id (e.g. "fig5").
+func Generate(id string, scale Scale) (*Figure, error) {
+	for _, g := range registry {
+		if g.id == id {
+			f, err := g.fn(scale)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s: %w", id, err)
+			}
+			f.ID = g.id
+			if f.Title == "" {
+				f.Title = g.title
+			}
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: unknown figure %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "x: %s   y: %s\n", f.XLabel, f.YLabel)
+
+	// Collect the union of x values.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	xvals := make([]float64, 0, len(xs))
+	for x := range xs {
+		xvals = append(xvals, x)
+	}
+	sort.Float64s(xvals)
+
+	fmt.Fprintf(&sb, "%-12s", "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xvals {
+		fmt.Fprintf(&sb, "%-12.4g", x)
+		for _, s := range f.Series {
+			val, absent, ok := s.at(x)
+			switch {
+			case !ok:
+				fmt.Fprintf(&sb, " %14s", "-")
+			case absent:
+				fmt.Fprintf(&sb, " %14s", "fail")
+			default:
+				fmt.Fprintf(&sb, " %14.4g", val)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func (s *Series) at(x float64) (y float64, absent, ok bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			ab := len(s.Absent) > i && s.Absent[i]
+			return s.Y[i], ab, true
+		}
+	}
+	return 0, false, false
+}
+
+// relPerf converts times to the paper's y-axis: relative performance
+// normalized over native execution (1.0 = native speed; smaller is slower).
+func relPerf(native, t sim.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(native) / float64(t)
+}
+
+// fractions is the local-memory sweep for overall-performance figures.
+func fractions(scale Scale) []float64 {
+	if scale == Quick {
+		return []float64{0.25, 0.5, 1.0}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}

@@ -1,0 +1,238 @@
+// Package harness runs one workload under one far-memory system at one
+// local-memory budget — the inner loop of every figure in the paper's
+// evaluation. Systems: native (full local memory; the normalization
+// denominator of all figures), Mira (full planner), Mira's swap-only
+// baseline, FastSwap, Leap, and AIFM.
+package harness
+
+import (
+	"fmt"
+
+	"mira/internal/baselines/aifm"
+	"mira/internal/baselines/fastswap"
+	"mira/internal/baselines/leap"
+	"mira/internal/exec"
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/planner"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/workload"
+)
+
+// System identifies a far-memory system.
+type System string
+
+// The systems the evaluation compares.
+const (
+	Native   System = "native"
+	Mira     System = "mira"
+	MiraSwap System = "mira-swap" // Mira's iteration-0 generic swap config
+	FastSwap System = "fastswap"
+	Leap     System = "leap"
+	AIFM     System = "aifm"
+)
+
+// AllSystems lists the far-memory systems (excluding native).
+var AllSystems = []System{Mira, FastSwap, Leap, AIFM}
+
+// Options tunes a harness run.
+type Options struct {
+	// Budget is the local memory in bytes (ignored for Native).
+	Budget int64
+	// Net overrides the interconnect model.
+	Net netmodel.Config
+	// NodeCfg overrides the far node.
+	NodeCfg farmem.NodeConfig
+	// Planner customizes Mira's planning (budget is overridden by
+	// Budget).
+	Planner planner.Options
+	// Verify checks workload output after the run when the workload
+	// implements workload.Verifier.
+	Verify bool
+	// AIFM customizes the AIFM baseline's library model (budget and
+	// interconnect are overridden by Budget/Net).
+	AIFM aifm.Options
+}
+
+// Result is one run's outcome.
+type Result struct {
+	System System
+	Time   sim.Duration
+	// Failed marks systems that could not execute at this budget (AIFM
+	// metadata exhaustion, Fig. 18) — plotted as absent in the paper.
+	Failed bool
+	// FailReason explains a failure.
+	FailReason string
+	// PlanResult carries the planner record for Mira runs.
+	PlanResult *planner.Result
+}
+
+func (o Options) withDefaults() Options {
+	if o.Net.BytesPerSecond == 0 {
+		o.Net = netmodel.DefaultConfig()
+	}
+	if o.NodeCfg.Capacity == 0 {
+		o.NodeCfg = farmem.DefaultNodeConfig()
+	}
+	return o
+}
+
+// Run executes w on sys.
+func Run(sys System, w workload.Workload, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	switch sys {
+	case Native:
+		return runNative(w, opts)
+	case Mira, MiraSwap:
+		return runMira(sys, w, opts)
+	case FastSwap, Leap:
+		return runSwapBaseline(sys, w, opts)
+	case AIFM:
+		return runAIFM(w, opts)
+	default:
+		return Result{}, fmt.Errorf("harness: unknown system %q", sys)
+	}
+}
+
+// runRT executes w over an already-bound rt runtime and verifies.
+func runRT(sys System, w workload.Workload, r *rt.Runtime, opts Options) (Result, error) {
+	ex, err := exec.New(w.Program(), r, exec.Options{Params: w.Params()})
+	if err != nil {
+		return Result{}, err
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		return Result{}, err
+	}
+	if err := r.FlushAll(clk); err != nil {
+		return Result{}, err
+	}
+	if err := verify(w, r, opts); err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
+	}
+	return Result{System: sys, Time: clk.Now().Sub(0)}, nil
+}
+
+func verify(w workload.Workload, d workload.ObjectDumper, opts Options) error {
+	if !opts.Verify {
+		return nil
+	}
+	v, ok := w.(workload.Verifier)
+	if !ok {
+		return nil
+	}
+	return v.Verify(d)
+}
+
+// runNative executes with every object in local memory: the figures'
+// normalization denominator ("native execution on full local memory").
+func runNative(w workload.Workload, opts Options) (Result, error) {
+	prog := w.Program()
+	placements := map[string]rt.Placement{}
+	for _, o := range prog.Objects {
+		placements[o.Name] = rt.Placement{Kind: rt.PlaceLocal}
+	}
+	var full int64
+	for _, o := range prog.Objects {
+		full += o.SizeBytes()
+	}
+	cfg := rt.Config{
+		LocalBudget: full + (1 << 20),
+		Placements:  placements,
+		Net:         opts.Net,
+	}
+	node := farmem.NewNode(opts.NodeCfg)
+	r, err := rt.New(cfg, node)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := r.Bind(prog); err != nil {
+		return Result{}, err
+	}
+	if err := w.Init(r); err != nil {
+		return Result{}, err
+	}
+	return runRT(Native, w, r, opts)
+}
+
+// runMira plans (or, for MiraSwap, stops at iteration 0) and reports the
+// accepted configuration's time.
+func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
+	popts := opts.Planner
+	popts.LocalBudget = opts.Budget
+	if popts.Net.BytesPerSecond == 0 {
+		popts.Net = opts.Net
+	}
+	if popts.NodeCfg.Capacity == 0 {
+		popts.NodeCfg = opts.NodeCfg
+	}
+	if sys == MiraSwap {
+		popts.DisableSeparation = true
+	}
+	res, err := planner.Plan(w, popts)
+	if err != nil {
+		return Result{}, err
+	}
+	// Re-run the accepted configuration for verification (the planner's
+	// timing runs don't verify).
+	if opts.Verify {
+		node := farmem.NewNode(popts.NodeCfg)
+		r, err := rt.New(res.Config, node)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := r.Bind(res.Program); err != nil {
+			return Result{}, err
+		}
+		if err := w.Init(r); err != nil {
+			return Result{}, err
+		}
+		if _, err := runRT(sys, w, r, opts); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{System: sys, Time: res.FinalTime, PlanResult: res}, nil
+}
+
+func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, error) {
+	var r *rt.Runtime
+	var err error
+	if sys == FastSwap {
+		r, err = fastswap.New(w, fastswap.Options{LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg})
+	} else {
+		r, err = leap.New(w, leap.Options{LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg})
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return runRT(sys, w, r, opts)
+}
+
+func runAIFM(w workload.Workload, opts Options) (Result, error) {
+	aopts := opts.AIFM
+	aopts.LocalBudget = opts.Budget
+	aopts.Net = opts.Net
+	aopts.NodeCfg = opts.NodeCfg
+	r, err := aifm.New(w, aopts)
+	if err != nil {
+		// AIFM's metadata-exhaustion failure is a *result* the paper
+		// reports, not a harness error.
+		return Result{System: AIFM, Failed: true, FailReason: err.Error()}, nil
+	}
+	ex, err := exec.New(w.Program(), r, exec.Options{Params: w.Params()})
+	if err != nil {
+		return Result{}, err
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		return Result{}, err
+	}
+	if err := r.FlushAll(clk); err != nil {
+		return Result{}, err
+	}
+	if err := verify(w, r, opts); err != nil {
+		return Result{}, fmt.Errorf("harness: aifm: %w", err)
+	}
+	return Result{System: AIFM, Time: clk.Now().Sub(0)}, nil
+}

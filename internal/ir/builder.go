@@ -1,0 +1,280 @@
+package ir
+
+// Builder constructs Programs. It is the front-end applications use in
+// place of the paper's C++/ONNX sources: the graph example in Fig. 4
+// becomes a dozen Builder calls (see internal/apps/graphtraverse).
+type Builder struct {
+	p *Program
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: &Program{Name: name}}
+}
+
+// Object declares an allocation site of count elements of elemBytes bytes,
+// optionally structured into fields.
+func (b *Builder) Object(name string, elemBytes int, count int64, fields ...Field) *Object {
+	o := &Object{Name: name, ElemBytes: elemBytes, Count: count, Fields: fields}
+	b.p.Objects = append(b.p.Objects, o)
+	return o
+}
+
+// FloatArray declares an array of float64 elements.
+func (b *Builder) FloatArray(name string, count int64) *Object {
+	o := &Object{Name: name, ElemBytes: 8, Count: count, Float: true}
+	b.p.Objects = append(b.p.Objects, o)
+	return o
+}
+
+// IntArray declares an array of int64 elements.
+func (b *Builder) IntArray(name string, count int64) *Object {
+	o := &Object{Name: name, ElemBytes: 8, Count: count}
+	b.p.Objects = append(b.p.Objects, o)
+	return o
+}
+
+// LocalArray declares an int64 array pinned to local memory (never placed
+// in far memory — stacks, small lookup tables).
+func (b *Builder) LocalArray(name string, count int64) *Object {
+	o := &Object{Name: name, ElemBytes: 8, Count: count, Local: true}
+	b.p.Objects = append(b.p.Objects, o)
+	return o
+}
+
+// Func opens a function with the given scalar parameters. The first
+// function declared becomes the entry unless SetEntry overrides it.
+func (b *Builder) Func(name string, params ...string) *FuncBuilder {
+	f := &Func{Name: name, Params: params}
+	b.p.Funcs = append(b.p.Funcs, f)
+	if b.p.Entry == "" {
+		b.p.Entry = name
+	}
+	fb := &FuncBuilder{b: b, f: f}
+	fb.blocks = []*[]Stmt{&f.Body}
+	return fb
+}
+
+// SetEntry selects the entry function.
+func (b *Builder) SetEntry(name string) { b.p.Entry = name }
+
+// Program validates and returns the built program.
+func (b *Builder) Program() (*Program, error) {
+	if err := Validate(b.p); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustProgram is Program for tests and static app definitions, panicking on
+// validation errors (a malformed app is a programming bug, not input).
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FuncBuilder appends statements to a function under construction. Nested
+// blocks (loop bodies, branches) are built with closures.
+type FuncBuilder struct {
+	b      *Builder
+	f      *Func
+	blocks []*[]Stmt
+}
+
+// top returns the innermost open block.
+func (fb *FuncBuilder) top() *[]Stmt { return fb.blocks[len(fb.blocks)-1] }
+
+// emit appends a statement to the open block.
+func (fb *FuncBuilder) emit(s Stmt) { *fb.top() = append(*fb.top(), s) }
+
+// NewReg allocates a fresh register.
+func (fb *FuncBuilder) NewReg() int {
+	r := fb.f.NumRegs
+	fb.f.NumRegs++
+	return r
+}
+
+// MarkNoSharedWrites records that the function has no shared writable data
+// (offload candidate precondition, §4.8).
+func (fb *FuncBuilder) MarkNoSharedWrites() { fb.f.NoSharedWrites = true }
+
+// Loop emits a counted loop [start, end) with the given step and builds its
+// body with fn, which receives the induction variable as an expression.
+func (fb *FuncBuilder) Loop(start, end, step Expr, fn func(iv Expr)) {
+	iv := fb.NewReg()
+	l := &Loop{IVReg: iv, Start: start, End: end, Step: step}
+	fb.emit(l)
+	fb.blocks = append(fb.blocks, &l.Body)
+	fn(&Reg{ID: iv})
+	fb.blocks = fb.blocks[:len(fb.blocks)-1]
+}
+
+// NamedLoop is Loop with a label for profiles and printed IR.
+func (fb *FuncBuilder) NamedLoop(name string, start, end, step Expr, fn func(iv Expr)) {
+	iv := fb.NewReg()
+	l := &Loop{Name: name, IVReg: iv, Start: start, End: end, Step: step}
+	fb.emit(l)
+	fb.blocks = append(fb.blocks, &l.Body)
+	fn(&Reg{ID: iv})
+	fb.blocks = fb.blocks[:len(fb.blocks)-1]
+}
+
+// Load emits a load of obj[index].field and returns the destination
+// register as an expression.
+func (fb *FuncBuilder) Load(obj string, index Expr, field string) Expr {
+	dst := fb.NewReg()
+	fb.emit(&Load{Dst: dst, Obj: obj, Index: index, Field: field})
+	return &Reg{ID: dst}
+}
+
+// Store emits a store of val to obj[index].field.
+func (fb *FuncBuilder) Store(obj string, index Expr, field string, val Expr) {
+	fb.emit(&Store{Obj: obj, Index: index, Field: field, Val: val})
+}
+
+// Let evaluates val into a fresh register and returns it as an expression.
+func (fb *FuncBuilder) Let(val Expr) Expr {
+	dst := fb.NewReg()
+	fb.emit(&Assign{Dst: dst, Val: val})
+	return &Reg{ID: dst}
+}
+
+// Var allocates a mutable register initialized to val, for accumulators.
+func (fb *FuncBuilder) Var(val Expr) *Reg {
+	dst := fb.NewReg()
+	fb.emit(&Assign{Dst: dst, Val: val})
+	return &Reg{ID: dst}
+}
+
+// Set reassigns a register created with Var.
+func (fb *FuncBuilder) Set(r *Reg, val Expr) {
+	fb.emit(&Assign{Dst: r.ID, Val: val})
+}
+
+// If emits a conditional; elseFn may be nil.
+func (fb *FuncBuilder) If(cond Expr, thenFn func(), elseFn func()) {
+	s := &If{Cond: cond}
+	fb.emit(s)
+	fb.blocks = append(fb.blocks, &s.Then)
+	thenFn()
+	fb.blocks = fb.blocks[:len(fb.blocks)-1]
+	if elseFn != nil {
+		fb.blocks = append(fb.blocks, &s.Else)
+		elseFn()
+		fb.blocks = fb.blocks[:len(fb.blocks)-1]
+	}
+}
+
+// Call emits a void call.
+func (fb *FuncBuilder) Call(callee string, args ...Expr) {
+	fb.emit(&Call{Dst: -1, Callee: callee, Args: args})
+}
+
+// CallRet emits a call and returns the callee's return value.
+func (fb *FuncBuilder) CallRet(callee string, args ...Expr) Expr {
+	dst := fb.NewReg()
+	fb.emit(&Call{Dst: dst, Callee: callee, Args: args})
+	return &Reg{ID: dst}
+}
+
+// Return emits a return of val (nil for void).
+func (fb *FuncBuilder) Return(val Expr) { fb.emit(&Return{Val: val}) }
+
+// Prefetch emits an asynchronous line prefetch (normally codegen-inserted;
+// exposed for hand-tuned programs and tests).
+func (fb *FuncBuilder) Prefetch(obj string, index Expr, field string) {
+	fb.emit(&Prefetch{Obj: obj, Index: index, Field: field})
+}
+
+// BatchPrefetch emits a batched scatter-gather prefetch.
+func (fb *FuncBuilder) BatchPrefetch(entries ...PrefetchRef) {
+	fb.emit(&BatchPrefetch{Entries: entries})
+}
+
+// Evict emits an eviction hint.
+func (fb *FuncBuilder) Evict(obj string, index Expr) {
+	fb.emit(&Evict{Obj: obj, Index: index})
+}
+
+// Fence emits a wait for all asynchronous operations.
+func (fb *FuncBuilder) Fence() { fb.emit(&Fence{}) }
+
+// MatMul emits Dst += A x B.
+func (fb *FuncBuilder) MatMul(dst, a, b TensorRef) {
+	fb.emit(&Intrinsic{Kind: IntrMatMul, Dst: dst, A: a, B: b})
+}
+
+// MatMulT emits Dst += A x B^T.
+func (fb *FuncBuilder) MatMulT(dst, a, b TensorRef) {
+	fb.emit(&Intrinsic{Kind: IntrMatMulT, Dst: dst, A: a, B: b})
+}
+
+// Zero emits a destination-clearing intrinsic.
+func (fb *FuncBuilder) Zero(dst TensorRef) {
+	fb.emit(&Intrinsic{Kind: IntrZero, Dst: dst})
+}
+
+// Unary emits a unary tensor intrinsic.
+func (fb *FuncBuilder) Unary(kind IntrKind, dst, a TensorRef) {
+	fb.emit(&Intrinsic{Kind: kind, Dst: dst, A: a})
+}
+
+// Binary emits a binary elementwise tensor intrinsic.
+func (fb *FuncBuilder) Binary(kind IntrKind, dst, a, b TensorRef) {
+	fb.emit(&Intrinsic{Kind: kind, Dst: dst, A: a, B: b})
+}
+
+// ---- Expression constructors ----
+
+// C builds an integer constant.
+func C(i int64) Expr { return &Const{I: i} }
+
+// CF builds a float constant.
+func CF(f float64) Expr { return &ConstF{F: f} }
+
+// P references a scalar function parameter.
+func P(name string) Expr { return &Param{Name: name} }
+
+// R references a register by id (rarely needed outside generated code).
+func R(id int) Expr { return &Reg{ID: id} }
+
+// Add, Sub, Mul, Div, Mod, and friends build binary expressions.
+func Add(a, b Expr) Expr { return &Bin{Op: OpAdd, A: a, B: b} }
+func Sub(a, b Expr) Expr { return &Bin{Op: OpSub, A: a, B: b} }
+func Mul(a, b Expr) Expr { return &Bin{Op: OpMul, A: a, B: b} }
+func Div(a, b Expr) Expr { return &Bin{Op: OpDiv, A: a, B: b} }
+func Mod(a, b Expr) Expr { return &Bin{Op: OpMod, A: a, B: b} }
+func Lt(a, b Expr) Expr  { return &Bin{Op: OpLt, A: a, B: b} }
+func Le(a, b Expr) Expr  { return &Bin{Op: OpLe, A: a, B: b} }
+func Gt(a, b Expr) Expr  { return &Bin{Op: OpGt, A: a, B: b} }
+func Ge(a, b Expr) Expr  { return &Bin{Op: OpGe, A: a, B: b} }
+func Eq(a, b Expr) Expr  { return &Bin{Op: OpEq, A: a, B: b} }
+func Ne(a, b Expr) Expr  { return &Bin{Op: OpNe, A: a, B: b} }
+func And(a, b Expr) Expr { return &Bin{Op: OpAnd, A: a, B: b} }
+func Or(a, b Expr) Expr  { return &Bin{Op: OpOr, A: a, B: b} }
+func Min(a, b Expr) Expr { return &Bin{Op: OpMin, A: a, B: b} }
+func Max(a, b Expr) Expr { return &Bin{Op: OpMax, A: a, B: b} }
+func Neg(a Expr) Expr    { return &Un{Op: OpNeg, A: a} }
+func Not(a Expr) Expr    { return &Un{Op: OpNot, A: a} }
+func Abs(a Expr) Expr    { return &Un{Op: OpAbs, A: a} }
+
+// T builds a tensor reference over obj starting at element offset off.
+func T(obj string, off Expr, rows, cols int64) TensorRef {
+	if off == nil {
+		off = C(0)
+	}
+	return TensorRef{Obj: obj, Off: off, Rows: rows, Cols: cols}
+}
+
+// F declares a struct field (offset and size in bytes).
+func F(name string, offset, bytes int) Field {
+	return Field{Name: name, Offset: offset, Bytes: bytes}
+}
+
+// FF declares a float64 struct field.
+func FF(name string, offset int) Field {
+	return Field{Name: name, Offset: offset, Bytes: 8, Float: true}
+}

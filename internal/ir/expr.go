@@ -1,0 +1,150 @@
+package ir
+
+import "fmt"
+
+// Expr is a side-effect-free scalar expression.
+type Expr interface{ expr() }
+
+// Const is an integer literal.
+type Const struct{ I int64 }
+
+// ConstF is a floating-point literal.
+type ConstF struct{ F float64 }
+
+// Reg reads a function-local register (including loop induction
+// variables).
+type Reg struct{ ID int }
+
+// Param reads a scalar function parameter by name.
+type Param struct{ Name string }
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op BinOp
+	A  Expr
+	B  Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	A  Expr
+}
+
+func (*Const) expr()  {}
+func (*ConstF) expr() {}
+func (*Reg) expr()    {}
+func (*Param) expr()  {}
+func (*Bin) expr()    {}
+func (*Un) expr()     {}
+
+// BinOp enumerates binary operators. Comparison operators yield 0 or 1.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpAnd
+	OpOr
+	OpMin
+	OpMax
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("BinOp(%d)", int(op))
+	}
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	// OpNeg negates.
+	OpNeg UnOp = iota
+	// OpNot is logical negation (0 -> 1, non-zero -> 0).
+	OpNot
+	// OpAbs is absolute value.
+	OpAbs
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "!"
+	case OpAbs:
+		return "abs"
+	default:
+		return fmt.Sprintf("UnOp(%d)", int(op))
+	}
+}
+
+// WalkExpr visits e and its operands pre-order.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Bin:
+		WalkExpr(x.A, fn)
+		WalkExpr(x.B, fn)
+	case *Un:
+		WalkExpr(x.A, fn)
+	}
+}
+
+// ExprOps counts the operator nodes in e, the unit of compute cost the
+// executor charges and the offload cost model consumes (§4.8).
+func ExprOps(e Expr) int {
+	n := 0
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *Bin, *Un:
+			n++
+		}
+		return true
+	})
+	return n
+}

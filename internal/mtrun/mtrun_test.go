@@ -1,0 +1,181 @@
+package mtrun
+
+import (
+	"testing"
+
+	"mira/internal/apps/dataframe"
+	"mira/internal/apps/gpt2"
+	"mira/internal/exec"
+	"mira/internal/ir"
+	"mira/internal/netmodel"
+	"mira/internal/rt"
+	"mira/internal/sim"
+)
+
+func TestReadOnlyScalingShapes(t *testing.T) {
+	w := gpt2.New(gpt2.Config{Layers: 6, DModel: 64, DFF: 256, SeqLen: 16, Seed: 5})
+	budget := w.FullMemoryBytes()
+
+	timeOf := func(mode Mode, threads int) sim.Duration {
+		res, err := ReadOnlyScaling(mode, w, budget, threads)
+		if err != nil {
+			t.Fatalf("%s x%d: %v", mode, threads, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%s x%d: zero time", mode, threads)
+		}
+		return res.Time
+	}
+
+	speedups := map[Mode]float64{}
+	for _, mode := range []Mode{MiraPrivate, MiraShared, FastSwapShared} {
+		t1 := timeOf(mode, 1)
+		t4 := timeOf(mode, 4)
+		speedups[mode] = float64(t1) / float64(t4)
+		t.Logf("%s: 4-thread speedup %.2fx (t1=%v t4=%v)", mode, speedups[mode], t1, t4)
+		if speedups[mode] < 1.0 {
+			t.Errorf("%s: adding threads slowed fixed work down (%.2fx)", mode, speedups[mode])
+		}
+	}
+
+	// The paper's Fig. 24 shape: Mira scales better than FastSwap.
+	// (The Mira vs Mira-unopt gap needs concurrent eviction
+	// interference, which sequential simulation cannot produce — see
+	// the package comment.)
+	if speedups[MiraPrivate] <= speedups[FastSwapShared] {
+		t.Errorf("Mira scaling (%.2f) not above FastSwap (%.2f)",
+			speedups[MiraPrivate], speedups[FastSwapShared])
+	}
+}
+
+func TestSharedWriteFilterCorrectAndScales(t *testing.T) {
+	cfg := dataframe.Config{Rows: 1 << 14, Seed: 7}
+	budget := int64(1<<14) * 8 * 5 / 3 // about a third of the table
+
+	var oneThread, fourThreads sim.Duration
+	for _, threads := range []int{1, 4} {
+		res, err := SharedWriteFilter(MiraPrivate, cfg, budget, threads)
+		if err != nil {
+			t.Fatalf("mira x%d: %v", threads, err)
+		}
+		if threads == 1 {
+			oneThread = res.Time
+		} else {
+			fourThreads = res.Time
+		}
+	}
+	// Four threads each do a quarter of the work; even with shared-write
+	// conservatism the fork-join time must drop.
+	if fourThreads >= oneThread {
+		t.Errorf("shared-write filter did not scale: 1T %v, 4T %v", oneThread, fourThreads)
+	}
+
+	for _, mode := range []Mode{FastSwapShared, AIFMShared} {
+		if _, err := SharedWriteFilter(mode, cfg, budget, 4); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+}
+
+func TestSharedWriteFilterVerifies(t *testing.T) {
+	cfg := dataframe.Config{Rows: 4096, Seed: 11}
+	budget := int64(4096) * 8 * 2
+	threads := 4
+
+	// Run Mira mode and verify the shared result vector.
+	cfgF := cfg
+	cfgF.FilterOnly = true
+	w := dataframe.New(cfgF)
+	prog := w.Program()
+	progMT := cloneForEntryForTest(prog)
+	compiled, r, err := miraSharedFilterRuntime(progMT, budget, defaultNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Init(r); err != nil {
+		t.Fatal(err)
+	}
+	rows := w.Config().Rows
+	clk := sim.NewClock(0)
+	for i := 0; i < threads; i++ {
+		lo := rows * int64(i) / int64(threads)
+		hi := rows * int64(i+1) / int64(threads)
+		if err := runFilterPart(compiled, r, clk, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySharedFilter(cfg, threads, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Test helpers reusing mtrun internals.
+func cloneForEntryForTest(p *ir.Program) *ir.Program { return ir.CloneForEntry(p, "filterPart") }
+
+func defaultNet() netmodel.Config { return netmodel.DefaultConfig() }
+
+func runFilterPart(prog *ir.Program, r *rt.Runtime, clk *sim.Clock, lo, hi int64) error {
+	ex, err := exec.New(prog, r, exec.Options{Params: map[string]exec.Value{
+		"start":   exec.IntV(lo),
+		"end":     exec.IntV(hi),
+		"outbase": exec.IntV(lo),
+	}})
+	if err != nil {
+		return err
+	}
+	_, err = ex.Run(clk)
+	return err
+}
+
+func TestInvalidThreadCount(t *testing.T) {
+	w := gpt2.New(gpt2.Config{Layers: 1, DModel: 16, DFF: 32, SeqLen: 8, Seed: 1})
+	if _, err := ReadOnlyScaling(MiraPrivate, w, 1<<20, 0); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := SharedWriteFilter(MiraPrivate, dataframe.Config{Rows: 128, Seed: 1}, 1<<20, 0); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestReadOnlyScalingRejectsUnsupportedMode(t *testing.T) {
+	w := gpt2.New(gpt2.Config{Layers: 1, DModel: 16, DFF: 32, SeqLen: 4, Seed: 1})
+	if _, err := ReadOnlyScaling(AIFMShared, w, w.FullMemoryBytes(), 2); err == nil {
+		t.Fatal("aifm accepted for read-only scaling")
+	}
+	if _, err := ReadOnlyScaling(Mode("bogus"), w, w.FullMemoryBytes(), 2); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestSharedWriteFilterRejectsUnsupportedMode(t *testing.T) {
+	cfg := dataframe.Config{Rows: 256, Seed: 1}
+	if _, err := SharedWriteFilter(Mode("bogus"), cfg, 1<<20, 2); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// Fair-share semantics: with the budget and bandwidth split n ways, one
+// thread's single-rep time must grow with the thread count for every mode.
+func TestContentionMonotone(t *testing.T) {
+	w := gpt2.New(gpt2.Config{Layers: 4, DModel: 32, DFF: 128, SeqLen: 8, Seed: 2})
+	budget := w.FullMemoryBytes() / 2
+	for _, mode := range []Mode{MiraPrivate, FastSwapShared} {
+		perRep := func(threads int) float64 {
+			res, err := ReadOnlyScaling(mode, w, budget, threads)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", mode, threads, err)
+			}
+			reps := DefaultReps / threads
+			if reps < 1 {
+				reps = 1
+			}
+			return float64(res.Time) / float64(reps)
+		}
+		if t1, t8 := perRep(1), perRep(8); t8 <= t1 {
+			t.Errorf("%s: per-rep time did not grow under contention: %v vs %v", mode, t1, t8)
+		}
+	}
+}

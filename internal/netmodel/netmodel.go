@@ -1,0 +1,224 @@
+// Package netmodel models the interconnect between the compute node and the
+// far-memory node: an RDMA-like transport with one-sided reads/writes,
+// two-sided messages, scatter-gather batching, and a shared link whose
+// bandwidth is contended by all simulated threads.
+//
+// The paper's testbed is 50 Gbps InfiniBand (Mellanox FDR-CX3); the default
+// Config is calibrated to it. Every cost is virtual time (sim.Duration), so
+// experiments are deterministic. The model captures the effects the paper's
+// evaluation depends on:
+//
+//   - a base round-trip latency per operation, paid once per message,
+//   - a per-byte cost (line size and 4 KB page amplification matter),
+//   - cheaper large messages than many small ones (batching, §4.5),
+//   - one-sided ops that avoid the remote CPU copy vs two-sided ops that
+//     pay a copy but can carry partial structures (§4.7).
+package netmodel
+
+import (
+	"fmt"
+	"sync"
+
+	"mira/internal/sim"
+)
+
+// Config holds the interconnect cost parameters. All durations are virtual.
+type Config struct {
+	// OneSidedRTT is the end-to-end latency of a one-sided read or write
+	// of minimal size (verbs post + NIC + wire + DMA completion).
+	OneSidedRTT sim.Duration
+	// TwoSidedRTT is the latency of a two-sided message exchange of
+	// minimal size: it exceeds OneSidedRTT by the remote CPU's receive
+	// path.
+	TwoSidedRTT sim.Duration
+	// BytesPerSecond is the link bandwidth (default: 50 Gbps).
+	BytesPerSecond int64
+	// PerMessageOverhead is the sender-side CPU cost of posting one work
+	// request; batched scatter-gather entries share a single message and
+	// therefore pay it once.
+	PerMessageOverhead sim.Duration
+	// PerSGEOverhead is the incremental cost of each additional
+	// scatter-gather element in a batched message.
+	PerSGEOverhead sim.Duration
+	// RemoteCopyPerByte is the remote CPU's per-byte cost of staging a
+	// two-sided message into or out of its final location.
+	RemoteCopyPerByte float64 // nanoseconds per byte
+	// MaxMessageBytes is the largest efficiently-transmittable message;
+	// larger transfers are split and pay latency again per chunk. The
+	// paper observes the edge-section benefit flattening near 2 KB lines
+	// because of this knee (Fig. 9).
+	MaxMessageBytes int
+}
+
+// DefaultConfig returns the cost model calibrated to the paper's testbed
+// (§6): 50 Gbps InfiniBand, ~3 µs small-read latency.
+func DefaultConfig() Config {
+	return Config{
+		OneSidedRTT:        3 * sim.Microsecond,
+		TwoSidedRTT:        4200 * sim.Nanosecond,
+		BytesPerSecond:     50_000_000_000 / 8, // 50 Gbps => 6.25 GB/s
+		PerMessageOverhead: 250 * sim.Nanosecond,
+		PerSGEOverhead:     60 * sim.Nanosecond,
+		RemoteCopyPerByte:  0.08,
+		MaxMessageBytes:    2048,
+	}
+}
+
+// Validate reports an error for non-physical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.OneSidedRTT <= 0:
+		return fmt.Errorf("netmodel: OneSidedRTT must be positive, got %v", c.OneSidedRTT)
+	case c.TwoSidedRTT < c.OneSidedRTT:
+		return fmt.Errorf("netmodel: TwoSidedRTT %v below OneSidedRTT %v", c.TwoSidedRTT, c.OneSidedRTT)
+	case c.BytesPerSecond <= 0:
+		return fmt.Errorf("netmodel: BytesPerSecond must be positive, got %d", c.BytesPerSecond)
+	case c.MaxMessageBytes <= 0:
+		return fmt.Errorf("netmodel: MaxMessageBytes must be positive, got %d", c.MaxMessageBytes)
+	case c.PerMessageOverhead < 0 || c.PerSGEOverhead < 0 || c.RemoteCopyPerByte < 0:
+		return fmt.Errorf("netmodel: negative overhead in config")
+	}
+	return nil
+}
+
+// WireTime is the serialization delay of n bytes on the link — the portion
+// of a transfer's cost that occupies the shared link and therefore contends
+// across threads.
+func (c Config) WireTime(n int) sim.Duration { return c.wireTime(n) }
+
+// wireTime is the serialization delay of n bytes on the link.
+func (c Config) wireTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n) * 1e9 / float64(c.BytesPerSecond))
+}
+
+// chunks reports how many link-level messages a transfer of n bytes needs.
+func (c Config) chunks(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := (n + c.MaxMessageBytes - 1) / c.MaxMessageBytes
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// OneSidedCost returns the issuing thread's latency for a one-sided
+// read/write of n bytes: one RTT per MaxMessageBytes chunk (the CX3
+// generation the paper uses does not pipeline multi-packet requests — this
+// is the mechanism behind Fig. 9's ~2 KB line-size knee), wire time, and a
+// posting overhead per chunk.
+func (c Config) OneSidedCost(n int) sim.Duration {
+	k := c.chunks(n)
+	return c.OneSidedRTT*sim.Duration(k) +
+		c.wireTime(n) + c.PerMessageOverhead*sim.Duration(k)
+}
+
+// TwoSidedCost returns the latency of a two-sided exchange carrying n
+// payload bytes, including the remote CPU copy.
+func (c Config) TwoSidedCost(n int) sim.Duration {
+	k := c.chunks(n)
+	return c.TwoSidedRTT*sim.Duration(k) +
+		c.wireTime(n) + c.PerMessageOverhead*sim.Duration(k) +
+		sim.Duration(float64(n)*c.RemoteCopyPerByte)
+}
+
+// BatchedCost returns the latency of one scatter-gather message carrying the
+// given piece sizes. Compared with issuing len(pieces) separate messages, the
+// RTT and posting overhead are paid once (plus a small per-SGE cost), which
+// is the mechanism behind the paper's data-access batching (§4.5, Fig. 23).
+// Batched messages are two-sided: the far node must scatter the pieces.
+func (c Config) BatchedCost(pieces []int) sim.Duration {
+	if len(pieces) == 0 {
+		return 0
+	}
+	total := 0
+	for _, p := range pieces {
+		total += p
+	}
+	k := c.chunks(total)
+	return c.TwoSidedRTT*sim.Duration(k) +
+		c.wireTime(total) +
+		c.PerMessageOverhead*sim.Duration(k) +
+		c.PerSGEOverhead*sim.Duration(len(pieces)) +
+		sim.Duration(float64(total)*c.RemoteCopyPerByte)
+}
+
+// RTTEstimate returns the latency a compiler should assume when computing
+// prefetch distances (§4.5): the one-sided RTT plus wire time for a typical
+// line of n bytes.
+func (c Config) RTTEstimate(n int) sim.Duration {
+	return c.OneSidedRTT + c.wireTime(n) + c.PerMessageOverhead
+}
+
+// Bandwidth serializes transfers from all simulated threads onto the shared
+// link, modelling contention: a transfer issued at time t begins when the
+// link frees up and occupies it for the transfer's wire time. It is safe for
+// concurrent use (simulated threads may run on real goroutines in tests).
+type Bandwidth struct {
+	mu       sync.Mutex
+	cfg      Config
+	nextFree sim.Time
+	// totals for reporting
+	bytesMoved int64
+	transfers  int64
+}
+
+// NewBandwidth returns a contention accountant over cfg's link.
+func NewBandwidth(cfg Config) *Bandwidth {
+	return &Bandwidth{cfg: cfg}
+}
+
+// Acquire reserves the link for n bytes starting no earlier than now and
+// returns the instant the transfer completes on the wire. Latency (RTT) is
+// not included here — callers add it — only serialization and queueing.
+func (b *Bandwidth) Acquire(now sim.Time, n int) sim.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	end := start.Add(b.cfg.wireTime(n))
+	b.nextFree = end
+	b.bytesMoved += int64(n)
+	b.transfers++
+	return end
+}
+
+// BytesMoved reports the total bytes that crossed the link.
+func (b *Bandwidth) BytesMoved() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytesMoved
+}
+
+// Transfers reports the number of link acquisitions.
+func (b *Bandwidth) Transfers() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transfers
+}
+
+// ResetQueue clears only the link-busy horizon, keeping byte counters. The
+// multithreaded drivers call it between sequentially-simulated threads
+// whose clocks all start at zero: carrying the previous thread's queue into
+// the next would double-count contention already modeled by fair-share
+// bandwidth division.
+func (b *Bandwidth) ResetQueue() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextFree = 0
+}
+
+// Reset clears the accountant between runs.
+func (b *Bandwidth) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextFree = 0
+	b.bytesMoved = 0
+	b.transfers = 0
+}

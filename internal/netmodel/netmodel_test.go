@@ -1,0 +1,214 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mira/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig()
+
+	c := base
+	c.OneSidedRTT = 0
+	if c.Validate() == nil {
+		t.Error("zero OneSidedRTT accepted")
+	}
+
+	c = base
+	c.TwoSidedRTT = base.OneSidedRTT - 1
+	if c.Validate() == nil {
+		t.Error("TwoSidedRTT < OneSidedRTT accepted")
+	}
+
+	c = base
+	c.BytesPerSecond = 0
+	if c.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+
+	c = base
+	c.MaxMessageBytes = 0
+	if c.Validate() == nil {
+		t.Error("zero MaxMessageBytes accepted")
+	}
+
+	c = base
+	c.RemoteCopyPerByte = -1
+	if c.Validate() == nil {
+		t.Error("negative RemoteCopyPerByte accepted")
+	}
+}
+
+func TestOneSidedCostMonotonicInSize(t *testing.T) {
+	c := DefaultConfig()
+	prev := sim.Duration(0)
+	for _, n := range []int{0, 64, 128, 1024, 4096, 65536} {
+		got := c.OneSidedCost(n)
+		if got < prev {
+			t.Fatalf("OneSidedCost(%d)=%v less than smaller transfer %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTwoSidedCostsMoreThanOneSided(t *testing.T) {
+	c := DefaultConfig()
+	for _, n := range []int{64, 512, 4096} {
+		if c.TwoSidedCost(n) <= c.OneSidedCost(n) {
+			t.Fatalf("TwoSidedCost(%d)=%v not above OneSidedCost=%v",
+				n, c.TwoSidedCost(n), c.OneSidedCost(n))
+		}
+	}
+}
+
+func TestBatchedBeatsSeparateMessages(t *testing.T) {
+	c := DefaultConfig()
+	pieces := []int{128, 128, 128, 128}
+	batched := c.BatchedCost(pieces)
+	separate := sim.Duration(0)
+	for _, p := range pieces {
+		separate += c.TwoSidedCost(p)
+	}
+	if batched >= separate {
+		t.Fatalf("batched %v not cheaper than %d separate messages %v",
+			batched, len(pieces), separate)
+	}
+}
+
+func TestBatchedCostEmpty(t *testing.T) {
+	if got := DefaultConfig().BatchedCost(nil); got != 0 {
+		t.Fatalf("BatchedCost(nil) = %v, want 0", got)
+	}
+}
+
+func TestChunking(t *testing.T) {
+	c := DefaultConfig()
+	c.MaxMessageBytes = 1024
+	if got := c.chunks(0); got != 1 {
+		t.Errorf("chunks(0) = %d, want 1", got)
+	}
+	if got := c.chunks(1024); got != 1 {
+		t.Errorf("chunks(1024) = %d, want 1", got)
+	}
+	if got := c.chunks(1025); got != 2 {
+		t.Errorf("chunks(1025) = %d, want 2", got)
+	}
+	if got := c.chunks(4096); got != 4 {
+		t.Errorf("chunks(4096) = %d, want 4", got)
+	}
+}
+
+// Property: per-byte cost decreases (or stays equal) as transfers grow *up
+// to the chunking knee* — amortizing latency is the point of larger cache
+// lines (Fig. 9), and beyond MaxMessageBytes each extra chunk pays a fresh
+// RTT, which is the knee itself.
+func TestAmortizationProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(raw uint16) bool {
+		n := int(raw)%(c.MaxMessageBytes/2-64) + 64
+		small := float64(c.OneSidedCost(n)) / float64(n)
+		big := float64(c.OneSidedCost(2*n)) / float64(2*n)
+		return big <= small+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Beyond the knee, per-byte cost flattens: a 4 KB transfer costs two full
+// 2 KB transfers.
+func TestChunkKnee(t *testing.T) {
+	c := DefaultConfig()
+	got, want := c.OneSidedCost(4096), 2*c.OneSidedCost(2048)
+	diff := got - want
+	if diff < -2 || diff > 2 { // integer-ns rounding slack
+		t.Fatalf("OneSidedCost(4096) = %v, want ~%v (two chunks)", got, want)
+	}
+}
+
+func TestRTTEstimatePositive(t *testing.T) {
+	c := DefaultConfig()
+	if c.RTTEstimate(128) <= c.OneSidedRTT {
+		t.Fatalf("RTTEstimate(128)=%v should exceed bare RTT %v",
+			c.RTTEstimate(128), c.OneSidedRTT)
+	}
+}
+
+func TestBandwidthSerializes(t *testing.T) {
+	c := DefaultConfig()
+	bw := NewBandwidth(c)
+	// Two back-to-back 1 MB transfers at t=0: the second must start
+	// after the first finishes.
+	end1 := bw.Acquire(0, 1<<20)
+	end2 := bw.Acquire(0, 1<<20)
+	if end2 <= end1 {
+		t.Fatalf("second transfer finished at %v, not after first %v", end2, end1)
+	}
+	want := end1.Add(end1.Sub(0))
+	if end2 != want {
+		t.Fatalf("second transfer end %v, want %v (exact serialization)", end2, want)
+	}
+}
+
+func TestBandwidthIdleLinkStartsImmediately(t *testing.T) {
+	bw := NewBandwidth(DefaultConfig())
+	end := bw.Acquire(1000, 0)
+	if end != 1000 {
+		t.Fatalf("zero-byte transfer on idle link ended at %v, want 1000", end)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	bw := NewBandwidth(DefaultConfig())
+	bw.Acquire(0, 100)
+	bw.Acquire(0, 200)
+	if bw.BytesMoved() != 300 {
+		t.Fatalf("BytesMoved = %d, want 300", bw.BytesMoved())
+	}
+	if bw.Transfers() != 2 {
+		t.Fatalf("Transfers = %d, want 2", bw.Transfers())
+	}
+	bw.Reset()
+	if bw.BytesMoved() != 0 || bw.Transfers() != 0 {
+		t.Fatal("Reset did not clear accounting")
+	}
+}
+
+func TestBandwidthConcurrentSafety(t *testing.T) {
+	bw := NewBandwidth(DefaultConfig())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				bw.Acquire(0, 64)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if bw.Transfers() != 8000 {
+		t.Fatalf("Transfers = %d, want 8000", bw.Transfers())
+	}
+	if bw.BytesMoved() != 8000*64 {
+		t.Fatalf("BytesMoved = %d, want %d", bw.BytesMoved(), 8000*64)
+	}
+}
+
+func TestWireTime50Gbps(t *testing.T) {
+	c := DefaultConfig()
+	// 6250 bytes at 6.25 GB/s = 1 µs.
+	got := c.wireTime(6250)
+	if got < 990 || got > 1010 {
+		t.Fatalf("wireTime(6250) = %v ns, want ~1000", int64(got))
+	}
+}

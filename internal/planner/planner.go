@@ -1,0 +1,382 @@
+// Package planner implements Mira's iterative optimization flow (§3,
+// Fig. 1): profile the program on the generic swap configuration, pick the
+// highest-overhead functions (10%, then 20%, …) and the largest objects
+// within them, run the static analyses, derive cache-section configurations
+// (structure, line size, communication method), size the sections by
+// sampling + ILP, compile the program against the configuration, and accept
+// or roll back based on measured performance — repeating until the
+// iteration budget is exhausted or no gain remains.
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/analysis"
+	"mira/internal/baselines/fastswap"
+	"mira/internal/codegen"
+	"mira/internal/exec"
+	"mira/internal/farmem"
+	"mira/internal/ir"
+	"mira/internal/netmodel"
+	"mira/internal/profile"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/workload"
+)
+
+// Workload packages a program with its data so the planner can run it.
+type Workload = workload.Workload
+
+// Options configures a planning session.
+type Options struct {
+	// LocalBudget is the application's local memory in bytes. Zero
+	// defaults to half the workload's far-memory footprint.
+	LocalBudget int64
+	// Net is the interconnect model (zero: paper defaults).
+	Net netmodel.Config
+	// Cost is the local cost model (zero: defaults).
+	Cost rt.CostModel
+	// NodeCfg configures the far-memory node (zero: 64 GB, 3x CPU).
+	NodeCfg farmem.NodeConfig
+	// MaxIterations bounds the profiling-optimization loop (§3 "system
+	// administrators set an optimization target"). Default 3.
+	MaxIterations int
+	// SampleRatios are the section sizes sampled as fractions of the
+	// available budget (§4.3). Default {0.2, 0.4, 0.6, 0.8}.
+	SampleRatios []float64
+	// EnableOffload allows function offloading decisions (§4.8).
+	EnableOffload bool
+	// DisableSeparation keeps everything in the swap section (the
+	// Mira-baseline configuration of Figs. 7 and 21).
+	DisableSeparation bool
+	// Techniques masks individual optimizations for the Fig. 21-style
+	// breakdowns; zero value enables everything.
+	Techniques TechniqueMask
+}
+
+// TechniqueMask disables individual Mira techniques (all false = all on).
+type TechniqueMask struct {
+	NoPrefetch     bool
+	NoEvictHints   bool
+	NoBatching     bool
+	NoNative       bool
+	NoSelective    bool
+	NoRWOpt        bool // read/write-only optimizations (no-fetch stores)
+	ForceStructure int  // -1 = planner's choice; else cache.Structure value
+}
+
+// DefaultTechniques enables everything.
+func DefaultTechniques() TechniqueMask { return TechniqueMask{ForceStructure: -1} }
+
+// Iteration records one profiling-optimization round.
+type Iteration struct {
+	Index     int
+	FuncFrac  float64
+	Funcs     []string
+	Objects   []string
+	Time      sim.Duration
+	Accepted  bool
+	NumSecs   int
+	Offloaded []string
+}
+
+// Result is the planning outcome.
+type Result struct {
+	Workload string
+	// Program is the final compiled program (transformed clone).
+	Program *ir.Program
+	// Config is the accepted runtime configuration.
+	Config rt.Config
+	// Plan is the accepted codegen plan.
+	Plan *codegen.Plan
+	// BaselineTime is the iteration-0 (generic swap) execution time.
+	BaselineTime sim.Duration
+	// FinalTime is the accepted configuration's execution time.
+	FinalTime sim.Duration
+	// Iterations records every round, including rejected ones.
+	Iterations []Iteration
+	// Report is the last analysis report (informational).
+	Report *analysis.Report
+}
+
+// Plan runs the full iterative flow for one workload.
+func Plan(w Workload, opts Options) (*Result, error) {
+	opts = withDefaults(opts)
+	if opts.LocalBudget <= 0 {
+		// Default to half the workload's far footprint — the common
+		// experimental midpoint — so Plan(w, Options{}) works out of
+		// the box.
+		opts.LocalBudget = w.FullMemoryBytes() / 2
+	}
+	prog := w.Program()
+	res := &Result{Workload: w.Name()}
+
+	// Iteration 0: generic swap configuration, profiling run (§3
+	// "initially, Mira configures the local cache as a universal swap
+	// section").
+	swapCfg, err := swapOnlyConfig(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	baseTime, baseCol, err := runOnce(w, prog, swapCfg, opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("planner: baseline run: %w", err)
+	}
+	res.BaselineTime = baseTime
+	res.FinalTime = baseTime
+	res.Config = swapCfg
+	res.Program = prog
+	res.Plan = &codegen.Plan{}
+
+	if opts.DisableSeparation {
+		return res, nil
+	}
+
+	col := baseCol
+	// The analysis scope accumulates across iterations (§4.1: top 10%,
+	// then 20%, …): once a function or object is selected it stays
+	// selected, even if sectioning it dropped its profiled overhead out
+	// of the current round's top fraction.
+	funcSet := map[string]bool{}
+	objSet := map[string]bool{}
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		frac := 0.1 * float64(iter)
+		for _, f := range col.TopFunctions(atLeast(frac, iter, len(col.Functions()))) {
+			funcSet[f] = true
+		}
+		funcs := sortedKeys(funcSet)
+		if len(funcs) == 0 {
+			break
+		}
+		for _, o := range largestObjectsIn(prog, col, funcs, atLeast(frac, iter, len(col.Objects()))) {
+			objSet[o] = true
+		}
+		objs := sortedKeys(objSet)
+		if len(objs) == 0 {
+			break
+		}
+		report, err := analysis.Analyze(prog, funcs, objs)
+		if err != nil {
+			return nil, err
+		}
+		res.Report = report
+
+		cfg, plan, offloaded, err := buildConfig(w, prog, report, objs, col, opts)
+		if err != nil {
+			// No feasible sectioned configuration at this scope (tiny
+			// budgets can be unable to host any section beyond the
+			// swap pool). The candidate is rejected; the last accepted
+			// compilation — at worst iteration 0's swap config —
+			// stands (§4.1's rollback).
+			res.Iterations = append(res.Iterations, Iteration{
+				Index: iter, FuncFrac: frac, Funcs: funcs, Objects: objs,
+			})
+			continue
+		}
+		compiled, err := codegen.Apply(prog, plan)
+		if err != nil {
+			return nil, err
+		}
+		t, newCol, err := runOnce(w, compiled, cfg, opts, true)
+		rec := Iteration{
+			Index:     iter,
+			FuncFrac:  frac,
+			Funcs:     funcs,
+			Objects:   objs,
+			NumSecs:   len(cfg.Sections),
+			Offloaded: offloaded,
+		}
+		if err != nil {
+			// A candidate the runtime rejects (e.g. line floors pushed
+			// the carve-up past the budget) is a rejected iteration,
+			// not a planning failure.
+			res.Iterations = append(res.Iterations, rec)
+			continue
+		}
+		rec.Time = t
+		// Accept or roll back (§4.1 "we roll back to the previous
+		// iteration's configuration").
+		if t < res.FinalTime {
+			rec.Accepted = true
+			res.FinalTime = t
+			res.Config = cfg
+			res.Plan = plan
+			res.Program = compiled
+			col = newCol
+		}
+		res.Iterations = append(res.Iterations, rec)
+	}
+	return res, nil
+}
+
+// sortedKeys returns a set's members in deterministic order.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// atLeast widens frac so that it selects at least minK of n items.
+func atLeast(frac float64, minK, n int) float64 {
+	if n <= 0 {
+		return frac
+	}
+	need := float64(minK) / float64(n)
+	if need > frac {
+		return need
+	}
+	return frac
+}
+
+func withDefaults(opts Options) Options {
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 3
+	}
+	if len(opts.SampleRatios) == 0 {
+		opts.SampleRatios = []float64{0.2, 0.4, 0.6, 0.8}
+	}
+	if opts.Net.BytesPerSecond == 0 {
+		opts.Net = netmodel.DefaultConfig()
+	}
+	if opts.Cost == (rt.CostModel{}) {
+		opts.Cost = rt.DefaultCostModel()
+	}
+	if opts.NodeCfg.Capacity == 0 {
+		opts.NodeCfg = farmem.DefaultNodeConfig()
+	}
+	if opts.Techniques == (TechniqueMask{}) {
+		opts.Techniques = DefaultTechniques()
+	}
+	return opts
+}
+
+// swapOnlyConfig places every non-local object in the swap section.
+func swapOnlyConfig(prog *ir.Program, opts Options) (rt.Config, error) {
+	local := localBytes(prog)
+	pool := opts.LocalBudget - local
+	if pool <= 0 {
+		return rt.Config{}, fmt.Errorf("planner: local objects (%d bytes) exceed budget %d", local, opts.LocalBudget)
+	}
+	return rt.Config{
+		LocalBudget: opts.LocalBudget,
+		SwapPool:    pool,
+		Placements:  map[string]rt.Placement{},
+		Cost:        opts.Cost,
+		Net:         opts.Net,
+	}, nil
+}
+
+func localBytes(prog *ir.Program) int64 {
+	var t int64
+	for _, o := range prog.Objects {
+		if o.Local {
+			t += o.SizeBytes()
+		}
+	}
+	return t
+}
+
+// runOnce executes a program under a configuration and returns elapsed time
+// and the profile.
+func runOnce(w Workload, prog *ir.Program, cfg rt.Config, opts Options, profiling bool) (sim.Duration, *profile.Collector, error) {
+	cfg.Profiling = profiling
+	node := farmem.NewNode(opts.NodeCfg)
+	r, err := rt.New(cfg, node)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := r.Bind(prog); err != nil {
+		return 0, nil, err
+	}
+	// The generic swap section behaves like a traditional swap system
+	// (§3 "the initial execution works almost the same as traditional
+	// page swap-based systems"), cluster readahead included.
+	r.SwapPrefetcher(fastswap.Readahead{N: 2})
+	if err := w.Init(r); err != nil {
+		return 0, nil, err
+	}
+	col := profile.NewCollector()
+	ex, err := exec.New(prog, r, exec.Options{
+		ComputeOp: opts.Cost.ComputeOp,
+		FloatOp:   opts.Cost.FloatOp,
+		Collector: col,
+		Params:    w.Params(),
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		return 0, nil, err
+	}
+	if err := r.FlushAll(clk); err != nil {
+		return 0, nil, err
+	}
+	return clk.Now().Sub(0), col, nil
+}
+
+// largestObjectsIn returns the largest frac of objects accessed by the
+// selected functions (§4.1).
+func largestObjectsIn(prog *ir.Program, col *profile.Collector, funcs []string, frac float64) []string {
+	accessed := map[string]bool{}
+	seen := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		fn, ok := prog.Func(name)
+		if !ok {
+			return
+		}
+		ir.Walk(fn.Body, func(s ir.Stmt) bool {
+			switch st := s.(type) {
+			case *ir.Load:
+				accessed[st.Obj] = true
+			case *ir.Store:
+				accessed[st.Obj] = true
+			case *ir.Intrinsic:
+				for _, t := range []ir.TensorRef{st.Dst, st.A, st.B} {
+					if t.Obj != "" {
+						accessed[t.Obj] = true
+					}
+				}
+			case *ir.Call:
+				visit(st.Callee)
+			}
+			return true
+		})
+	}
+	for _, f := range funcs {
+		visit(f)
+	}
+	// Rank the objects the selected functions access by profiled size
+	// (§4.1: "we pick the largest 10% objects" *in* those functions),
+	// then take the top fraction of that ranking.
+	var ranked []string
+	for _, name := range col.LargestObjects(1.0) {
+		o, ok := prog.Object(name)
+		if !ok || o.Local {
+			continue
+		}
+		if accessed[name] {
+			ranked = append(ranked, name)
+		}
+	}
+	if len(ranked) == 0 {
+		return nil
+	}
+	k := int(frac*float64(len(ranked)) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}

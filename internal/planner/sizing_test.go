@@ -1,0 +1,130 @@
+package planner
+
+import (
+	"testing"
+
+	"mira/internal/apps/dataframe"
+	"mira/internal/cache"
+)
+
+func draftsOf(sizes []int64, line int) []*sectionDraft {
+	out := make([]*sectionDraft, len(sizes))
+	for i, sz := range sizes {
+		out[i] = &sectionDraft{
+			name:      "d",
+			lineBytes: line,
+			sizeBytes: sz,
+			structure: cache.Direct,
+		}
+	}
+	return out
+}
+
+func TestNormalizeSizesNoOpUnderBudget(t *testing.T) {
+	ds := draftsOf([]int64{1024, 2048}, 128)
+	normalizeSizes(ds, 4096)
+	if ds[0].sizeBytes != 1024 || ds[1].sizeBytes != 2048 {
+		t.Fatalf("under-budget drafts resized: %d %d", ds[0].sizeBytes, ds[1].sizeBytes)
+	}
+}
+
+func TestNormalizeSizesProportionalShrink(t *testing.T) {
+	ds := draftsOf([]int64{6000, 2000}, 128)
+	normalizeSizes(ds, 4000)
+	var total int64
+	for _, d := range ds {
+		total += d.sizeBytes
+		if d.sizeBytes < 128 {
+			t.Fatalf("draft below line floor: %d", d.sizeBytes)
+		}
+	}
+	if total > 4000 {
+		t.Fatalf("shrink overshot budget: %d", total)
+	}
+	if ds[0].sizeBytes <= ds[1].sizeBytes {
+		t.Fatal("proportionality lost: larger draft no longer larger")
+	}
+}
+
+func TestNormalizeSizesLineFloorApplied(t *testing.T) {
+	ds := draftsOf([]int64{10, 20}, 256)
+	normalizeSizes(ds, 1<<20)
+	if ds[0].sizeBytes != 256 || ds[1].sizeBytes != 256 {
+		t.Fatalf("line floor not applied: %d %d", ds[0].sizeBytes, ds[1].sizeBytes)
+	}
+}
+
+func TestNormalizeSizesLastResortShrinkToLines(t *testing.T) {
+	// Proportional shares still overshoot once the small draft hits its
+	// line floor: the last-resort pass collapses everything to one line.
+	ds := draftsOf([]int64{8192, 256}, 128)
+	normalizeSizes(ds, 600)
+	for i, d := range ds {
+		if d.sizeBytes != 128 {
+			t.Fatalf("draft %d not collapsed to a line: %d", i, d.sizeBytes)
+		}
+	}
+}
+
+func TestNormalizeSizesImpossibleBudgetLeavesFloors(t *testing.T) {
+	// Even one line per draft exceeds the budget; normalize must leave
+	// the floors (Validate rejects later) rather than loop forever.
+	ds := draftsOf([]int64{4096, 4096}, 512)
+	normalizeSizes(ds, 100)
+	for _, d := range ds {
+		if d.sizeBytes != 512 {
+			t.Fatalf("floor abandoned: %d", d.sizeBytes)
+		}
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	// Fraction already above the floor: unchanged.
+	if got := atLeast(0.5, 1, 10); got != 0.5 {
+		t.Fatalf("atLeast(0.5,1,10) = %v", got)
+	}
+	// Floor dominates: k/n.
+	if got := atLeast(0.1, 3, 10); got != 0.3 {
+		t.Fatalf("atLeast(0.1,3,10) = %v", got)
+	}
+	// Degenerate n.
+	if got := atLeast(0.25, 2, 0); got != 0.25 {
+		t.Fatalf("atLeast with n=0 = %v", got)
+	}
+}
+
+func TestPlanTinyBudgetDegradesGracefully(t *testing.T) {
+	w := dataframe.New(dataframe.Config{Rows: 4096, Seed: 1})
+	// A budget too small for any cache section must either error or fall
+	// back to the iteration-0 swap configuration — candidate configs the
+	// runtime rejects are rolled back, never surfaced as failures.
+	res, err := Plan(w, Options{LocalBudget: 64, MaxIterations: 2})
+	if err != nil {
+		return // an explicit error is acceptable
+	}
+	if res.FinalTime <= 0 || res.FinalTime > res.BaselineTime {
+		t.Fatalf("tiny budget regressed past the swap baseline: final %v baseline %v",
+			res.FinalTime, res.BaselineTime)
+	}
+	// Whatever was accepted must fit the budget.
+	var used int64 = res.Config.SwapPool
+	for _, sec := range res.Config.Sections {
+		used += sec.Cache.SizeBytes
+	}
+	if used > 64 {
+		t.Fatalf("accepted config uses %d bytes of a 64-byte budget", used)
+	}
+}
+
+func TestPlanZeroBudgetDefaulted(t *testing.T) {
+	// Zero budget means "use the default fraction" per withDefaults —
+	// Plan should succeed on a small workload.
+	w := dataframe.New(dataframe.Config{Rows: 1024, Seed: 1})
+	res, err := Plan(w, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatalf("zero-budget plan failed: %v", err)
+	}
+	if res.FinalTime <= 0 {
+		t.Fatal("no time recorded")
+	}
+}

@@ -1,0 +1,235 @@
+// Package profile implements Mira's coarse-grained run-time profiling
+// (§4.1): per-function execution time and time spent inside the Mira
+// runtime (cache lookups, misses, evictions), plus allocation-site sizes.
+// The planner consumes these to pick which functions and objects to analyze
+// ("highest 10% functions", "largest 10% objects") and to compute the
+// paper's cache-performance-overhead metric.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/sim"
+)
+
+// FuncRecord accumulates one function's profile.
+type FuncRecord struct {
+	Name string
+	// Calls counts invocations.
+	Calls int64
+	// Total is inclusive virtual time across calls.
+	Total sim.Duration
+	// Runtime is the portion of Total spent inside the far-memory
+	// runtime while this function's frame was innermost.
+	Runtime sim.Duration
+	// Accesses and Misses count far-memory accesses and cache-section /
+	// swap misses attributed to the function (§4.1 per-function miss
+	// rate).
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate is the function's per-access miss fraction.
+func (f *FuncRecord) MissRate() float64 {
+	if f.Accesses == 0 {
+		return 0
+	}
+	return float64(f.Misses) / float64(f.Accesses)
+}
+
+// Overhead is the paper's cache performance overhead: time in the Mira
+// runtime over the remaining execution time.
+func (f *FuncRecord) Overhead() float64 {
+	rest := f.Total - f.Runtime
+	if rest <= 0 {
+		if f.Runtime == 0 {
+			return 0
+		}
+		return float64(f.Runtime) // pathological: all time in runtime
+	}
+	return float64(f.Runtime) / float64(rest)
+}
+
+// ObjectRecord tracks one allocation site.
+type ObjectRecord struct {
+	Name  string
+	Bytes int64
+}
+
+// Collector gathers profile events from the executor. It is not safe for
+// concurrent use; multithreaded simulations use one collector per simulated
+// thread and merge.
+type Collector struct {
+	funcs   map[string]*FuncRecord
+	objects map[string]*ObjectRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		funcs:   make(map[string]*FuncRecord),
+		objects: make(map[string]*ObjectRecord),
+	}
+}
+
+// FuncCall records one completed invocation.
+func (c *Collector) FuncCall(name string, elapsed sim.Duration) {
+	f := c.fn(name)
+	f.Calls++
+	f.Total += elapsed
+}
+
+// RuntimeTime attributes runtime-internal time to a function.
+func (c *Collector) RuntimeTime(name string, d sim.Duration) {
+	c.fn(name).Runtime += d
+}
+
+// AccessEvent attributes one far-memory access (and whether it missed) to
+// a function.
+func (c *Collector) AccessEvent(name string, missed bool) {
+	f := c.fn(name)
+	f.Accesses++
+	if missed {
+		f.Misses++
+	}
+}
+
+// AllocSite records an allocation site's size.
+func (c *Collector) AllocSite(obj string, bytes int64) {
+	if o, ok := c.objects[obj]; ok {
+		o.Bytes += bytes
+		return
+	}
+	c.objects[obj] = &ObjectRecord{Name: obj, Bytes: bytes}
+}
+
+func (c *Collector) fn(name string) *FuncRecord {
+	if f, ok := c.funcs[name]; ok {
+		return f
+	}
+	f := &FuncRecord{Name: name}
+	c.funcs[name] = f
+	return f
+}
+
+// Func returns a function's record (nil if never seen).
+func (c *Collector) Func(name string) *FuncRecord { return c.funcs[name] }
+
+// Functions returns all records sorted by descending overhead, ties broken
+// by name for determinism.
+func (c *Collector) Functions() []*FuncRecord {
+	out := make([]*FuncRecord, 0, len(c.funcs))
+	for _, f := range c.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := out[i].Overhead(), out[j].Overhead()
+		if oi != oj {
+			return oi > oj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TopFunctions returns the ceil(frac * n) functions with the highest cache
+// performance overhead (§4.1: 10% in the first iteration, 20% in the next,
+// …). Functions with zero overhead are excluded — there is nothing to
+// optimize.
+func (c *Collector) TopFunctions(frac float64) []string {
+	all := c.Functions()
+	if len(all) == 0 {
+		return nil
+	}
+	k := int(frac*float64(len(all)) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	var out []string
+	for _, f := range all[:k] {
+		if f.Overhead() <= 0 {
+			break
+		}
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// Objects returns allocation sites sorted by descending size.
+func (c *Collector) Objects() []*ObjectRecord {
+	out := make([]*ObjectRecord, 0, len(c.objects))
+	for _, o := range c.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// LargestObjects returns the ceil(frac * n) largest allocation sites
+// (§4.1).
+func (c *Collector) LargestObjects(frac float64) []string {
+	all := c.Objects()
+	if len(all) == 0 {
+		return nil
+	}
+	k := int(frac*float64(len(all)) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, 0, k)
+	for _, o := range all[:k] {
+		out = append(out, o.Name)
+	}
+	return out
+}
+
+// TotalRuntime sums runtime-internal time across functions.
+func (c *Collector) TotalRuntime() sim.Duration {
+	var t sim.Duration
+	for _, f := range c.funcs {
+		t += f.Runtime
+	}
+	return t
+}
+
+// Merge folds other into c (multithreaded runs).
+func (c *Collector) Merge(other *Collector) {
+	for name, f := range other.funcs {
+		dst := c.fn(name)
+		dst.Calls += f.Calls
+		dst.Total += f.Total
+		dst.Runtime += f.Runtime
+		dst.Accesses += f.Accesses
+		dst.Misses += f.Misses
+	}
+	for name, o := range other.objects {
+		c.AllocSite(name, o.Bytes)
+	}
+}
+
+// String renders a human-readable profile table.
+func (c *Collector) String() string {
+	var sb strings.Builder
+	sb.WriteString("func                     calls      total    runtime  overhead  missrate\n")
+	for _, f := range c.Functions() {
+		fmt.Fprintf(&sb, "%-22s %7d %10s %10s %8.3f %9.4f\n",
+			f.Name, f.Calls, f.Total, f.Runtime, f.Overhead(), f.MissRate())
+	}
+	for _, o := range c.Objects() {
+		fmt.Fprintf(&sb, "object %-18s %10d bytes\n", o.Name, o.Bytes)
+	}
+	return sb.String()
+}

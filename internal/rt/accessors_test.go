@@ -1,0 +1,124 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/cache"
+)
+
+func TestAccessorsAndStats(t *testing.T) {
+	r, clk := mkRuntime(t, nil)
+	if r.Transport() == nil {
+		t.Fatal("no transport")
+	}
+	if got := r.Config().SwapPool; got != 64<<10 {
+		t.Fatalf("config swap pool %d", got)
+	}
+	if r.NumSections() != 1 {
+		t.Fatal("section count")
+	}
+	if got := r.SectionConfig(0); got.Name != "items" || got.Structure != cache.SetAssoc {
+		t.Fatalf("section config %+v", got)
+	}
+	if !r.HasSwap() {
+		t.Fatal("swap missing")
+	}
+
+	// Drive one miss through the section and one through swap, then check
+	// the counters and reset.
+	buf := make([]byte, 8)
+	if err := r.Access(clk, "items", 3, fld(0, 8), buf, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Access(clk, "vec", 5, fld(0, 8), buf, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.MissCount() == 0 {
+		t.Fatal("no misses counted")
+	}
+	if r.SwapStats().MajorFaults == 0 {
+		t.Fatal("no swap fault counted")
+	}
+	r.ResetStats()
+	if r.MissCount() != 0 {
+		t.Fatalf("miss count %d after reset", r.MissCount())
+	}
+	if r.SwapStats().MajorFaults != 0 {
+		t.Fatal("swap stats survived reset")
+	}
+}
+
+func TestFarAddr(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	a0, err := r.FarAddr("items", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.FarAddr("items", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a0+2*64 {
+		t.Fatalf("element stride wrong: %d vs %d", a0, a2)
+	}
+	if _, err := r.FarAddr("nosuch", 0); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+func TestConfigAndPtrStrings(t *testing.T) {
+	for k, want := range map[PlaceKind]string{PlaceSwap: "swap", PlaceSection: "section", PlaceLocal: "local"} {
+		if k.String() != want {
+			t.Fatalf("PlaceKind %d renders %q", int(k), k.String())
+		}
+	}
+	if got := PlaceKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+	p := MakePtr(2, 0x40)
+	if ps := p.String(); !strings.Contains(ps, "2") {
+		t.Fatalf("ptr render %q", ps)
+	}
+	if lp := MakePtr(LocalSection, 0x40).String(); !strings.Contains(lp, "local") {
+		t.Fatalf("local ptr render %q", lp)
+	}
+}
+
+// Pinned lines survive eviction pressure; unpinning releases them. This is
+// the §4.6 shared-section don't-evict mechanism at the runtime level.
+func TestPinBlocksEviction(t *testing.T) {
+	r, clk := mkRuntime(t, func(c *Config) {
+		// Shrink the section to 4 lines of 128 B so pressure is easy.
+		c.Sections[0].Cache.SizeBytes = 512
+		c.Sections[0].Cache.Ways = 4
+		c.Sections[0].Cache.Structure = cache.FullAssoc
+	})
+	buf := make([]byte, 8)
+	// Write element 0 (dirty), pin its line, then stream far past
+	// capacity.
+	if err := r.Access(clk, "items", 0, fld(0, 8), []byte{1, 2, 3, 4, 5, 6, 7, 8}, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	r.Pin("items", 0, +1)
+	for e := int64(2); e < 40; e += 2 { // element stride 2 = one per 128B line
+		if err := r.Access(clk, "items", e, fld(0, 8), buf, false, AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pinned line must still hit (no miss-count change on re-access).
+	before := r.MissCount()
+	if err := r.Access(clk, "items", 0, fld(0, 8), buf, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.MissCount() != before {
+		t.Fatal("pinned line was evicted")
+	}
+	if string(buf) != string([]byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("pinned line lost its data: %v", buf)
+	}
+	r.Pin("items", 0, -1)
+	// Pinning unknown or swap-placed objects is a harmless no-op.
+	r.Pin("nosuch", 0, +1)
+	r.Pin("vec", 0, +1)
+}

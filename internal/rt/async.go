@@ -1,0 +1,346 @@
+package rt
+
+import (
+	"fmt"
+
+	"mira/internal/cache"
+	"mira/internal/ir"
+	"mira/internal/sim"
+)
+
+// Prefetch starts an asynchronous fetch of the line holding obj[elem].field
+// (§4.5 adaptive prefetching). The issuing thread pays only the posting
+// cost; a later access to the line waits for the remainder, if any.
+func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Field) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: prefetch of unknown object %q", name)
+	}
+	if elem < 0 || elem >= o.decl.Count {
+		return nil // speculative prefetch past the end: drop silently
+	}
+	switch o.place.Kind {
+	case PlaceLocal:
+		return nil
+	case PlaceSwap:
+		return fmt.Errorf("rt: prefetch into swap section for %q (compiler bug: swap objects use the page prefetcher)", name)
+	}
+	s := r.secs[o.place.Section]
+	addr := o.farBase + uint64(elem)*uint64(o.decl.ElemBytes) + uint64(field.Offset)
+	tag := cache.AlignDown(addr, s.spec.Cache.LineBytes)
+	if _, resident := s.sec.Peek(addr); resident {
+		return nil
+	}
+	if _, inflight := s.inflight[tag]; inflight {
+		return nil
+	}
+	clk.Advance(r.cfg.Net.PerMessageOverhead)
+	l, victim := s.sec.Reserve(addr)
+	if err := r.retireVictim(clk, s, o, victim); err != nil {
+		return err
+	}
+	done, err := r.fetchLine(clk.Now(), s, o, l)
+	if err != nil {
+		return err
+	}
+	s.inflight[tag] = done
+	return nil
+}
+
+// BatchEntry names one piece of a batched prefetch.
+type BatchEntry struct {
+	Obj   string
+	Elem  int64
+	Field ir.Field
+}
+
+// PrefetchBatch fetches several lines — possibly of different objects and
+// sections — in a single two-sided scatter-gather message (§4.5 data access
+// batching). The issuing thread pays one posting cost.
+func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
+	type piece struct {
+		s *sectionRT
+		l *cache.Line
+	}
+	var addrs []uint64
+	var sizes []int
+	var pieces []piece
+	for _, e := range entries {
+		o, ok := r.objs[e.Obj]
+		if !ok {
+			return fmt.Errorf("rt: batch prefetch of unknown object %q", e.Obj)
+		}
+		if o.place.Kind != PlaceSection {
+			continue
+		}
+		if e.Elem < 0 || e.Elem >= o.decl.Count {
+			continue
+		}
+		s := r.secs[o.place.Section]
+		addr := o.farBase + uint64(e.Elem)*uint64(o.decl.ElemBytes) + uint64(e.Field.Offset)
+		tag := cache.AlignDown(addr, s.spec.Cache.LineBytes)
+		if _, resident := s.sec.Peek(addr); resident {
+			continue
+		}
+		if _, inflight := s.inflight[tag]; inflight {
+			continue
+		}
+		l, victim := s.sec.Reserve(addr)
+		if err := r.retireVictim(clk, s, o, victim); err != nil {
+			return err
+		}
+		addrs = append(addrs, tag)
+		sizes = append(sizes, len(l.Data))
+		pieces = append(pieces, piece{s: s, l: l})
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	clk.Advance(r.cfg.Net.PerMessageOverhead)
+	data, done, err := r.tr.GatherTwoSided(clk.Now(), addrs, sizes)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for i, p := range pieces {
+		copy(p.l.Data, data[pos:pos+sizes[i]])
+		pos += sizes[i]
+		p.s.inflight[p.l.Tag] = done
+	}
+	return nil
+}
+
+// EvictHint marks obj[elem]'s line evictable and flushes it asynchronously
+// if dirty (§4.5 eviction hints).
+func (r *Runtime) EvictHint(clk *sim.Clock, name string, elem int64) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: evict hint for unknown object %q", name)
+	}
+	if o.place.Kind != PlaceSection || elem < 0 || elem >= o.decl.Count {
+		return nil
+	}
+	s := r.secs[o.place.Section]
+	addr := o.farBase + uint64(elem)*uint64(o.decl.ElemBytes)
+	l, resident := s.sec.Peek(addr)
+	if !resident {
+		return nil
+	}
+	s.sec.MarkEvictable(addr)
+	if l.Dirty {
+		clk.Advance(r.cfg.Net.PerMessageOverhead)
+		done, err := r.writebackLine(clk.Now(), o, l.Tag, l.Data)
+		if err != nil {
+			return err
+		}
+		l.Dirty = false
+		if done > r.lastFlush {
+			r.lastFlush = done
+		}
+	}
+	return nil
+}
+
+// Pin adjusts the don't-evict count of obj[elem]'s line (§4.6 shared
+// sections). Pinning an absent line is a no-op.
+func (r *Runtime) Pin(name string, elem int64, delta int) {
+	o, ok := r.objs[name]
+	if !ok || o.place.Kind != PlaceSection {
+		return
+	}
+	s := r.secs[o.place.Section]
+	addr := o.farBase + uint64(elem)*uint64(o.decl.ElemBytes)
+	s.sec.Pin(addr, delta)
+}
+
+// SettleAsync marks all in-flight prefetches and write-backs complete
+// without advancing any clock. The multithreaded drivers call it at
+// simulated-thread boundaries: each simulated thread has its own virtual
+// clock starting at zero, so completion instants recorded under another
+// thread's clock frame are meaningless (physically, the previous thread's
+// asynchronous work has long finished by the time the next thread's
+// timeline is measured).
+func (r *Runtime) SettleAsync() {
+	for _, s := range r.secs {
+		for tag := range s.inflight {
+			delete(s.inflight, tag)
+		}
+	}
+	if r.swapC != nil {
+		r.swapC.SettleAsync()
+	}
+	r.lastFlush = 0
+}
+
+// Fence blocks until every in-flight prefetch and asynchronous write-back
+// has completed.
+func (r *Runtime) Fence(clk *sim.Clock) {
+	latest := r.lastFlush
+	for _, s := range r.secs {
+		for _, t := range s.inflight {
+			if t > latest {
+				latest = t
+			}
+		}
+	}
+	clk.AdvanceTo(latest)
+}
+
+// FlushObject writes back and drops every cached line of the object,
+// blocking until far memory is up to date. The compiler emits this before
+// offloaded calls that read the object (§4.8) and at section lifetime ends.
+func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: flush of unknown object %q", name)
+	}
+	switch o.place.Kind {
+	case PlaceLocal:
+		return nil
+	case PlaceSwap:
+		return r.swapC.FlushAll(clk)
+	}
+	s := r.secs[o.place.Section]
+	lb := uint64(s.spec.Cache.LineBytes)
+	start := cache.AlignDown(o.farBase, int(lb))
+	end := o.farBase + uint64(o.decl.SizeBytes())
+	var tags []uint64
+	s.sec.ForEachResident(func(l *cache.Line) {
+		if l.Tag >= start && l.Tag < end {
+			tags = append(tags, l.Tag)
+		}
+	})
+	last := clk.Now()
+	for _, tag := range tags {
+		v, ok := s.sec.Drop(tag)
+		if !ok {
+			continue
+		}
+		delete(s.inflight, tag)
+		if v.Dirty {
+			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+			if err != nil {
+				return err
+			}
+			if done > last {
+				last = done
+			}
+		}
+	}
+	clk.AdvanceTo(last)
+	return nil
+}
+
+// Release ends an object's cached lifetime (§4.1): every line is dropped;
+// dirty lines are written back asynchronously (the issuing thread pays only
+// posting costs). Swap- and local-placed objects are left alone — the swap
+// section has its own global reclamation.
+func (r *Runtime) Release(clk *sim.Clock, name string) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: release of unknown object %q", name)
+	}
+	if o.place.Kind != PlaceSection {
+		return nil
+	}
+	s := r.secs[o.place.Section]
+	lb := uint64(s.spec.Cache.LineBytes)
+	start := cache.AlignDown(o.farBase, int(lb))
+	end := o.farBase + uint64(o.decl.SizeBytes())
+	var tags []uint64
+	s.sec.ForEachResident(func(l *cache.Line) {
+		if l.Tag >= start && l.Tag < end {
+			tags = append(tags, l.Tag)
+		}
+	})
+	for _, tag := range tags {
+		v, ok := s.sec.Drop(tag)
+		if !ok {
+			continue
+		}
+		delete(s.inflight, tag)
+		if v.Dirty {
+			clk.Advance(r.cfg.Net.PerMessageOverhead)
+			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+			if err != nil {
+				return err
+			}
+			if done > r.lastFlush {
+				r.lastFlush = done
+			}
+		}
+	}
+	return nil
+}
+
+// FlushAll flushes every section and the swap pool; used at program end so
+// DumpObject sees final data, and by multithreaded barriers.
+func (r *Runtime) FlushAll(clk *sim.Clock) error {
+	for name := range r.objs {
+		o := r.objs[name]
+		if o.place.Kind == PlaceSection {
+			if err := r.FlushObject(clk, name); err != nil {
+				return err
+			}
+		}
+	}
+	if r.swapC != nil {
+		if err := r.swapC.FlushAll(clk); err != nil {
+			return err
+		}
+	}
+	r.Fence(clk)
+	return nil
+}
+
+// ReleaseSection ends a section's lifetime (§4.1: "we end a section as soon
+// as its lifetime in the program ends"): dirty lines are flushed
+// asynchronously and every line is dropped, freeing the space for live
+// sections. (Static sizing already accounts for overlap via the ILP; the
+// runtime release keeps the model honest and the stats meaningful.)
+func (r *Runtime) ReleaseSection(clk *sim.Clock, idx int) error {
+	if idx < 0 || idx >= len(r.secs) {
+		return fmt.Errorf("rt: release of section %d of %d", idx, len(r.secs))
+	}
+	s := r.secs[idx]
+	var tags []uint64
+	s.sec.ForEachResident(func(l *cache.Line) { tags = append(tags, l.Tag) })
+	for _, tag := range tags {
+		v, ok := s.sec.Drop(tag)
+		if !ok {
+			continue
+		}
+		delete(s.inflight, tag)
+		if v.Dirty {
+			// Sections serve objects with disjoint far ranges, so
+			// resolving the owner by tag is unambiguous.
+			o := r.ownerOf(tag)
+			if o == nil {
+				return fmt.Errorf("rt: dirty line %#x has no owning object", tag)
+			}
+			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+			if err != nil {
+				return err
+			}
+			if done > r.lastFlush {
+				r.lastFlush = done
+			}
+		}
+	}
+	return nil
+}
+
+// ownerOf finds the section-placed object whose allocation covers a far
+// address.
+func (r *Runtime) ownerOf(far uint64) *objectRT {
+	for _, o := range r.objs {
+		if o.place.Kind != PlaceSection {
+			continue
+		}
+		if far >= cache.AlignDown(o.farBase, r.secs[o.place.Section].spec.Cache.LineBytes) &&
+			far < o.farBase+uint64(o.decl.SizeBytes()) {
+			return o
+		}
+	}
+	return nil
+}

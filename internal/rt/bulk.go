@@ -1,0 +1,135 @@
+package rt
+
+import (
+	"fmt"
+
+	"mira/internal/cache"
+	"mira/internal/sim"
+)
+
+// nativeChunk is the granularity at which bulk local copies charge
+// NativeAccess (one hardware cache line's worth of streaming copy).
+const nativeChunk = 64
+
+// BulkRead reads count elements starting at obj[elem] into buf, the path
+// tensor intrinsics use. Missing lines are fetched with their latencies
+// overlapped (independent one-sided reads pipeline on the NIC; the wire
+// serializes via the bandwidth accountant), which is what makes layer-wise
+// streaming cheap for GPT-2 (§6.1).
+func (r *Runtime) BulkRead(clk *sim.Clock, name string, elem int64, buf []byte) error {
+	return r.bulk(clk, name, elem, buf, false)
+}
+
+// BulkWrite writes buf over the elements starting at obj[elem]. Fully
+// covered missing lines are allocated without fetching (§4.5 read/write
+// optimization); partially covered boundary lines are fetched first.
+func (r *Runtime) BulkWrite(clk *sim.Clock, name string, elem int64, buf []byte) error {
+	return r.bulk(clk, name, elem, buf, true)
+}
+
+func (r *Runtime) bulk(clk *sim.Clock, name string, elem int64, buf []byte, write bool) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: bulk access to unknown object %q", name)
+	}
+	eb := uint64(o.decl.ElemBytes)
+	off := uint64(elem) * eb
+	if elem < 0 || off+uint64(len(buf)) > uint64(o.decl.SizeBytes()) {
+		return fmt.Errorf("rt: bulk access [%d,+%d) outside %q (%d bytes)", off, len(buf), name, o.decl.SizeBytes())
+	}
+	switch o.place.Kind {
+	case PlaceLocal:
+		chunks := (len(buf) + nativeChunk - 1) / nativeChunk
+		clk.Advance(r.cfg.Cost.NativeAccess * sim.Duration(chunks))
+		if write {
+			copy(o.local[off:], buf)
+		} else {
+			copy(buf, o.local[off:])
+		}
+		return nil
+	case PlaceSwap:
+		chunks := (len(buf) + nativeChunk - 1) / nativeChunk
+		clk.Advance(r.cfg.Cost.NativeAccess * sim.Duration(chunks))
+		if write {
+			return r.swapC.Write(clk, o.farBase+off, buf)
+		}
+		return r.swapC.Read(clk, o.farBase+off, buf)
+	}
+
+	s := r.secs[o.place.Section]
+	lb := s.spec.Cache.LineBytes
+	far := o.farBase + off
+
+	// Pass 1: start fetches for all missing lines so their latencies
+	// overlap.
+	var fetchDone sim.Time
+	for tag := cache.AlignDown(far, lb); tag < far+uint64(len(buf)); tag += uint64(lb) {
+		if _, resident := s.sec.Peek(tag); resident {
+			o.hits++
+			continue
+		}
+		o.misses++
+		if ready, inflight := s.inflight[tag]; inflight {
+			if ready > fetchDone {
+				fetchDone = ready
+			}
+			continue
+		}
+		fullyCovered := tag >= far && tag+uint64(lb) <= far+uint64(len(buf))
+		l, victim := s.sec.Reserve(tag)
+		if err := r.retireVictim(clk, s, o, victim); err != nil {
+			return err
+		}
+		clk.Advance(r.cfg.Cost.Lookup(s.spec.Cache.Structure))
+		if write && fullyCovered {
+			continue // write-allocate without fetch
+		}
+		done, err := r.fetchLine(clk.Now(), s, o, l)
+		if err != nil {
+			return err
+		}
+		s.inflight[l.Tag] = done
+		if done > fetchDone {
+			fetchDone = done
+		}
+	}
+	clk.AdvanceTo(fetchDone)
+
+	// Pass 2: copy through the now-resident lines.
+	done := 0
+	for done < len(buf) {
+		addr := far + uint64(done)
+		tag := cache.AlignDown(addr, lb)
+		delete(s.inflight, tag)
+		l, resident := s.sec.Peek(addr)
+		if !resident {
+			// A later fetch in pass 1 evicted an earlier line of
+			// the same range (section smaller than the transfer):
+			// fetch it back, demand-paged.
+			var victim cache.Victim
+			l, victim = s.sec.Reserve(addr)
+			if err := r.retireVictim(clk, s, o, victim); err != nil {
+				return err
+			}
+			fdone, err := r.fetchLine(clk.Now(), s, o, l)
+			if err != nil {
+				return err
+			}
+			clk.AdvanceTo(fdone)
+		}
+		lineOff := int(addr - l.Tag)
+		n := lb - lineOff
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		clk.Advance(r.cfg.Cost.NativeAccess * sim.Duration((n+nativeChunk-1)/nativeChunk))
+		if write {
+			copy(l.Data[lineOff:], buf[done:done+n])
+			l.Dirty = true
+		} else {
+			copy(buf[done:done+n], l.Data[lineOff:])
+		}
+		done += n
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"fmt"
+
+	"mira/internal/cache"
+	"mira/internal/netmodel"
+	"mira/internal/swap"
+)
+
+// PlaceKind says where an object's data lives.
+type PlaceKind int
+
+const (
+	// PlaceSwap runs the object through the generic swap section — the
+	// initial configuration for every object (§3) and the fallback for
+	// patterns analysis cannot decide.
+	PlaceSwap PlaceKind = iota
+	// PlaceSection assigns the object to a non-swap cache section with
+	// compiled remote accesses.
+	PlaceSection
+	// PlaceLocal pins the object in local memory (stack data, objects
+	// the planner decides fit locally).
+	PlaceLocal
+)
+
+func (k PlaceKind) String() string {
+	switch k {
+	case PlaceSwap:
+		return "swap"
+	case PlaceSection:
+		return "section"
+	case PlaceLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("PlaceKind(%d)", int(k))
+	}
+}
+
+// Placement maps one object to its home.
+type Placement struct {
+	Kind PlaceKind
+	// Section indexes Config.Sections when Kind == PlaceSection.
+	Section int
+}
+
+// SectionSpec configures one non-swap cache section (§4.2's outputs: line
+// size, structure, size, communication method, selective-transmission field
+// set).
+type SectionSpec struct {
+	Cache cache.Config
+	// TwoSided selects message-based communication; required for
+	// selective (partial-structure) transmission (§4.7).
+	TwoSided bool
+	// SelectiveFields names the fields actually accessed in the
+	// section's scope; when non-empty and TwoSided, misses fetch only
+	// these byte ranges of each element (§4.5 selective transmission).
+	// Write-backs likewise push only these ranges.
+	SelectiveFields []string
+}
+
+// Config assembles a runtime configuration: the local-memory budget and how
+// it is carved into the swap pool and the cache sections. The planner emits
+// Configs; tests build them by hand.
+type Config struct {
+	// LocalBudget is the application's total local memory in bytes (the
+	// x-axis of most of the paper's figures).
+	LocalBudget int64
+	// SwapPool is the byte budget of the generic swap section.
+	SwapPool int64
+	// Sections are the non-swap cache sections.
+	Sections []SectionSpec
+	// Placements maps object names to homes; unmapped objects default
+	// to PlaceSwap.
+	Placements map[string]Placement
+	// Cost is the local cost model.
+	Cost CostModel
+	// Net is the interconnect cost model.
+	Net netmodel.Config
+	// SwapCfg overrides the swap fault-path costs (zero value: defaults
+	// from swap.DefaultConfig).
+	SwapCfg swap.Config
+	// Profiling enables the compiler-inserted probes' cost accounting.
+	Profiling bool
+}
+
+// Validate checks structural sanity and that the carve-up fits the budget.
+func (c Config) Validate() error {
+	if c.LocalBudget <= 0 {
+		return fmt.Errorf("rt: LocalBudget must be positive, got %d", c.LocalBudget)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	total := c.SwapPool
+	for i, s := range c.Sections {
+		if err := s.Cache.Validate(); err != nil {
+			return fmt.Errorf("rt: section %d: %w", i, err)
+		}
+		total += s.Cache.SizeBytes
+	}
+	if total > c.LocalBudget {
+		return fmt.Errorf("rt: sections+swap use %d bytes, budget is %d", total, c.LocalBudget)
+	}
+	for name, pl := range c.Placements {
+		if pl.Kind == PlaceSection && (pl.Section < 0 || pl.Section >= len(c.Sections)) {
+			return fmt.Errorf("rt: object %q placed in section %d of %d", name, pl.Section, len(c.Sections))
+		}
+	}
+	return nil
+}
+
+// DefaultSwapConfig fills in fault-path costs if the caller left them zero.
+func (c Config) effectiveSwapCfg(pool int64) swap.Config {
+	sc := c.SwapCfg
+	sc.PoolBytes = pool
+	if sc.MajorFaultOverhead == 0 {
+		d := swap.DefaultConfig(pool)
+		sc.MajorFaultOverhead = d.MajorFaultOverhead
+		sc.MinorFaultOverhead = d.MinorFaultOverhead
+	}
+	return sc
+}

@@ -1,0 +1,63 @@
+package rt
+
+import (
+	"mira/internal/cache"
+	"mira/internal/sim"
+)
+
+// CostModel holds the compute-node-side software costs the runtime charges.
+// Network costs live in netmodel.Config; these are the local CPU costs that
+// differentiate a native load from a dereference through cache-section
+// metadata — the distinction at the heart of §4.4.
+type CostModel struct {
+	// NativeAccess is a plain local memory access (a compiled native
+	// load/store, a hit in the swap section's mapped page, or an access
+	// to a local object).
+	NativeAccess sim.Duration
+	// LookupDirect/LookupSet/LookupFull are the per-dereference cache
+	// lookup costs by section structure (§4.2: the associativity /
+	// lookup-overhead tradeoff).
+	LookupDirect sim.Duration
+	LookupSet    sim.Duration
+	LookupFull   sim.Duration
+	// MissHandling is the software cost of servicing a section miss
+	// (victim selection, metadata update), excluding network time.
+	MissHandling sim.Duration
+	// ComputeOp is the cost of one IR scalar operator.
+	ComputeOp sim.Duration
+	// FloatOp is the cost of one floating-point operation inside tensor
+	// intrinsics.
+	FloatOp sim.Duration
+	// ProfileEvent is the cost of one compiler-inserted profiling probe
+	// (§4.1 coarse-grained profiling); charged only when profiling runs.
+	ProfileEvent sim.Duration
+}
+
+// DefaultCostModel is calibrated so the relative magnitudes match the
+// paper's observations: native ~1 ns, direct lookup a few ns, full-assoc
+// lookup tens of ns (AIFM-style per-access software overhead is ~85 ns; see
+// internal/baselines/aifm).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		NativeAccess: 1 * sim.Nanosecond,
+		LookupDirect: 6 * sim.Nanosecond,
+		LookupSet:    14 * sim.Nanosecond,
+		LookupFull:   35 * sim.Nanosecond,
+		MissHandling: 120 * sim.Nanosecond,
+		ComputeOp:    1 * sim.Nanosecond,
+		FloatOp:      1 * sim.Nanosecond,
+		ProfileEvent: 4 * sim.Nanosecond,
+	}
+}
+
+// Lookup returns the dereference cost for a section structure.
+func (c CostModel) Lookup(s cache.Structure) sim.Duration {
+	switch s {
+	case cache.Direct:
+		return c.LookupDirect
+	case cache.SetAssoc:
+		return c.LookupSet
+	default:
+		return c.LookupFull
+	}
+}

@@ -1,0 +1,71 @@
+package rt
+
+// LocalAllocator is the compute-node half of remotable.alloc (§5.2.1): it
+// buffers address ranges obtained from the remote allocator and serves
+// allocations from the buffer, asking the far node for more space only when
+// the buffer runs dry — the malloc-over-mmap split the paper describes.
+type LocalAllocator struct {
+	// refill obtains a fresh range of at least n bytes from the remote
+	// allocator, returning its base address.
+	refill func(n uint64) (uint64, error)
+	// chunk is the granularity of remote requests.
+	chunk uint64
+	// buffered ranges, consumed front to back.
+	ranges []localRange
+	// remoteCalls counts refills, to demonstrate the buffering works.
+	remoteCalls int
+}
+
+type localRange struct {
+	base uint64
+	size uint64
+}
+
+// NewLocalAllocator builds a buffering allocator over the remote refill
+// function. chunk is the minimum remote request size.
+func NewLocalAllocator(chunk uint64, refill func(n uint64) (uint64, error)) *LocalAllocator {
+	if chunk == 0 {
+		chunk = 1 << 20
+	}
+	return &LocalAllocator{refill: refill, chunk: chunk}
+}
+
+// Alloc returns a far-memory address range of n bytes.
+func (a *LocalAllocator) Alloc(n uint64) (uint64, error) {
+	n = (n + 7) &^ 7
+	for i := range a.ranges {
+		if a.ranges[i].size >= n {
+			addr := a.ranges[i].base
+			a.ranges[i].base += n
+			a.ranges[i].size -= n
+			if a.ranges[i].size == 0 {
+				a.ranges = append(a.ranges[:i], a.ranges[i+1:]...)
+			}
+			return addr, nil
+		}
+	}
+	req := n
+	if req < a.chunk {
+		req = a.chunk
+	}
+	base, err := a.refill(req)
+	if err != nil {
+		return 0, err
+	}
+	a.remoteCalls++
+	a.ranges = append(a.ranges, localRange{base: base + n, size: req - n})
+	return base, nil
+}
+
+// RemoteCalls reports how many times the remote allocator was consulted.
+func (a *LocalAllocator) RemoteCalls() int { return a.remoteCalls }
+
+// BufferedBytes reports how much far address space sits in the local
+// buffer.
+func (a *LocalAllocator) BufferedBytes() uint64 {
+	var total uint64
+	for _, r := range a.ranges {
+		total += r.size
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package rt
+
+import (
+	"fmt"
+
+	"mira/internal/ir"
+	"mira/internal/sim"
+)
+
+// This file implements the runtime half of function offloading (§4.8): the
+// executor flushes the cached state of the objects an offloaded function
+// touches, runs the function body against far-node memory directly via
+// RemoteAccess/RemoteBulk, and charges the RPC round trip with
+// OffloadTransfer.
+
+// RemoteAccess moves bytes of obj[elem].field directly in far-node memory —
+// the data path of code running on the far node itself.
+func (r *Runtime) RemoteAccess(name string, elem int64, field ir.Field, buf []byte, write bool) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: remote access to unknown object %q", name)
+	}
+	if o.place.Kind == PlaceLocal {
+		return fmt.Errorf("rt: offloaded code cannot access local object %q", name)
+	}
+	if elem < 0 || elem >= o.decl.Count {
+		return fmt.Errorf("rt: remote %q[%d] out of range", name, elem)
+	}
+	addr := o.farBase + uint64(elem)*uint64(o.decl.ElemBytes) + uint64(field.Offset)
+	if len(buf) > field.Bytes {
+		buf = buf[:field.Bytes]
+	}
+	if write {
+		return r.node.Write(addr, buf)
+	}
+	return r.node.Read(addr, buf)
+}
+
+// RemoteBulk is RemoteAccess for a contiguous element range.
+func (r *Runtime) RemoteBulk(name string, elem int64, buf []byte, write bool) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: remote bulk access to unknown object %q", name)
+	}
+	if o.place.Kind == PlaceLocal {
+		return fmt.Errorf("rt: offloaded code cannot access local object %q", name)
+	}
+	off := uint64(elem) * uint64(o.decl.ElemBytes)
+	if elem < 0 || off+uint64(len(buf)) > uint64(o.decl.SizeBytes()) {
+		return fmt.Errorf("rt: remote bulk [%d,+%d) outside %q", off, len(buf), name)
+	}
+	addr := o.farBase + off
+	if write {
+		return r.node.Write(addr, buf)
+	}
+	return r.node.Read(addr, buf)
+}
+
+// CPUSlowdown reports the far node's compute slowdown.
+func (r *Runtime) CPUSlowdown() float64 { return r.node.CPUSlowdown() }
+
+// OffloadTransfer charges the RPC round trip: arguments out (two-sided),
+// remote compute scaled by the far CPU's slowdown, results back.
+func (r *Runtime) OffloadTransfer(clk *sim.Clock, argBytes, resBytes int, remoteCompute sim.Duration) {
+	clk.Advance(r.cfg.Net.TwoSidedCost(argBytes))
+	clk.Advance(sim.Duration(float64(remoteCompute) * r.node.CPUSlowdown()))
+	clk.Advance(r.cfg.Net.TwoSidedCost(resBytes))
+}

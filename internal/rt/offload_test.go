@@ -1,0 +1,129 @@
+package rt
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/sim"
+)
+
+func TestRemoteAccessRoundtrip(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	w := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := r.RemoteAccess("items", 3, fld(8, 8), w, true); err != nil {
+		t.Fatal(err)
+	}
+	g := make([]byte, 8)
+	if err := r.RemoteAccess("items", 3, fld(8, 8), g, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatal("remote access roundtrip mismatch")
+	}
+	// Remote writes go straight to far memory: a local dump must see
+	// them without any flush.
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump[3*64+8:3*64+16], w) {
+		t.Fatal("remote write not visible in far memory")
+	}
+}
+
+func TestRemoteAccessBounds(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	if err := r.RemoteAccess("items", 999, fld(0, 8), make([]byte, 8), false); err == nil {
+		t.Fatal("out-of-range remote access accepted")
+	}
+	if err := r.RemoteAccess("ghost", 0, fld(0, 8), make([]byte, 8), false); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+func TestRemoteBulkRoundtrip(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	w := make([]byte, 64*4)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	if err := r.RemoteBulk("items", 2, w, true); err != nil {
+		t.Fatal(err)
+	}
+	g := make([]byte, 64*4)
+	if err := r.RemoteBulk("items", 2, g, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatal("remote bulk roundtrip mismatch")
+	}
+	if err := r.RemoteBulk("items", 127, make([]byte, 128), false); err == nil {
+		t.Fatal("overrunning remote bulk accepted")
+	}
+}
+
+func TestOffloadTransferCharges(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	clk := sim.NewClock(0)
+	r.OffloadTransfer(clk, 16, 8, 100*sim.Microsecond)
+	// Two two-sided messages plus the slowdown-scaled compute.
+	min := 2*r.cfg.Net.TwoSidedRTT + sim.Duration(float64(100*sim.Microsecond)*r.CPUSlowdown())
+	if clk.Now().Sub(0) < min {
+		t.Fatalf("offload charged %v, expected at least %v", clk.Now().Sub(0), min)
+	}
+}
+
+func TestCPUSlowdownExposed(t *testing.T) {
+	r, _ := mkRuntime(t, nil)
+	if r.CPUSlowdown() != 1 {
+		t.Fatalf("slowdown %v, want 1 (test node)", r.CPUSlowdown())
+	}
+}
+
+func TestReleaseDropsAndFlushesAsync(t *testing.T) {
+	r, clk := mkRuntime(t, nil)
+	w := []byte{5, 5, 5, 5, 5, 5, 5, 5}
+	_ = r.Access(clk, "items", 4, fld(0, 8), w, true, AccessOpts{})
+	missesBefore := r.SectionStats(0).Misses
+	before := clk.Now()
+	if err := r.Release(clk, "items"); err != nil {
+		t.Fatal(err)
+	}
+	// Release is asynchronous: only posting costs on the issuing clock.
+	if clk.Now().Sub(before) > 10*sim.Microsecond {
+		t.Fatalf("release blocked for %v", clk.Now().Sub(before))
+	}
+	r.Fence(clk)
+	dump, _ := r.DumpObject("items")
+	if !bytes.Equal(dump[4*64:4*64+8], w) {
+		t.Fatal("released dirty line lost")
+	}
+	// Line must be gone: a re-access misses.
+	_ = r.Access(clk, "items", 4, fld(0, 8), make([]byte, 8), false, AccessOpts{})
+	if r.SectionStats(0).Misses != missesBefore+1 {
+		t.Fatal("line survived release")
+	}
+}
+
+func TestReleaseSwapAndLocalAreNoops(t *testing.T) {
+	r, clk := mkRuntime(t, nil)
+	if err := r.Release(clk, "vec"); err != nil { // swap-placed
+		t.Fatal(err)
+	}
+	if err := r.Release(clk, "ghost"); err == nil {
+		t.Fatal("release of unknown object accepted")
+	}
+}
+
+func TestSettleAsyncClearsInflight(t *testing.T) {
+	r, clk := mkRuntime(t, nil)
+	_ = r.Prefetch(clk, "items", 0, fld(0, 8))
+	r.SettleAsync()
+	// A fresh clock's access must not wait on the old frame's
+	// completion instant.
+	clk2 := sim.NewClock(0)
+	_ = r.Access(clk2, "items", 0, fld(0, 8), make([]byte, 8), false, AccessOpts{})
+	if clk2.Now() > sim.Time(sim.Microsecond) {
+		t.Fatalf("settled prefetch still waited: %v", clk2.Now())
+	}
+}

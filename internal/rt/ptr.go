@@ -1,0 +1,47 @@
+package rt
+
+import "fmt"
+
+// RemotePtr is Mira's far-memory pointer encoding (§5.2.1): the highest 16
+// bits hold a cache-section ID and the lower 48 bits an offset within the
+// section's address space. Section 0 is reserved for pointers to local
+// objects — the high bits of a normal local virtual address are zero, so a
+// local pointer reinterpreted as a RemotePtr lands in section 0 and is
+// dereferenced as a plain load.
+type RemotePtr uint64
+
+// LocalSection is the reserved section ID for local pointers.
+const LocalSection uint16 = 0
+
+// offsetBits is the width of the offset field.
+const offsetBits = 48
+
+// offsetMask extracts the offset field.
+const offsetMask = (1 << offsetBits) - 1
+
+// MakePtr assembles a RemotePtr from a section ID and an offset. It panics
+// if the offset overflows 48 bits (a far object larger than 256 TB would be
+// a configuration bug, not input).
+func MakePtr(section uint16, offset uint64) RemotePtr {
+	if offset > offsetMask {
+		panic(fmt.Sprintf("rt: offset %#x overflows 48-bit RemotePtr field", offset))
+	}
+	return RemotePtr(uint64(section)<<offsetBits | offset)
+}
+
+// Section extracts the section ID.
+func (p RemotePtr) Section() uint16 { return uint16(uint64(p) >> offsetBits) }
+
+// Offset extracts the 48-bit offset.
+func (p RemotePtr) Offset() uint64 { return uint64(p) & offsetMask }
+
+// IsLocal reports whether the pointer refers to a local object (§5.2.1
+// "pointers to both local and remotable objects").
+func (p RemotePtr) IsLocal() bool { return p.Section() == LocalSection }
+
+func (p RemotePtr) String() string {
+	if p.IsLocal() {
+		return fmt.Sprintf("local:%#x", p.Offset())
+	}
+	return fmt.Sprintf("sec%d:%#x", p.Section(), p.Offset())
+}

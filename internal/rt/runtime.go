@@ -1,0 +1,481 @@
+// Package rt implements Mira's local-node runtime (§4.4, §5): the section
+// manager over the configurable cache, the remote-pointer dereference fast
+// and slow paths, asynchronous prefetch and eviction-hint machinery,
+// selective transmission, bulk tensor paths, and the allocator pair
+// (buffering local allocator over the far node's remote allocator).
+//
+// Every operation takes the simulated thread's clock and charges virtual
+// time according to the CostModel and the network model; data movement is
+// real, so programs executed through the runtime compute correct results.
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/cache"
+	"mira/internal/farmem"
+	"mira/internal/ir"
+	"mira/internal/sim"
+	"mira/internal/swap"
+	"mira/internal/transport"
+)
+
+// AccessOpts carries the compiler's per-site annotations into the runtime.
+type AccessOpts struct {
+	// Native marks a dereference the compiler proved resolvable as a
+	// native load (§4.4). If the line is unexpectedly absent the access
+	// falls back to the full path.
+	Native bool
+	// NoFetch marks a store that the compiler proved will overwrite the
+	// whole line (write-only loops, §4.5): a miss allocates the line
+	// without fetching it.
+	NoFetch bool
+}
+
+// Runtime is one compute-node runtime instance.
+type Runtime struct {
+	cfg    Config
+	node   *farmem.Node
+	tr     *transport.T
+	la     *LocalAllocator
+	swapC  *swap.Cache
+	swapSz int64 // bytes of swap-placed objects
+	secs   []*sectionRT
+	objs   map[string]*objectRT
+
+	localBytes int64 // local-placed object bytes (count against budget)
+	lastFlush  sim.Time
+}
+
+type sectionRT struct {
+	id       uint16 // RemotePtr section ID (1-based; 0 = local)
+	spec     SectionSpec
+	sec      cache.Section
+	inflight map[uint64]sim.Time // line tag -> fetch completion
+}
+
+type objectRT struct {
+	decl    *ir.Object
+	place   Placement
+	farBase uint64 // far address of element 0 (swap or section placement)
+	local   []byte // backing when PlaceLocal
+	// selective-transmission resolution for the object's section
+	selFields []ir.Field
+	selBytes  int
+	// per-object access counters (Fig. 8's per-array miss rates)
+	hits, misses int64
+}
+
+// New creates a runtime over node. Call Bind before executing a program.
+func New(cfg Config, node *farmem.Node) (*Runtime, error) {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.Net.BytesPerSecond == 0 {
+		cfg.Net = DefaultNet()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:  cfg,
+		node: node,
+		tr:   transport.New(node, cfg.Net),
+		objs: make(map[string]*objectRT),
+	}
+	r.la = NewLocalAllocator(1<<20, node.Alloc)
+	for i, spec := range cfg.Sections {
+		sec, err := cache.New(spec.Cache)
+		if err != nil {
+			return nil, err
+		}
+		r.secs = append(r.secs, &sectionRT{
+			id:       uint16(i + 1),
+			spec:     spec,
+			sec:      sec,
+			inflight: make(map[uint64]sim.Time),
+		})
+	}
+	return r, nil
+}
+
+// Transport exposes the runtime's transport (offload glue, tests).
+func (r *Runtime) Transport() *transport.T { return r.tr }
+
+// Node exposes the far-memory node.
+func (r *Runtime) Node() *farmem.Node { return r.node }
+
+// Config returns the runtime's configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Bind allocates every object of p according to the configured placements
+// and creates the swap section over the swap-placed heap. Initial object
+// contents are zero; use InitObject to load workload data.
+func (r *Runtime) Bind(p *ir.Program) error {
+	// Partition objects.
+	var swapObjs []*ir.Object
+	for _, o := range p.Objects {
+		pl, ok := r.cfg.Placements[o.Name]
+		if !ok {
+			if o.Local {
+				pl = Placement{Kind: PlaceLocal}
+			} else {
+				pl = Placement{Kind: PlaceSwap}
+			}
+		}
+		ort := &objectRT{decl: o, place: pl}
+		switch pl.Kind {
+		case PlaceLocal:
+			ort.local = make([]byte, o.SizeBytes())
+			r.localBytes += o.SizeBytes()
+		case PlaceSwap:
+			swapObjs = append(swapObjs, o)
+		case PlaceSection:
+			s := r.secs[pl.Section]
+			lb := uint64(s.spec.Cache.LineBytes)
+			// Align the base and pad the tail so every line of
+			// the object stays inside its allocation.
+			size := (uint64(o.SizeBytes()) + 2*lb + lb - 1) / lb * lb
+			base, err := r.la.Alloc(size)
+			if err != nil {
+				return fmt.Errorf("rt: bind %q: %w", o.Name, err)
+			}
+			ort.farBase = (base + lb - 1) / lb * lb
+			r.resolveSelective(ort, s)
+		}
+		r.objs[o.Name] = ort
+	}
+	// Lay swap objects out in one contiguous heap region.
+	if len(swapObjs) > 0 {
+		sort.Slice(swapObjs, func(i, j int) bool { return swapObjs[i].Name < swapObjs[j].Name })
+		var total int64
+		offsets := make(map[string]int64, len(swapObjs))
+		for _, o := range swapObjs {
+			offsets[o.Name] = total
+			total += (o.SizeBytes() + swap.PageBytes - 1) / swap.PageBytes * swap.PageBytes
+		}
+		base, err := r.la.Alloc(uint64(total))
+		if err != nil {
+			return fmt.Errorf("rt: bind swap heap: %w", err)
+		}
+		pool := r.cfg.SwapPool
+		if pool <= 0 {
+			return fmt.Errorf("rt: program has swap-placed objects but SwapPool is %d", pool)
+		}
+		sc, err := swap.New(r.cfg.effectiveSwapCfg(pool), r.tr, base, total, nil)
+		if err != nil {
+			return err
+		}
+		r.swapC = sc
+		r.swapSz = total
+		for _, o := range swapObjs {
+			r.objs[o.Name].farBase = base + uint64(offsets[o.Name])
+		}
+	}
+	if r.localBytes+r.cfg.SwapPool+r.sectionBytes() > r.cfg.LocalBudget {
+		return fmt.Errorf("rt: local objects (%d) + cache carve-up exceed budget %d",
+			r.localBytes, r.cfg.LocalBudget)
+	}
+	return nil
+}
+
+func (r *Runtime) sectionBytes() int64 {
+	var t int64
+	for _, s := range r.secs {
+		t += s.spec.Cache.SizeBytes
+	}
+	return t
+}
+
+// resolveSelective precomputes the object's selective-transmission field
+// set for its section.
+func (r *Runtime) resolveSelective(ort *objectRT, s *sectionRT) {
+	if !s.spec.TwoSided || len(s.spec.SelectiveFields) == 0 {
+		return
+	}
+	total := 0
+	for _, name := range s.spec.SelectiveFields {
+		if f, ok := ort.decl.FieldByName(name); ok {
+			ort.selFields = append(ort.selFields, f)
+			total += f.Bytes
+		}
+	}
+	// Selective transmission only pays off if it moves fewer bytes than
+	// the whole element.
+	if total == 0 || total >= ort.decl.ElemBytes {
+		ort.selFields = nil
+		total = 0
+	}
+	ort.selBytes = total
+}
+
+// InitObject loads workload bytes into an object before timed execution
+// (setup is free: the paper's figures never charge data-generation time).
+func (r *Runtime) InitObject(name string, data []byte) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: InitObject: unknown object %q", name)
+	}
+	if int64(len(data)) > o.decl.SizeBytes() {
+		return fmt.Errorf("rt: InitObject %q: %d bytes exceed object size %d", name, len(data), o.decl.SizeBytes())
+	}
+	if o.place.Kind == PlaceLocal {
+		copy(o.local, data)
+		return nil
+	}
+	return r.node.Write(o.farBase, data)
+}
+
+// DumpObject returns the object's current far-memory (or local) contents.
+// Call FlushAll first to include dirty cached lines.
+func (r *Runtime) DumpObject(name string) ([]byte, error) {
+	o, ok := r.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("rt: DumpObject: unknown object %q", name)
+	}
+	if o.place.Kind == PlaceLocal {
+		out := make([]byte, len(o.local))
+		copy(out, o.local)
+		return out, nil
+	}
+	out := make([]byte, o.decl.SizeBytes())
+	if err := r.node.Read(o.farBase, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FarAddr returns the far address of obj[elem] (offload argument marshaling,
+// §4.8). Local objects have no far address.
+func (r *Runtime) FarAddr(name string, elem int64) (uint64, error) {
+	o, ok := r.objs[name]
+	if !ok {
+		return 0, fmt.Errorf("rt: FarAddr: unknown object %q", name)
+	}
+	if o.place.Kind == PlaceLocal {
+		return 0, fmt.Errorf("rt: FarAddr: object %q is local", name)
+	}
+	return o.farBase + uint64(elem)*uint64(o.decl.ElemBytes), nil
+}
+
+// Ptr returns the RemotePtr for obj[elem]: section ID in the high bits,
+// offset within the object's section address space below (§5.2.1).
+func (r *Runtime) Ptr(name string, elem int64) (RemotePtr, error) {
+	o, ok := r.objs[name]
+	if !ok {
+		return 0, fmt.Errorf("rt: Ptr: unknown object %q", name)
+	}
+	off := uint64(elem) * uint64(o.decl.ElemBytes)
+	switch o.place.Kind {
+	case PlaceSection:
+		return MakePtr(r.secs[o.place.Section].id, o.farBase-farmem.DefaultBase+off), nil
+	default:
+		return MakePtr(LocalSection, off), nil
+	}
+}
+
+// Access reads or writes the byte range of obj[elem].field, charging clk.
+func (r *Runtime) Access(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool, opts AccessOpts) error {
+	o, ok := r.objs[name]
+	if !ok {
+		return fmt.Errorf("rt: access to unknown object %q", name)
+	}
+	if elem < 0 || elem >= o.decl.Count {
+		return fmt.Errorf("rt: %q[%d] out of range [0,%d)", name, elem, o.decl.Count)
+	}
+	off := uint64(elem)*uint64(o.decl.ElemBytes) + uint64(field.Offset)
+	if len(buf) > field.Bytes {
+		buf = buf[:field.Bytes]
+	}
+	switch o.place.Kind {
+	case PlaceLocal:
+		clk.Advance(r.cfg.Cost.NativeAccess)
+		if write {
+			copy(o.local[off:], buf)
+		} else {
+			copy(buf, o.local[off:])
+		}
+		return nil
+	case PlaceSwap:
+		clk.Advance(r.cfg.Cost.NativeAccess)
+		if write {
+			return r.swapC.Write(clk, o.farBase+off, buf)
+		}
+		return r.swapC.Read(clk, o.farBase+off, buf)
+	default:
+		return r.sectionAccess(clk, o, o.farBase+off, buf, write, opts)
+	}
+}
+
+// sectionAccess performs a (possibly line-crossing) access through the
+// object's cache section.
+func (r *Runtime) sectionAccess(clk *sim.Clock, o *objectRT, far uint64, buf []byte, write bool, opts AccessOpts) error {
+	s := r.secs[o.place.Section]
+	lb := s.spec.Cache.LineBytes
+	done := 0
+	for done < len(buf) {
+		addr := far + uint64(done)
+		l, err := r.lineFor(clk, s, o, addr, opts, write)
+		if err != nil {
+			return err
+		}
+		lineOff := int(addr - l.Tag)
+		n := lb - lineOff
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		if write {
+			copy(l.Data[lineOff:], buf[done:done+n])
+			l.Dirty = true
+		} else {
+			copy(buf[done:done+n], l.Data[lineOff:])
+		}
+		done += n
+	}
+	return nil
+}
+
+// lineFor returns the resident, ready cache line containing addr, running
+// the dereference fast/slow path and charging clk.
+func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64, opts AccessOpts, write bool) (*cache.Line, error) {
+	tag := cache.AlignDown(addr, s.spec.Cache.LineBytes)
+	if opts.Native {
+		// Compiled native load: no lookup cost. The compiler proved
+		// residency; verify cheaply and fall back if it was wrong
+		// (e.g. a mid-loop eviction by another thread).
+		if l, ok := s.sec.Peek(addr); ok {
+			o.hits++
+			clk.Advance(r.cfg.Cost.NativeAccess)
+			r.waitReady(clk, s, tag)
+			return l, nil
+		}
+	}
+	clk.Advance(r.cfg.Cost.Lookup(s.spec.Cache.Structure))
+	if l, ok := s.sec.Lookup(addr); ok {
+		o.hits++
+		r.waitReady(clk, s, tag)
+		return l, nil
+	}
+	// Miss (§5.2.1 "loading an rmem pointer from far memory").
+	o.misses++
+	clk.Advance(r.cfg.Cost.MissHandling)
+	if r.cfg.Profiling {
+		clk.Advance(r.cfg.Cost.ProfileEvent)
+	}
+	l, victim := s.sec.Reserve(addr)
+	if err := r.retireVictim(clk, s, o, victim); err != nil {
+		return nil, err
+	}
+	if opts.NoFetch && write {
+		// Write-only full-line store: allocate without fetching.
+		return l, nil
+	}
+	done, err := r.fetchLine(clk.Now(), s, o, l)
+	if err != nil {
+		return nil, err
+	}
+	clk.AdvanceTo(done)
+	return l, nil
+}
+
+// waitReady blocks until an in-flight prefetch of tag lands.
+func (r *Runtime) waitReady(clk *sim.Clock, s *sectionRT, tag uint64) {
+	if ready, ok := s.inflight[tag]; ok {
+		clk.AdvanceTo(ready)
+		delete(s.inflight, tag)
+	}
+}
+
+// retireVictim writes back a dirty victim asynchronously and clears its
+// in-flight state.
+func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cache.Victim) error {
+	if v.Data == nil {
+		return nil
+	}
+	delete(s.inflight, v.Tag)
+	if !v.Dirty {
+		return nil
+	}
+	done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+	if err != nil {
+		return err
+	}
+	if done > r.lastFlush {
+		r.lastFlush = done
+	}
+	return nil
+}
+
+// fetchLine pulls the line's bytes from far memory — whole line one-sided,
+// or only the selective field ranges two-sided (§4.5, §4.7).
+func (r *Runtime) fetchLine(now sim.Time, s *sectionRT, o *objectRT, l *cache.Line) (sim.Time, error) {
+	if len(o.selFields) == 0 {
+		return r.tr.ReadOneSided(now, l.Tag, l.Data)
+	}
+	addrs, sizes, offs := r.selectivePieces(o, l.Tag, len(l.Data))
+	data, done, err := r.tr.GatherTwoSided(now, addrs, sizes)
+	if err != nil {
+		return now, err
+	}
+	pos := 0
+	for i, off := range offs {
+		copy(l.Data[off:off+sizes[i]], data[pos:pos+sizes[i]])
+		pos += sizes[i]
+	}
+	return done, nil
+}
+
+// writebackLine pushes a dirty line to far memory (whole line one-sided or
+// selective ranges two-sided).
+func (r *Runtime) writebackLine(now sim.Time, o *objectRT, tag uint64, data []byte) (sim.Time, error) {
+	if o.place.Kind != PlaceSection || len(o.selFields) == 0 {
+		return r.tr.WriteOneSided(now, tag, data)
+	}
+	addrs, sizes, offs := r.selectivePieces(o, tag, len(data))
+	pieces := make([][]byte, len(addrs))
+	for i := range addrs {
+		pieces[i] = data[offs[i] : offs[i]+sizes[i]]
+	}
+	return r.tr.ScatterTwoSided(now, addrs, pieces)
+}
+
+// selectivePieces computes the (far address, size, line offset) triples of
+// the selective fields of every element overlapping the line [tag,
+// tag+lineBytes).
+func (r *Runtime) selectivePieces(o *objectRT, tag uint64, lineBytes int) (addrs []uint64, sizes []int, offs []int) {
+	eb := uint64(o.decl.ElemBytes)
+	end := tag + uint64(lineBytes)
+	objEnd := o.farBase + uint64(o.decl.SizeBytes())
+	if end > objEnd {
+		end = objEnd
+	}
+	var firstElem int64
+	if tag > o.farBase {
+		firstElem = int64((tag - o.farBase) / eb)
+	}
+	for e := firstElem; ; e++ {
+		elemBase := o.farBase + uint64(e)*eb
+		if elemBase >= end || e >= o.decl.Count {
+			break
+		}
+		for _, f := range o.selFields {
+			fa := elemBase + uint64(f.Offset)
+			fe := fa + uint64(f.Bytes)
+			if fe <= tag || fa >= end {
+				continue
+			}
+			// Clip to the line.
+			if fa < tag {
+				fa = tag
+			}
+			if fe > end {
+				fe = end
+			}
+			addrs = append(addrs, fa)
+			sizes = append(sizes, int(fe-fa))
+			offs = append(offs, int(fa-tag))
+		}
+	}
+	return addrs, sizes, offs
+}

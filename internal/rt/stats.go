@@ -1,0 +1,150 @@
+package rt
+
+import (
+	"mira/internal/cache"
+	"mira/internal/netmodel"
+	"mira/internal/sim"
+	"mira/internal/swap"
+)
+
+// DefaultNet returns the paper-calibrated interconnect model.
+func DefaultNet() netmodel.Config { return netmodel.DefaultConfig() }
+
+// perLineMetadata is the runtime metadata footprint per configured cache
+// line, by structure. Fully-associative sections carry the
+// remote-address-to-physical map plus list linkage (§5.3); direct-mapped
+// sections only a tag word and flags. These feed the paper's metadata
+// comparison (Fig. 20), where Mira's per-line metadata is far below AIFM's
+// per-object metadata.
+func perLineMetadata(s cache.Structure) int64 {
+	switch s {
+	case cache.Direct:
+		return 16
+	case cache.SetAssoc:
+		return 24
+	default:
+		return 48
+	}
+}
+
+// perPageMetadata is the swap section's per-page-slot metadata (mapping
+// entry + LRU linkage).
+const perPageMetadata = 16
+
+// MetadataBytes reports the runtime's total metadata footprint for the
+// current configuration: per-line section metadata plus the swap page
+// table. This is the quantity Fig. 20 compares against AIFM.
+func (r *Runtime) MetadataBytes() int64 {
+	var total int64
+	for _, s := range r.secs {
+		total += int64(s.spec.Cache.Lines()) * perLineMetadata(s.spec.Cache.Structure)
+	}
+	if r.swapC != nil {
+		total += int64(r.swapC.Capacity()) * perPageMetadata
+	}
+	return total
+}
+
+// SectionStats returns section idx's counters.
+func (r *Runtime) SectionStats(idx int) cache.Stats {
+	return r.secs[idx].sec.Stats()
+}
+
+// SectionConfig returns section idx's cache configuration.
+func (r *Runtime) SectionConfig(idx int) cache.Config {
+	return r.secs[idx].spec.Cache
+}
+
+// NumSections reports the number of non-swap sections.
+func (r *Runtime) NumSections() int { return len(r.secs) }
+
+// SwapStats returns the swap section's counters (zero if no swap section).
+func (r *Runtime) SwapStats() swap.Stats {
+	if r.swapC == nil {
+		return swap.Stats{}
+	}
+	return r.swapC.Stats()
+}
+
+// HasSwap reports whether a swap section was created at Bind.
+func (r *Runtime) HasSwap() bool { return r.swapC != nil }
+
+// SwapPrefetcher installs a page prefetcher on the swap section (used by
+// the FastSwap/Leap baselines and Mira's pointer-following swap prefetch
+// for MCF). Must be called after Bind.
+func (r *Runtime) SwapPrefetcher(pf swap.Prefetcher) {
+	if r.swapC != nil {
+		r.swapC.SetPrefetcher(pf)
+	}
+}
+
+// BytesMoved reports total bytes that crossed the interconnect.
+func (r *Runtime) BytesMoved() int64 { return r.tr.BW.BytesMoved() }
+
+// ShareBandwidth makes this runtime contend for bw with other runtimes —
+// simulated threads with private cache sections share the physical link
+// (§4.6 multithreading).
+func (r *Runtime) ShareBandwidth(bw *netmodel.Bandwidth) { r.tr.BW = bw }
+
+// SwapLock serializes the swap fault path across threads (must be called
+// after Bind; no-op without a swap section).
+func (r *Runtime) SwapLock(l *sim.Serializer) {
+	if r.swapC != nil {
+		r.swapC.SetLock(l)
+	}
+}
+
+// ResetStats clears every section's and the swap pool's counters (between
+// profiling rounds).
+func (r *Runtime) ResetStats() {
+	for _, s := range r.secs {
+		s.sec.ResetStats()
+	}
+	if r.swapC != nil {
+		r.swapC.ResetStats()
+	}
+}
+
+// MissCount aggregates misses across sections and swap major faults — the
+// cheap per-access probe the profiler samples (§4.1: metrics "collected
+// only when a non-native cache event happens").
+func (r *Runtime) MissCount() int64 {
+	var t int64
+	for _, s := range r.secs {
+		t += s.sec.Stats().Misses
+	}
+	if r.swapC != nil {
+		t += r.swapC.Stats().MajorFaults
+	}
+	return t
+}
+
+// SwapFaultsIn reports the swap section's major faults on the pages backing
+// an object (per-object miss attribution when everything shares the swap
+// pool).
+func (r *Runtime) SwapFaultsIn(name string) int64 {
+	o, ok := r.objs[name]
+	if !ok || o.place.Kind != PlaceSwap || r.swapC == nil {
+		return 0
+	}
+	return r.swapC.FaultsInRange(o.farBase, o.decl.SizeBytes())
+}
+
+// ObjectStats reports an object's cache-section hit/miss counters (zero
+// for swap/local placements — their events are counted by the swap cache).
+func (r *Runtime) ObjectStats(name string) (hits, misses int64) {
+	if o, ok := r.objs[name]; ok {
+		return o.hits, o.misses
+	}
+	return 0, 0
+}
+
+// ObjectPlacement reports where an object was placed (tests, planner
+// introspection).
+func (r *Runtime) ObjectPlacement(name string) (Placement, bool) {
+	o, ok := r.objs[name]
+	if !ok {
+		return Placement{}, false
+	}
+	return o.place, true
+}

@@ -1,0 +1,94 @@
+// Package sim provides the virtual-time substrate used by every Mira
+// component. All latencies in the system are charged against a Clock rather
+// than the wall clock, which makes every experiment deterministic and lets
+// the benchmark harness reproduce the paper's figures byte-for-byte across
+// runs.
+//
+// A Clock belongs to one simulated thread of execution. Multi-threaded
+// simulations create one Clock per simulated thread (see ThreadGroup) and
+// combine them with max() plus shared-resource contention charged by the
+// network model.
+package sim
+
+import "fmt"
+
+// Duration is a span of virtual time in nanoseconds. We deliberately do not
+// reuse time.Duration: values here are simulated and must never be mixed
+// with wall-clock durations.
+type Duration int64
+
+// Common unit multipliers for Duration.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Time is an instant of virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Clock tracks the current virtual time of one simulated thread. The zero
+// value is a clock at time 0, ready to use. Clock is not safe for concurrent
+// use; each simulated thread owns its clock exclusively.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at the given instant.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are a programming
+// error and panic: virtual time never flows backwards.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %d", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to instant t if t is in the future;
+// otherwise it is a no-op. It returns the duration actually waited. This is
+// the primitive used to model blocking on an asynchronous completion (e.g. a
+// prefetch that is still in flight).
+func (c *Clock) AdvanceTo(t Time) Duration {
+	if t <= c.now {
+		return 0
+	}
+	d := Duration(t - c.now)
+	c.now = t
+	return d
+}
+
+// Reset rewinds the clock to time 0. Only the test and benchmark harnesses
+// use this, between independent runs.
+func (c *Clock) Reset() { c.now = 0 }

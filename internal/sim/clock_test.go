@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if c.Now() != Time(5*Microsecond) {
+		t.Fatalf("after advance: %d, want %d", c.Now(), 5*Microsecond)
+	}
+	c.Advance(0)
+	if c.Now() != Time(5*Microsecond) {
+		t.Fatalf("zero advance moved clock to %d", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock(0).Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(100)
+	if got := c.AdvanceTo(50); got != 0 {
+		t.Fatalf("AdvanceTo past instant waited %d, want 0", got)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo past instant moved clock to %d", c.Now())
+	}
+	if got := c.AdvanceTo(250); got != 150 {
+		t.Fatalf("AdvanceTo waited %d, want 150", got)
+	}
+	if c.Now() != 250 {
+		t.Fatalf("clock at %d, want 250", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after reset clock at %d", c.Now())
+	}
+}
+
+// Property: advancing by a sequence of non-negative durations always lands
+// at their sum, regardless of order.
+func TestClockAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock(0)
+		var sum Time
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			sum += Time(s)
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3.0 {
+		t.Errorf("Micros() = %v, want 3", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	t1 := t0.Add(500)
+	if t1 != 1500 {
+		t.Fatalf("Add: %d, want 1500", t1)
+	}
+	if d := t1.Sub(t0); d != 500 {
+		t.Fatalf("Sub: %d, want 500", d)
+	}
+}
+
+func TestThreadGroupJoin(t *testing.T) {
+	g := NewThreadGroup(3, 100)
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+	g.Clock(0).Advance(10)
+	g.Clock(1).Advance(500)
+	g.Clock(2).Advance(50)
+	if got := g.Join(); got != 600 {
+		t.Fatalf("Join = %d, want 600", got)
+	}
+	if got := g.Elapsed(); got != 500 {
+		t.Fatalf("Elapsed = %d, want 500", got)
+	}
+}
+
+func TestThreadGroupEmptyishElapsed(t *testing.T) {
+	g := NewThreadGroup(1, 0)
+	if g.Elapsed() != 0 {
+		t.Fatalf("fresh group elapsed %d, want 0", g.Elapsed())
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	// A broken xorshift seeded with state 0 returns 0 forever.
+	allZero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced a stuck-at-zero stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGInt63NonNegative(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+// Property: Perm always returns a permutation of [0,n).
+func TestRNGPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGShufflePreservesElements(t *testing.T) {
+	r := NewRNG(3)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d, want %d", got, sum)
+	}
+}
+
+func TestRNGUniformityRough(t *testing.T) {
+	// Coarse uniformity check: 10 buckets, 100k draws, each bucket
+	// within 20% of expectation.
+	r := NewRNG(1234)
+	const draws = 100000
+	buckets := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(10)]++
+	}
+	want := draws / 10
+	for i, b := range buckets {
+		if b < want*8/10 || b > want*12/10 {
+			t.Fatalf("bucket %d has %d draws, expected ~%d", i, b, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "sync"
+
+// Serializer models a mutually-exclusive resource shared by simulated
+// threads — the global kernel swap lock whose contention limits FastSwap's
+// multithreaded scaling (§6.2: "FastSwap's limited scalability is related
+// to its Linux-based swap system, which has various synchronization and
+// locking bottlenecks").
+type Serializer struct {
+	mu       sync.Mutex
+	nextFree Time
+	acquires int64
+	waited   Duration
+}
+
+// Acquire takes the resource at the earliest instant >= now, holds it for
+// hold, and returns the acquisition instant (the caller advances its clock
+// to it).
+func (s *Serializer) Acquire(now Time, hold Duration) Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := now
+	if s.nextFree > start {
+		s.waited += s.nextFree.Sub(start)
+		start = s.nextFree
+	}
+	s.nextFree = start.Add(hold)
+	s.acquires++
+	return start
+}
+
+// Stats reports acquisitions and cumulative wait time.
+func (s *Serializer) Stats() (acquires int64, waited Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acquires, s.waited
+}
+
+// Reset clears the serializer between runs.
+func (s *Serializer) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextFree = 0
+	s.acquires = 0
+	s.waited = 0
+}

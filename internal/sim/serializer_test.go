@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestSerializerExclusion(t *testing.T) {
+	var s Serializer
+	// First acquisition at t=100 holds for 50.
+	if got := s.Acquire(100, 50); got != 100 {
+		t.Fatalf("first acquire at %d, want 100", got)
+	}
+	// Second request at t=120 must wait until 150.
+	if got := s.Acquire(120, 10); got != 150 {
+		t.Fatalf("contended acquire at %d, want 150", got)
+	}
+	// A request after the resource frees proceeds immediately.
+	if got := s.Acquire(500, 10); got != 500 {
+		t.Fatalf("idle acquire at %d, want 500", got)
+	}
+	acquires, waited := s.Stats()
+	if acquires != 3 {
+		t.Fatalf("acquires = %d", acquires)
+	}
+	if waited != 30 {
+		t.Fatalf("waited = %v, want 30", waited)
+	}
+	s.Reset()
+	if a, w := s.Stats(); a != 0 || w != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSerializerConcurrentSafety(t *testing.T) {
+	var s Serializer
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 500; j++ {
+				s.Acquire(0, 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if a, _ := s.Stats(); a != 4000 {
+		t.Fatalf("acquires = %d, want 4000", a)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+// ThreadGroup models a set of simulated threads executing concurrently.
+// Each thread owns a private Clock; the group's elapsed time is the maximum
+// across members, mirroring a fork-join region. Shared-resource contention
+// (network bandwidth) is charged separately by netmodel.Bandwidth, which all
+// member threads share.
+type ThreadGroup struct {
+	start  Time
+	clocks []*Clock
+}
+
+// NewThreadGroup creates n simulated threads all starting at instant start.
+func NewThreadGroup(n int, start Time) *ThreadGroup {
+	g := &ThreadGroup{start: start}
+	g.clocks = make([]*Clock, n)
+	for i := range g.clocks {
+		g.clocks[i] = NewClock(start)
+	}
+	return g
+}
+
+// N reports the number of threads in the group.
+func (g *ThreadGroup) N() int { return len(g.clocks) }
+
+// Clock returns the clock of thread i.
+func (g *ThreadGroup) Clock(i int) *Clock { return g.clocks[i] }
+
+// Join returns the instant at which the slowest thread finishes. This is
+// the group's fork-join completion time.
+func (g *ThreadGroup) Join() Time {
+	end := g.start
+	for _, c := range g.clocks {
+		if c.Now() > end {
+			end = c.Now()
+		}
+	}
+	return end
+}
+
+// Elapsed returns the wall duration of the fork-join region.
+func (g *ThreadGroup) Elapsed() Duration { return g.Join().Sub(g.start) }

@@ -1,0 +1,229 @@
+// Package solver implements the cache-section sizing optimization of §4.3:
+// given sampled (size → overhead) curves per section and section lifetime
+// intervals, choose one size per section minimizing total overhead subject
+// to the constraint that at every instant the live sections' sizes sum to
+// at most the local-memory budget. The paper formulates this as an ILP; the
+// instance sizes here (a handful of sections × a handful of sampled sizes)
+// admit an exact branch-and-bound solve, which we verify against exhaustive
+// search in tests.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Candidate is one sampled size for a section.
+type Candidate struct {
+	SizeBytes int64
+	// Overhead is the section's profiled cache performance overhead at
+	// this size (§4.1 metric; lower is better).
+	Overhead float64
+}
+
+// Section is one sizing variable.
+type Section struct {
+	Name       string
+	Candidates []Candidate
+	// Start/End bound the section's lifetime in abstract program time
+	// (statement indices); sections whose intervals overlap contend for
+	// memory simultaneously. End is exclusive.
+	Start, End int
+}
+
+// Problem is a sizing instance.
+type Problem struct {
+	Sections []Section
+	Budget   int64
+}
+
+// Assignment maps section name to chosen size.
+type Assignment map[string]int64
+
+// Solve returns the optimal assignment and its total overhead.
+func Solve(p Problem) (Assignment, float64, error) {
+	if err := validate(p); err != nil {
+		return nil, 0, err
+	}
+	// Branch and bound, sections ordered by fewest candidates first for
+	// early pruning.
+	order := make([]int, len(p.Sections))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(p.Sections[order[a]].Candidates), len(p.Sections[order[b]].Candidates)
+		if la != lb {
+			return la < lb
+		}
+		return p.Sections[order[a]].Name < p.Sections[order[b]].Name
+	})
+
+	// minRemaining[i] = sum of minimum overheads of order[i:].
+	minRemaining := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		minRemaining[i] = minRemaining[i+1] + minOverhead(p.Sections[order[i]])
+	}
+
+	times := timePoints(p.Sections)
+	chosen := make([]int, len(p.Sections)) // candidate index per section
+	for i := range chosen {
+		chosen[i] = -1
+	}
+	best := math.Inf(1)
+	var bestChoice []int
+
+	var dfs func(pos int, cost float64)
+	dfs = func(pos int, cost float64) {
+		if cost+minRemaining[pos] >= best {
+			return
+		}
+		if pos == len(order) {
+			best = cost
+			bestChoice = append([]int(nil), chosen...)
+			return
+		}
+		si := order[pos]
+		sec := p.Sections[si]
+		// Try candidates in increasing overhead so the first feasible
+		// full assignment is a good incumbent.
+		idxs := make([]int, len(sec.Candidates))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return sec.Candidates[idxs[a]].Overhead < sec.Candidates[idxs[b]].Overhead
+		})
+		for _, ci := range idxs {
+			chosen[si] = ci
+			if feasiblePartial(p, chosen, times) {
+				dfs(pos+1, cost+sec.Candidates[ci].Overhead)
+			}
+			chosen[si] = -1
+		}
+	}
+	dfs(0, 0)
+
+	if bestChoice == nil {
+		return nil, 0, fmt.Errorf("solver: no feasible assignment within budget %d", p.Budget)
+	}
+	out := Assignment{}
+	for i, sec := range p.Sections {
+		out[sec.Name] = sec.Candidates[bestChoice[i]].SizeBytes
+	}
+	return out, best, nil
+}
+
+// SolveBrute exhaustively enumerates assignments — the oracle the tests
+// check Solve against.
+func SolveBrute(p Problem) (Assignment, float64, error) {
+	if err := validate(p); err != nil {
+		return nil, 0, err
+	}
+	times := timePoints(p.Sections)
+	best := math.Inf(1)
+	var bestChoice []int
+	chosen := make([]int, len(p.Sections))
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if i == len(p.Sections) {
+			if cost < best && feasiblePartial(p, chosen, times) {
+				best = cost
+				bestChoice = append([]int(nil), chosen...)
+			}
+			return
+		}
+		for ci := range p.Sections[i].Candidates {
+			chosen[i] = ci
+			rec(i+1, cost+p.Sections[i].Candidates[ci].Overhead)
+		}
+	}
+	// Sentinel: mark unset as last candidate? For brute force we always
+	// set all before checking, so initialize harmlessly.
+	rec(0, 0)
+	if bestChoice == nil {
+		return nil, 0, fmt.Errorf("solver: no feasible assignment within budget %d", p.Budget)
+	}
+	out := Assignment{}
+	for i, sec := range p.Sections {
+		out[sec.Name] = sec.Candidates[bestChoice[i]].SizeBytes
+	}
+	return out, best, nil
+}
+
+func validate(p Problem) error {
+	if p.Budget <= 0 {
+		return fmt.Errorf("solver: budget %d", p.Budget)
+	}
+	if len(p.Sections) == 0 {
+		return fmt.Errorf("solver: no sections")
+	}
+	seen := map[string]bool{}
+	for _, s := range p.Sections {
+		if s.Name == "" {
+			return fmt.Errorf("solver: unnamed section")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("solver: duplicate section %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Candidates) == 0 {
+			return fmt.Errorf("solver: section %q has no candidates", s.Name)
+		}
+		if s.End <= s.Start {
+			return fmt.Errorf("solver: section %q has empty lifetime [%d,%d)", s.Name, s.Start, s.End)
+		}
+		for _, c := range s.Candidates {
+			if c.SizeBytes <= 0 {
+				return fmt.Errorf("solver: section %q candidate size %d", s.Name, c.SizeBytes)
+			}
+		}
+	}
+	return nil
+}
+
+func minOverhead(s Section) float64 {
+	m := math.Inf(1)
+	for _, c := range s.Candidates {
+		if c.Overhead < m {
+			m = c.Overhead
+		}
+	}
+	return m
+}
+
+// timePoints returns the interval start points — checking the constraint at
+// every interval start is sufficient for interval overlap constraints.
+func timePoints(secs []Section) []int {
+	set := map[int]bool{}
+	for _, s := range secs {
+		set[s.Start] = true
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// feasiblePartial checks the budget at every time point counting only
+// sections with assigned candidates.
+func feasiblePartial(p Problem, chosen []int, times []int) bool {
+	for _, t := range times {
+		var total int64
+		for i, s := range p.Sections {
+			if chosen[i] < 0 {
+				continue
+			}
+			if s.Start <= t && t < s.End {
+				total += s.Candidates[chosen[i]].SizeBytes
+			}
+		}
+		if total > p.Budget {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package swap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"mira/internal/sim"
+)
+
+// Property: for any sequence of writes followed by reads at the same
+// offsets, the cache returns exactly what was written, regardless of how
+// eviction and prefetching shuffle pages in between. This is the paging
+// substrate's fundamental correctness invariant.
+func TestPropertyReadBackAfterEviction(t *testing.T) {
+	const regionPages = 16
+	f := func(seed uint64, poolRaw uint8) bool {
+		pool := int(poolRaw%6) + 2 // 2..7 pages: far smaller than the region
+		c, clk := newCache(t, pool, regionPages*PageBytes, seqPrefetch{n: 2})
+		rng := sim.NewRNG(seed)
+		type rec struct {
+			off uint64
+			val uint64
+		}
+		var written []rec
+		for i := 0; i < 64; i++ {
+			off := uint64(rng.Int63()) % uint64(regionPages*PageBytes-8)
+			val := rng.Uint64()
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], val)
+			if err := c.Write(clk, c.Base()+off, buf[:]); err != nil {
+				return false
+			}
+			written = append(written, rec{off, val})
+		}
+		// Later writes may overlap earlier ones; replay forward keeping
+		// the final value per byte.
+		img := make(map[uint64]byte)
+		for _, w := range written {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], w.val)
+			for i, b := range buf {
+				img[w.off+uint64(i)] = b
+			}
+		}
+		for _, w := range written {
+			got := make([]byte, 8)
+			if err := c.Read(clk, c.Base()+w.off, got); err != nil {
+				return false
+			}
+			for i := range got {
+				if got[i] != img[w.off+uint64(i)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache is deterministic — replaying an identical access
+// sequence against a fresh cache yields identical fault counts and
+// identical virtual time.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	const regionPages = 12
+	run := func(seed uint64, pool int) (Stats, sim.Time, []byte) {
+		c, clk := newCache(t, pool, regionPages*PageBytes, seqPrefetch{n: 2})
+		rng := sim.NewRNG(seed)
+		sum := make([]byte, 32)
+		for i := 0; i < 96; i++ {
+			off := uint64(rng.Int63()) % uint64(regionPages*PageBytes-32)
+			if rng.Intn(3) == 0 {
+				if err := c.Write(clk, c.Base()+off, sum); err != nil {
+					return Stats{}, 0, nil
+				}
+				continue
+			}
+			buf := make([]byte, 32)
+			if err := c.Read(clk, c.Base()+off, buf); err != nil {
+				return Stats{}, 0, nil
+			}
+			for j := range sum {
+				sum[j] ^= buf[j]
+			}
+		}
+		return c.Stats(), clk.Now(), sum
+	}
+	f := func(seed uint64, poolRaw uint8) bool {
+		pool := int(poolRaw%5) + 2
+		s1, t1, d1 := run(seed, pool)
+		s2, t2, d2 := run(seed, pool)
+		return s1 == s2 && t1 == t2 && bytes.Equal(d1, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: residency never exceeds the pool capacity, whatever the mix of
+// demand faults and prefetches.
+func TestPropertyResidencyBounded(t *testing.T) {
+	const regionPages = 24
+	f := func(seed uint64, poolRaw, depth uint8) bool {
+		pool := int(poolRaw%6) + 2
+		c, clk := newCache(t, pool, regionPages*PageBytes, seqPrefetch{n: int64(depth % 7)})
+		rng := sim.NewRNG(seed)
+		buf := make([]byte, 8)
+		for i := 0; i < 128; i++ {
+			off := uint64(rng.Int63()) % uint64(regionPages*PageBytes-8)
+			if err := c.Read(clk, c.Base()+off, buf); err != nil {
+				return false
+			}
+			if c.Resident() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultsInRangeAttribution(t *testing.T) {
+	c, clk := newCache(t, 4, 8*PageBytes, nil)
+	buf := make([]byte, 8)
+	// Touch pages 0, 1, and 5.
+	for _, pg := range []uint64{0, 1, 5} {
+		if err := c.Read(clk, c.Base()+pg*PageBytes+16, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.FaultsInRange(c.Base(), 2*PageBytes); got != 2 {
+		t.Fatalf("faults in pages 0-1 = %d, want 2", got)
+	}
+	if got := c.FaultsInRange(c.Base()+5*PageBytes, PageBytes); got != 1 {
+		t.Fatalf("faults in page 5 = %d, want 1", got)
+	}
+	if got := c.FaultsInRange(c.Base()+2*PageBytes, 3*PageBytes); got != 0 {
+		t.Fatalf("faults in untouched pages = %d, want 0", got)
+	}
+	// A range starting below the region clamps to the base.
+	if got := c.FaultsInRange(c.Base()-PageBytes, 3*PageBytes); got != 2 {
+		t.Fatalf("clamped range = %d, want 2", got)
+	}
+}
+
+func TestSettleAsyncClearsInflight(t *testing.T) {
+	c, clk := newCache(t, 8, 8*PageBytes, seqPrefetch{n: 4})
+	buf := make([]byte, 8)
+	if err := c.Read(clk, c.Base(), buf); err != nil {
+		t.Fatal(err)
+	}
+	// The prefetched pages carry future readyAt stamps; settling must
+	// clear them so a fresh-clock thread sees no phantom waits.
+	c.SettleAsync()
+	fresh := sim.NewClock(0)
+	before := c.Stats().MinorFaults
+	if err := c.Read(fresh, c.Base()+PageBytes, buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().MinorFaults != before+1 {
+		t.Fatal("prefetched page not minor-faulted after settle")
+	}
+	if fresh.Now().Sub(0) > 10*sim.Microsecond {
+		t.Fatalf("settled page still charged a wait: %v", fresh.Now())
+	}
+}
+
+func TestSetLockSerializesFaults(t *testing.T) {
+	lock := &sim.Serializer{}
+	mk := func(l *sim.Serializer) sim.Time {
+		c, clk := newCache(t, 4, 8*PageBytes, nil)
+		if l != nil {
+			c.SetLock(l)
+		}
+		buf := make([]byte, 8)
+		for pg := uint64(0); pg < 4; pg++ {
+			if err := c.Read(clk, c.Base()+pg*PageBytes, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return clk.Now()
+	}
+	free := mk(nil)
+	// Pre-load the serializer with a queue from a "previous thread".
+	for i := 0; i < 4; i++ {
+		lock.Acquire(0, 5*sim.Microsecond)
+	}
+	locked := mk(lock)
+	if locked <= free {
+		t.Fatalf("contended faults not slower: %v vs %v", locked, free)
+	}
+}
+
+func TestSetPrefetcherSwapsBehavior(t *testing.T) {
+	c, clk := newCache(t, 8, 8*PageBytes, nil)
+	buf := make([]byte, 8)
+	if err := c.Read(clk, c.Base(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Prefetches != 0 {
+		t.Fatal("NoPrefetch issued prefetches")
+	}
+	c.SetPrefetcher(seqPrefetch{n: 2})
+	if err := c.Read(clk, c.Base()+4*PageBytes, buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Prefetches == 0 {
+		t.Fatal("installed prefetcher never ran")
+	}
+	// Nil resets to NoPrefetch without crashing.
+	c.SetPrefetcher(nil)
+	if err := c.Read(clk, c.Base()+7*PageBytes, buf); err != nil {
+		t.Fatal(err)
+	}
+}

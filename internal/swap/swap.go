@@ -1,0 +1,429 @@
+// Package swap implements the page-granular swap cache (§5.3 "swap-based
+// cache section"): a 4 KB-page local pool over far memory with demand
+// faults, an approximate global LRU (active/inactive lists, as in Linux and
+// the paper), asynchronous dirty write-back, and a pluggable prefetcher
+// hook.
+//
+// Three systems share this substrate: Mira's generic swap section (the
+// initial iteration and the fallback for pre-compiled library code), the
+// FastSwap baseline (readahead prefetcher, fast fault path), and the Leap
+// baseline (majority-trend prefetcher, slightly costlier fault path).
+package swap
+
+import (
+	"container/list"
+	"fmt"
+
+	"mira/internal/sim"
+	"mira/internal/transport"
+)
+
+// PageBytes is the swap granularity, matching the OS page size (§5.3).
+const PageBytes = 4096
+
+// Prefetcher decides which pages to pull in around a demand fault.
+// Implementations must be deterministic.
+type Prefetcher interface {
+	// OnFault observes a demand fault on page and returns page numbers
+	// to prefetch (may be empty). Pages already resident or in flight
+	// are skipped by the cache.
+	OnFault(page int64) []int64
+	// PerFaultOverhead is the extra fault-path cost this prefetcher adds
+	// (e.g. Leap's trend detection).
+	PerFaultOverhead() sim.Duration
+}
+
+// NoPrefetch is the zero prefetcher.
+type NoPrefetch struct{}
+
+// OnFault returns no prefetch candidates.
+func (NoPrefetch) OnFault(int64) []int64 { return nil }
+
+// PerFaultOverhead is zero for the no-op prefetcher.
+func (NoPrefetch) PerFaultOverhead() sim.Duration { return 0 }
+
+// Config parameterizes a swap cache.
+type Config struct {
+	// PoolBytes is the local page-pool budget; the page count is
+	// PoolBytes/PageBytes, minimum 1.
+	PoolBytes int64
+	// MajorFaultOverhead is the CPU cost of the fault path (userfaultfd
+	// event, mapping setup) excluding the network fetch.
+	MajorFaultOverhead sim.Duration
+	// MinorFaultOverhead is the cost of mapping an already-prefetched
+	// page on first touch.
+	MinorFaultOverhead sim.Duration
+	// HitOverhead is the per-access software overhead once a page is
+	// mapped. For a true swap system this is zero (the MMU resolves
+	// accesses natively); Mira's user-space swap charges nothing either,
+	// matching the paper's "native memory access intact" profiling note.
+	HitOverhead sim.Duration
+}
+
+// DefaultConfig returns a FastSwap-calibrated fault path.
+func DefaultConfig(poolBytes int64) Config {
+	return Config{
+		PoolBytes:          poolBytes,
+		MajorFaultOverhead: 4500 * sim.Nanosecond,
+		MinorFaultOverhead: 1000 * sim.Nanosecond,
+	}
+}
+
+// Stats counts swap events.
+type Stats struct {
+	Accesses     int64
+	MajorFaults  int64
+	MinorFaults  int64
+	PagesFetched int64 // demand + prefetch
+	Prefetches   int64
+	PrefetchUsed int64 // prefetched pages that were touched before eviction
+	Evictions    int64
+	Writebacks   int64
+}
+
+type page struct {
+	no       int64
+	data     []byte
+	dirty    bool
+	prefetch bool     // arrived via prefetch and not yet touched
+	readyAt  sim.Time // when its fetch completes
+	inActive bool
+	resident bool
+}
+
+// Cache is a swap cache over one contiguous far-memory region.
+type Cache struct {
+	cfg      Config
+	tr       *transport.T
+	base     uint64 // far address of page 0
+	length   int64  // region bytes
+	capacity int    // max resident pages
+	pages    map[int64]*list.Element
+	active   *list.List
+	inactive *list.List
+	pf       Prefetcher
+	stats    Stats
+	// faultsByPage records major-fault counts per page (per-object miss
+	// attribution for the evaluation's Fig. 8).
+	faultsByPage map[int64]int64
+	// pinned protects the in-flight demand page from being evicted by
+	// the prefetches issued on the same fault.
+	pinned *page
+	// lock, when set, serializes the fault path across simulated
+	// threads (the kernel swap lock).
+	lock *sim.Serializer
+}
+
+// New builds a swap cache covering [base, base+length) of far memory.
+func New(cfg Config, tr *transport.T, base uint64, length int64, pf Prefetcher) (*Cache, error) {
+	if cfg.PoolBytes <= 0 {
+		return nil, fmt.Errorf("swap: PoolBytes must be positive, got %d", cfg.PoolBytes)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("swap: region length must be positive, got %d", length)
+	}
+	if pf == nil {
+		pf = NoPrefetch{}
+	}
+	capacity := int(cfg.PoolBytes / PageBytes)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cfg:      cfg,
+		tr:       tr,
+		base:     base,
+		length:   length,
+		capacity: capacity,
+		pages:    make(map[int64]*list.Element, capacity),
+		active:   list.New(),
+		inactive: list.New(),
+		pf:       pf,
+	}, nil
+}
+
+// npages reports the number of pages covering the region.
+func (c *Cache) npages() int64 { return (c.length + PageBytes - 1) / PageBytes }
+
+// pageOf maps a far address to its page number.
+func (c *Cache) pageOf(far uint64) (int64, error) {
+	if far < c.base || far >= c.base+uint64(c.length) {
+		return 0, fmt.Errorf("swap: address %#x outside region [%#x,+%d)", far, c.base, c.length)
+	}
+	return int64((far - c.base) / PageBytes), nil
+}
+
+// pageSize returns the byte count of page no (the last page may be short).
+func (c *Cache) pageSize(no int64) int {
+	sz := c.length - no*PageBytes
+	if sz > PageBytes {
+		sz = PageBytes
+	}
+	return int(sz)
+}
+
+// Read copies len(dst) bytes at far into dst, faulting pages as needed and
+// advancing clk by the access cost.
+func (c *Cache) Read(clk *sim.Clock, far uint64, dst []byte) error {
+	return c.access(clk, far, dst, false)
+}
+
+// Write copies src to far (through the page cache; pages become dirty).
+func (c *Cache) Write(clk *sim.Clock, far uint64, src []byte) error {
+	return c.access(clk, far, src, true)
+}
+
+// access walks the affected pages, faulting and copying.
+func (c *Cache) access(clk *sim.Clock, far uint64, buf []byte, isWrite bool) error {
+	c.stats.Accesses++
+	off := 0
+	for off < len(buf) {
+		no, err := c.pageOf(far + uint64(off))
+		if err != nil {
+			return err
+		}
+		p, err := c.touch(clk, no)
+		if err != nil {
+			return err
+		}
+		pageOff := int((far + uint64(off) - c.base) % PageBytes)
+		n := len(p.data) - pageOff
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		if n <= 0 {
+			return fmt.Errorf("swap: access [%#x,+%d) overruns region", far, len(buf))
+		}
+		if isWrite {
+			copy(p.data[pageOff:], buf[off:off+n])
+			p.dirty = true
+		} else {
+			copy(buf[off:off+n], p.data[pageOff:])
+		}
+		clk.Advance(c.cfg.HitOverhead)
+		off += n
+	}
+	return nil
+}
+
+// touch ensures page no is resident and mapped, charging fault costs.
+func (c *Cache) touch(clk *sim.Clock, no int64) (*page, error) {
+	if el, ok := c.pages[no]; ok {
+		p := el.Value.(*page)
+		if p.prefetch {
+			// First touch of a prefetched page: minor fault. Wait
+			// for the in-flight fetch if it has not landed yet.
+			c.stats.MinorFaults++
+			c.stats.PrefetchUsed++
+			clk.AdvanceTo(p.readyAt)
+			clk.Advance(c.cfg.MinorFaultOverhead)
+			p.prefetch = false
+		}
+		c.promote(el)
+		return p, nil
+	}
+	// Major fault.
+	c.stats.MajorFaults++
+	if c.faultsByPage == nil {
+		c.faultsByPage = make(map[int64]int64)
+	}
+	c.faultsByPage[no]++
+	if c.lock != nil {
+		clk.AdvanceTo(c.lock.Acquire(clk.Now(), c.cfg.MajorFaultOverhead))
+	}
+	clk.Advance(c.cfg.MajorFaultOverhead)
+	clk.Advance(c.pf.PerFaultOverhead())
+	p, err := c.fetch(clk.Now(), no, false)
+	if err != nil {
+		return nil, err
+	}
+	clk.AdvanceTo(p.readyAt)
+
+	// Consult the prefetcher after servicing the demand page so its
+	// traffic queues behind the demand fetch. The demand page is pinned:
+	// prefetch-triggered evictions must not invalidate the page we are
+	// about to hand to the caller.
+	c.pinned = p
+	for _, pno := range c.pf.OnFault(no) {
+		if pno < 0 || pno >= c.npages() {
+			continue
+		}
+		if _, ok := c.pages[pno]; ok {
+			continue
+		}
+		if _, err := c.fetch(clk.Now(), pno, true); err != nil {
+			if err == errNoEvictable {
+				break // pool too small to prefetch into
+			}
+			c.pinned = nil
+			return nil, err
+		}
+		c.stats.Prefetches++
+	}
+	c.pinned = nil
+	return p, nil
+}
+
+// fetch brings page no into the pool (evicting as needed) and returns it.
+// Prefetch fetches do not block the caller; readyAt records completion.
+func (c *Cache) fetch(now sim.Time, no int64, isPrefetch bool) (*page, error) {
+	if len(c.pages) >= c.capacity {
+		if err := c.evictOne(now); err != nil {
+			return nil, err
+		}
+	}
+	sz := c.pageSize(no)
+	p := &page{no: no, data: make([]byte, sz), prefetch: isPrefetch, resident: true}
+	done, err := c.tr.ReadOneSided(now, c.base+uint64(no)*PageBytes, p.data)
+	if err != nil {
+		return nil, err
+	}
+	p.readyAt = done
+	c.pages[no] = c.inactive.PushFront(p)
+	c.stats.PagesFetched++
+	return p, nil
+}
+
+// promote implements the two-list LRU: touched inactive pages move to the
+// active list; active pages move to its front. As in Linux, the active list
+// is bounded to half the pool — otherwise streamed-once pages clog it and
+// evictions cannibalize prefetched pages before their first touch.
+func (c *Cache) promote(el *list.Element) {
+	p := el.Value.(*page)
+	if p.inActive {
+		c.active.MoveToFront(el)
+		return
+	}
+	c.inactive.Remove(el)
+	p.inActive = true
+	c.pages[p.no] = c.active.PushFront(p)
+	for c.active.Len() > c.capacity/2 {
+		tail := c.active.Back()
+		tp := tail.Value.(*page)
+		c.active.Remove(tail)
+		tp.inActive = false
+		c.pages[tp.no] = c.inactive.PushBack(tp)
+	}
+}
+
+// errNoEvictable reports that every page in the pool is pinned — only
+// possible when a prefetch races the demand page in a tiny pool.
+var errNoEvictable = fmt.Errorf("swap: no evictable page")
+
+// evictOne drops the approximate-LRU page, writing it back asynchronously
+// if dirty (write-back consumes link bandwidth but does not block).
+func (c *Cache) evictOne(now sim.Time) error {
+	if c.inactive.Len() == 0 {
+		if tail := c.active.Back(); tail != nil {
+			p := tail.Value.(*page)
+			c.active.Remove(tail)
+			p.inActive = false
+			c.pages[p.no] = c.inactive.PushBack(p)
+		}
+	}
+	el := c.inactive.Back()
+	for el != nil && el.Value.(*page) == c.pinned {
+		el = el.Prev()
+	}
+	if el == nil {
+		el = c.active.Back()
+		for el != nil && el.Value.(*page) == c.pinned {
+			el = el.Prev()
+		}
+	}
+	if el == nil {
+		return errNoEvictable
+	}
+	p := el.Value.(*page)
+	if p.inActive {
+		c.active.Remove(el)
+	} else {
+		c.inactive.Remove(el)
+	}
+	delete(c.pages, p.no)
+	p.resident = false
+	c.stats.Evictions++
+	if p.dirty {
+		c.stats.Writebacks++
+		if _, err := c.tr.WriteOneSided(now, c.base+uint64(p.no)*PageBytes, p.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page back and drops all pages,
+// blocking clk until the last write-back lands. Used at program end and
+// before offloaded calls.
+func (c *Cache) FlushAll(clk *sim.Clock) error {
+	var last sim.Time
+	for no, el := range c.pages {
+		p := el.Value.(*page)
+		if p.dirty {
+			done, err := c.tr.WriteOneSided(clk.Now(), c.base+uint64(no)*PageBytes, p.data)
+			if err != nil {
+				return err
+			}
+			c.stats.Writebacks++
+			if done > last {
+				last = done
+			}
+		}
+	}
+	c.pages = make(map[int64]*list.Element, c.capacity)
+	c.active.Init()
+	c.inactive.Init()
+	clk.AdvanceTo(last)
+	return nil
+}
+
+// FaultsInRange reports major faults on pages overlapping [far, far+length).
+func (c *Cache) FaultsInRange(far uint64, length int64) int64 {
+	if far < c.base {
+		far = c.base
+	}
+	first := int64((far - c.base) / PageBytes)
+	last := int64((far + uint64(length) - 1 - c.base) / PageBytes)
+	var total int64
+	for p := first; p <= last; p++ {
+		total += c.faultsByPage[p]
+	}
+	return total
+}
+
+// SettleAsync marks every in-flight page fetch complete (simulated-thread
+// boundaries; see rt.SettleAsync).
+func (c *Cache) SettleAsync() {
+	for _, el := range c.pages {
+		el.Value.(*page).readyAt = 0
+	}
+}
+
+// SetLock installs a global fault-path serializer shared across simulated
+// threads (multithreaded swap baselines).
+func (c *Cache) SetLock(l *sim.Serializer) { c.lock = l }
+
+// SetPrefetcher swaps in a page prefetcher (baselines install theirs after
+// the cache exists; Mira's planner installs pointer-following prefetch for
+// swap-placed indirect objects).
+func (c *Cache) SetPrefetcher(pf Prefetcher) {
+	if pf == nil {
+		pf = NoPrefetch{}
+	}
+	c.pf = pf
+}
+
+// Resident reports the number of resident pages.
+func (c *Cache) Resident() int { return len(c.pages) }
+
+// Capacity reports the pool capacity in pages.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Base reports the far address of the region's first byte.
+func (c *Cache) Base() uint64 { return c.base }

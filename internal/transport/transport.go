@@ -1,0 +1,96 @@
+// Package transport glues the cost model (netmodel), the shared link
+// (netmodel.Bandwidth), and the far-memory node (farmem) into the operations
+// the cache layers issue: one-sided reads/writes, two-sided gather/scatter,
+// batched messages, and offload RPCs. Every operation returns the virtual
+// completion instant so callers can either block (demand miss) or continue
+// (prefetch, async write-back).
+package transport
+
+import (
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/sim"
+)
+
+// T is a transport endpoint on the compute node.
+type T struct {
+	Node *farmem.Node
+	Cfg  netmodel.Config
+	BW   *netmodel.Bandwidth
+}
+
+// New builds a transport over node with the given cost model.
+func New(node *farmem.Node, cfg netmodel.Config) *T {
+	return &T{Node: node, Cfg: cfg, BW: netmodel.NewBandwidth(cfg)}
+}
+
+// latencyOneSided is OneSidedCost minus the wire time, which the bandwidth
+// accountant charges separately (so concurrent threads contend for the wire
+// but not for latency).
+func (t *T) latencyOneSided(n int) sim.Duration {
+	return t.Cfg.OneSidedCost(n) - t.Cfg.WireTime(n)
+}
+
+func (t *T) latencyTwoSided(n int) sim.Duration {
+	return t.Cfg.TwoSidedCost(n) - t.Cfg.WireTime(n)
+}
+
+// ReadOneSided fetches len(buf) bytes at far address addr starting at now,
+// returning the completion instant.
+func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
+	if err := t.Node.Read(addr, buf); err != nil {
+		return now, err
+	}
+	wireEnd := t.BW.Acquire(now, len(buf))
+	return wireEnd.Add(t.latencyOneSided(len(buf))), nil
+}
+
+// WriteOneSided pushes buf to far address addr starting at now.
+func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
+	if err := t.Node.Write(addr, buf); err != nil {
+		return now, err
+	}
+	wireEnd := t.BW.Acquire(now, len(buf))
+	return wireEnd.Add(t.latencyOneSided(len(buf))), nil
+}
+
+// GatherTwoSided fetches several pieces in one two-sided message (§4.5
+// batching, §4.7 partial-structure transmission). The reply carries the
+// pieces concatenated in request order.
+func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error) {
+	data, err := t.Node.Gather(addrs, sizes)
+	if err != nil {
+		return nil, now, err
+	}
+	wireEnd := t.BW.Acquire(now, len(data))
+	return data, wireEnd.Add(t.Cfg.BatchedCost(sizes) - t.Cfg.WireTime(len(data))), nil
+}
+
+// ScatterTwoSided writes several pieces in one two-sided message.
+func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
+	if err := t.Node.Scatter(addrs, pieces); err != nil {
+		return now, err
+	}
+	sizes := make([]int, len(pieces))
+	total := 0
+	for i, p := range pieces {
+		sizes[i] = len(p)
+		total += len(p)
+	}
+	wireEnd := t.BW.Acquire(now, total)
+	return wireEnd.Add(t.Cfg.BatchedCost(sizes) - t.Cfg.WireTime(total)), nil
+}
+
+// Call invokes an offloaded procedure (§4.8): args travel two-sided, the far
+// CPU executes (already slowdown-scaled by the node), and the result travels
+// back. The returned instant is when the result is available locally.
+func (t *T) Call(now sim.Time, name string, args []byte) ([]byte, sim.Time, error) {
+	argsEnd := t.BW.Acquire(now, len(args)).Add(t.latencyTwoSided(len(args)))
+	res, farCPU, err := t.Node.Call(name, args)
+	if err != nil {
+		return nil, now, err
+	}
+	computeEnd := argsEnd.Add(farCPU)
+	resEnd := t.BW.Acquire(computeEnd, len(res)).Add(t.latencyTwoSided(len(res)))
+	return res, resEnd, nil
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/sim"
+)
+
+func newT(t *testing.T) (*T, uint64) {
+	t.Helper()
+	node := farmem.NewNode(farmem.NodeConfig{Capacity: 1 << 20, CPUSlowdown: 2})
+	tr := New(node, netmodel.DefaultConfig())
+	base, err := node.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, base
+}
+
+func TestReadWriteOneSided(t *testing.T) {
+	tr, base := newT(t)
+	w := []byte{1, 2, 3, 4}
+	done, err := tr.WriteOneSided(0, base, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("write completed instantaneously")
+	}
+	g := make([]byte, 4)
+	done2, err := tr.ReadOneSided(done, base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2 <= done {
+		t.Fatal("read completed before it started")
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestCompletionIncludesRTT(t *testing.T) {
+	tr, base := newT(t)
+	done, err := tr.ReadOneSided(1000, base, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Sub(1000) < tr.Cfg.OneSidedRTT {
+		t.Fatalf("completion %v before one RTT", done.Sub(1000))
+	}
+}
+
+func TestGatherScatterTwoSided(t *testing.T) {
+	tr, base := newT(t)
+	if _, err := tr.ScatterTwoSided(0, []uint64{base, base + 100}, [][]byte{{9, 8}, {7}}); err != nil {
+		t.Fatal(err)
+	}
+	data, done, err := tr.GatherTwoSided(0, []uint64{base, base + 100}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("gather free")
+	}
+	if !bytes.Equal(data, []byte{9, 8, 7}) {
+		t.Fatalf("gather = %v", data)
+	}
+}
+
+func TestCallChargesComputeAndTransfers(t *testing.T) {
+	node := farmem.NewNode(farmem.NodeConfig{Capacity: 1 << 20, CPUSlowdown: 2})
+	tr := New(node, netmodel.DefaultConfig())
+	node.Register("echo", func(mem *farmem.Mem, args []byte) ([]byte, sim.Duration, error) {
+		return args, 10 * sim.Microsecond, nil
+	})
+	res, done, err := tr.Call(0, "echo", []byte{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 5 {
+		t.Fatal("echo mismatch")
+	}
+	// Two two-sided RTTs + 20us scaled compute minimum.
+	min := 2*tr.Cfg.TwoSidedRTT + 20*sim.Microsecond
+	if done.Sub(0) < min {
+		t.Fatalf("call completed in %v, expected at least %v", done.Sub(0), min)
+	}
+}
+
+func TestBandwidthSharedAcrossOps(t *testing.T) {
+	tr, base := newT(t)
+	big := make([]byte, 1<<12)
+	d1, _ := tr.ReadOneSided(0, base, big)
+	d2, _ := tr.ReadOneSided(0, base, big)
+	if d2 <= d1 {
+		t.Fatal("second concurrent transfer did not queue behind the first")
+	}
+}

@@ -1,0 +1,42 @@
+// Package workload defines the interface between applications and the
+// systems that run them (Mira's planner/runtime and the FastSwap, Leap, and
+// AIFM baselines). Every app exposes its program, loads its data through
+// ObjectIniter, and verifies results through ObjectDumper — so one app
+// definition runs identically on four far-memory systems and the
+// integration tests can require bit-identical outputs.
+package workload
+
+import (
+	"mira/internal/exec"
+	"mira/internal/ir"
+)
+
+// ObjectIniter loads initial object contents (setup is untimed).
+type ObjectIniter interface {
+	InitObject(name string, data []byte) error
+}
+
+// ObjectDumper reads back an object's final far-memory contents.
+type ObjectDumper interface {
+	DumpObject(name string) ([]byte, error)
+}
+
+// Workload is one benchmark application.
+type Workload interface {
+	// Name labels the workload.
+	Name() string
+	// Program returns the canonical (untransformed) IR.
+	Program() *ir.Program
+	// Init loads workload data.
+	Init(t ObjectIniter) error
+	// Params binds the entry function's parameters.
+	Params() map[string]exec.Value
+	// FullMemoryBytes is the workload's far-data footprint — the 100%
+	// point of the local-memory axis.
+	FullMemoryBytes() int64
+}
+
+// Verifier is implemented by workloads that can check their own output.
+type Verifier interface {
+	Verify(d ObjectDumper) error
+}

@@ -1,0 +1,310 @@
+// Package mira is a Go implementation of Mira, the program-behavior-guided
+// far-memory system of Guo, He, and Zhang (SOSP 2023). It reproduces the
+// paper's full pipeline:
+//
+//   - programs are expressed in a small IR (see NewProgram) — the stand-in
+//     for the paper's MLIR remotable/rmem dialects;
+//   - static analyses classify access patterns, lifetimes, and batching
+//     opportunities; run-time profiling picks the scopes worth optimizing;
+//   - the planner iteratively derives cache-section configurations
+//     (structure, line size, sizes via sampling + ILP, communication
+//     method) and compiles the program against them, rolling back
+//     regressions;
+//   - the runtime executes over a simulated far-memory node with a
+//     calibrated RDMA-like cost model, moving real bytes so results are
+//     verifiable; and
+//   - baselines (FastSwap, Leap, AIFM) run the same programs for
+//     comparison, and a figure harness regenerates every experiment in the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	w := mira.NewGraphWorkload(mira.GraphConfig{})
+//	res, err := mira.Plan(w, mira.PlanOptions{LocalBudget: w.FullMemoryBytes() / 4})
+//	// res.BaselineTime is the generic-swap time; res.FinalTime the
+//	// optimized compilation's.
+//
+// See examples/ for complete programs and cmd/ for the CLI tools.
+package mira
+
+import (
+	"mira/internal/apps/arraysum"
+	"mira/internal/apps/dataframe"
+	"mira/internal/apps/gpt2"
+	"mira/internal/apps/graphtraverse"
+	"mira/internal/apps/mcf"
+	"mira/internal/exec"
+	"mira/internal/figures"
+	"mira/internal/harness"
+	"mira/internal/ir"
+	"mira/internal/mtrun"
+	"mira/internal/planner"
+	"mira/internal/sim"
+	"mira/internal/workload"
+)
+
+// Workload is a benchmark application: a program plus its data and oracle.
+type Workload = workload.Workload
+
+// PlanOptions configures the iterative optimization flow (§3 of the paper).
+type PlanOptions = planner.Options
+
+// PlanResult is the planning outcome: baseline vs final time, the accepted
+// configuration and compiled program, and per-iteration records.
+type PlanResult = planner.Result
+
+// TechniqueMask selectively disables Mira optimizations (used by the
+// ablation figures).
+type TechniqueMask = planner.TechniqueMask
+
+// Plan runs Mira's full iterative profile-analyze-configure-compile flow.
+func Plan(w Workload, opts PlanOptions) (*PlanResult, error) {
+	return planner.Plan(w, opts)
+}
+
+// System identifies one of the far-memory systems in the evaluation.
+type System = harness.System
+
+// The comparable systems.
+const (
+	SystemNative   = harness.Native
+	SystemMira     = harness.Mira
+	SystemMiraSwap = harness.MiraSwap
+	SystemFastSwap = harness.FastSwap
+	SystemLeap     = harness.Leap
+	SystemAIFM     = harness.AIFM
+)
+
+// RunOptions configures a single system run.
+type RunOptions = harness.Options
+
+// RunResult is one run's outcome.
+type RunResult = harness.Result
+
+// Run executes w on one system at the given options.
+func Run(sys System, w Workload, opts RunOptions) (RunResult, error) {
+	return harness.Run(sys, w, opts)
+}
+
+// Figure is a regenerated evaluation figure.
+type Figure = figures.Figure
+
+// FigureScale selects quick or full experiment sizing.
+type FigureScale = figures.Scale
+
+// Figure scales.
+const (
+	FigureQuick = figures.Quick
+	FigureFull  = figures.Full
+)
+
+// FigureIDs lists the regenerable figures.
+func FigureIDs() []string { return figures.IDs() }
+
+// GenerateFigure regenerates one evaluation figure.
+func GenerateFigure(id string, scale FigureScale) (*Figure, error) {
+	return figures.Generate(id, scale)
+}
+
+// NewProgram starts building an IR program — the front-end applications use
+// in place of the paper's C++/ONNX sources.
+func NewProgram(name string) *ir.Builder { return ir.NewBuilder(name) }
+
+// Adapt implements the paper's input adaptation (§3): it measures an
+// existing compilation against a new input and, when performance degrades
+// past tolerance (default 0.2), runs a fresh optimization round and keeps
+// whichever compilation is faster. It returns the compilation to use and
+// whether re-optimization was triggered.
+func Adapt(prev *PlanResult, w Workload, opts PlanOptions, tolerance float64) (*PlanResult, bool, error) {
+	return planner.Adapt(prev, w, opts, tolerance)
+}
+
+// Measure runs an existing compilation against a (possibly different)
+// input and returns its execution time — the measurement half of Adapt.
+func Measure(prev *PlanResult, w Workload, opts PlanOptions) (sim.Duration, error) {
+	return planner.Measure(prev, w, opts)
+}
+
+// MTMode selects a multithreading strategy for the scaling drivers (§4.6).
+type MTMode = mtrun.Mode
+
+// The multithreading strategies.
+const (
+	// MTMiraPrivate gives each thread private cache sections.
+	MTMiraPrivate = mtrun.MiraPrivate
+	// MTMiraShared shares one conservative section set (Fig. 24's
+	// "Mira-unopt").
+	MTMiraShared = mtrun.MiraShared
+	// MTFastSwapShared shares the swap pool behind the kernel fault lock.
+	MTFastSwapShared = mtrun.FastSwapShared
+	// MTAIFMShared shares the AIFM object cache.
+	MTAIFMShared = mtrun.AIFMShared
+)
+
+// MTResult is one multithreaded scaling point.
+type MTResult = mtrun.Result
+
+// ReadOnlyScaling divides a fixed batch of read-only executions of w
+// across threads and returns the fork-join completion time (Fig. 24).
+func ReadOnlyScaling(mode MTMode, w Workload, budget int64, threads int) (MTResult, error) {
+	return mtrun.ReadOnlyScaling(mode, w, budget, threads)
+}
+
+// SharedWriteFilter partitions a DataFrame filter across threads writing
+// one shared result vector (Fig. 25).
+func SharedWriteFilter(mode MTMode, cfg DataFrameConfig, budget int64, threads int) (MTResult, error) {
+	return mtrun.SharedWriteFilter(mode, cfg, budget, threads)
+}
+
+// Workload constructors for the paper's applications.
+
+// GraphConfig sizes the Fig. 4 graph-traversal example.
+type GraphConfig = graphtraverse.Config
+
+// NewGraphWorkload builds the graph-traversal example.
+func NewGraphWorkload(cfg GraphConfig) Workload { return graphtraverse.New(cfg) }
+
+// MCFConfig sizes the MCF (SPEC 429.mcf-like) workload.
+type MCFConfig = mcf.Config
+
+// NewMCFWorkload builds the MCF workload.
+func NewMCFWorkload(cfg MCFConfig) Workload { return mcf.New(cfg) }
+
+// DataFrameConfig sizes the DataFrame analytics workload.
+type DataFrameConfig = dataframe.Config
+
+// NewDataFrameWorkload builds the DataFrame workload.
+func NewDataFrameWorkload(cfg DataFrameConfig) Workload { return dataframe.New(cfg) }
+
+// GPT2Config sizes the GPT-2 inference workload.
+type GPT2Config = gpt2.Config
+
+// NewGPT2Workload builds the GPT-2 inference workload.
+func NewGPT2Workload(cfg GPT2Config) Workload { return gpt2.New(cfg) }
+
+// ArraySumConfig sizes the array-sum microbenchmark.
+type ArraySumConfig = arraysum.Config
+
+// NewArraySumWorkload builds the array-sum microbenchmark.
+func NewArraySumWorkload(cfg ArraySumConfig) Workload { return arraysum.New(cfg) }
+
+// IR construction surface: NewProgram returns the ir.Builder, and the
+// expression constructors below are re-exported so custom programs can be
+// written against the facade alone (see ExampleNewProgram).
+
+// Expr is an IR expression node.
+type Expr = ir.Expr
+
+// Field describes one field of a structured object's element.
+type Field = ir.Field
+
+// TensorRef names a dense float64 region for the tensor intrinsics.
+type TensorRef = ir.TensorRef
+
+// C builds an integer constant.
+func C(i int64) Expr { return ir.C(i) }
+
+// F64 builds a float constant.
+func F64(f float64) Expr { return ir.CF(f) }
+
+// P references an entry-function parameter.
+func P(name string) Expr { return ir.P(name) }
+
+// R references a register by id (from FuncBuilder.Var/NewReg).
+func R(id int) Expr { return ir.R(id) }
+
+// F declares a field (name, byte offset, byte size).
+func F(name string, offset, bytes int) Field { return ir.F(name, offset, bytes) }
+
+// T names a tensor: obj[off:] viewed as rows x cols float64s.
+func T(obj string, off Expr, rows, cols int64) TensorRef { return ir.T(obj, off, rows, cols) }
+
+// Add builds a + b.
+func Add(a, b Expr) Expr { return ir.Add(a, b) }
+
+// Sub builds a - b.
+func Sub(a, b Expr) Expr { return ir.Sub(a, b) }
+
+// Mul builds a * b.
+func Mul(a, b Expr) Expr { return ir.Mul(a, b) }
+
+// Div builds a / b.
+func Div(a, b Expr) Expr { return ir.Div(a, b) }
+
+// Mod builds a % b.
+func Mod(a, b Expr) Expr { return ir.Mod(a, b) }
+
+// Lt builds a < b.
+func Lt(a, b Expr) Expr { return ir.Lt(a, b) }
+
+// Le builds a <= b.
+func Le(a, b Expr) Expr { return ir.Le(a, b) }
+
+// Gt builds a > b.
+func Gt(a, b Expr) Expr { return ir.Gt(a, b) }
+
+// Ge builds a >= b.
+func Ge(a, b Expr) Expr { return ir.Ge(a, b) }
+
+// Eq builds a == b.
+func Eq(a, b Expr) Expr { return ir.Eq(a, b) }
+
+// Min builds min(a, b).
+func Min(a, b Expr) Expr { return ir.Min(a, b) }
+
+// Max builds max(a, b).
+func Max(a, b Expr) Expr { return ir.Max(a, b) }
+
+// Program is a validated IR program.
+type Program = ir.Program
+
+// customWorkload wraps a hand-built program and its data.
+type customWorkload struct {
+	name   string
+	prog   *Program
+	data   map[string][]byte
+	params map[string]exec.Value
+}
+
+// NewCustomWorkload wraps a program built with NewProgram and its initial
+// object contents into a Workload the planner and harness can run. data
+// maps object names to their initial bytes (objects absent from the map
+// start zeroed); params binds the entry function's parameters (nil when it
+// has none).
+func NewCustomWorkload(prog *Program, data map[string][]byte, params map[string]exec.Value) Workload {
+	return &customWorkload{name: prog.Name, prog: prog, data: data, params: params}
+}
+
+func (w *customWorkload) Name() string      { return w.name }
+func (w *customWorkload) Program() *Program { return w.prog }
+func (w *customWorkload) Params() map[string]exec.Value {
+	return w.params
+}
+
+func (w *customWorkload) Init(t workload.ObjectIniter) error {
+	for name, d := range w.data {
+		if err := t.InitObject(name, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *customWorkload) FullMemoryBytes() int64 {
+	var full int64
+	for _, o := range w.prog.Objects {
+		if !o.Local {
+			full += o.SizeBytes()
+		}
+	}
+	return full
+}
+
+// Value is a runtime scalar for binding entry-function parameters.
+type Value = exec.Value
+
+// IntV builds an integer Value.
+func IntV(i int64) Value { return exec.IntV(i) }
+
+// FloatV builds a float Value.
+func FloatV(f float64) Value { return exec.FloatV(f) }
