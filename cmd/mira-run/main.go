@@ -6,6 +6,11 @@
 //
 //	mira-run -app graph -system mira -mem 0.25
 //	mira-run -app mcf -system fastswap -mem 0.5
+//	mira-run -app graph -system fastswap -mem 0.25 -faults crash
+//
+// With -faults, the run first executes fault-free to measure its length,
+// then re-executes under the named fault schedule (crash/partition windows
+// scaled to land mid-run) and reports the resilience counters.
 package main
 
 import (
@@ -40,6 +45,8 @@ func main() {
 	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
 	aifmChunk := flag.Int64("aifm-chunk", 0, "AIFM remotable-object granularity in bytes (0 = per-element array library)")
 	aifmMeta := flag.Int64("aifm-meta", 0, "AIFM per-object metadata bytes (0 = default)")
+	faultsName := flag.String("faults", "", fmt.Sprintf("named fault schedule %v; empty = fault-free (crash-wipe loses data: run it with -verify=false)", mira.FaultScheduleNames()))
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's probabilistic draws")
 	flag.Parse()
 
 	w, err := buildWorkload(*app)
@@ -51,6 +58,23 @@ func main() {
 	opts := mira.RunOptions{Budget: budget, Verify: *verify}
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
+	if *faultsName != "" && *faultsName != "none" {
+		// Dry run fault-free to learn the run length, so the schedule's
+		// crash/partition windows land mid-run.
+		dry, err := mira.Run(mira.System(*system), w, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: fault-free dry run: %v\n", err)
+			os.Exit(1)
+		}
+		fc, err := mira.NamedFaultSchedule(*faultsName, *faultSeed, dry.Time)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Faults = &fc
+		pol := mira.RecoveryResiliencePolicy(dry.Time)
+		opts.Resilience = &pol
+	}
 	res, err := mira.Run(mira.System(*system), w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
@@ -67,6 +91,11 @@ func main() {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
 			len(res.PlanResult.Iterations), len(res.PlanResult.Config.Sections))
+	}
+	if n := res.Net; opts.Faults != nil {
+		fmt.Printf("  faults (%s, seed %d): %d retries, %d timeouts, %d corruptions, %d breaker trips, %d queued writebacks, %d degraded reads, %v degraded, %v backoff\n",
+			*faultsName, *faultSeed, n.Retries, n.Timeouts, n.Corruptions, n.BreakerTrips,
+			n.QueuedWritebacks, n.DegradedReads, n.DegradedTime, n.BackoffTime)
 	}
 	if *verify {
 		fmt.Println("  output verified against the native oracle")

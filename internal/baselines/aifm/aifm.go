@@ -20,8 +20,10 @@ package aifm
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"mira/internal/farmem"
+	"mira/internal/faults"
 	"mira/internal/ir"
 	"mira/internal/netmodel"
 	"mira/internal/rt"
@@ -55,6 +57,10 @@ type Options struct {
 	Net netmodel.Config
 	// NodeCfg overrides the far node.
 	NodeCfg farmem.NodeConfig
+	// Faults wires the deterministic fault injector into the transport.
+	Faults *faults.Config
+	// Resilience overrides the transport's retry/deadline/breaker policy.
+	Resilience *transport.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +129,12 @@ func New(w workload.Workload, opts Options) (*Runtime, error) {
 		lru:     list.New(),
 	}
 	r.tr = transport.New(r.node, opts.Net)
+	if opts.Resilience != nil {
+		r.tr.SetPolicy(*opts.Resilience)
+	}
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		r.tr.SetBackend(faults.New(r.node, *opts.Faults))
+	}
 	var maxUnit int64
 	for _, o := range prog.Objects {
 		if o.Local {
@@ -328,6 +340,9 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 			keys = append(keys, k)
 		}
 	}
+	// Write back in element order; map order would make link queueing —
+	// and so final sim times — run-dependent.
+	sort.Slice(keys, func(i, j int) bool { return keys[i].elem < keys[j].elem })
 	for _, k := range keys {
 		el := r.entries[k]
 		e := el.Value.(*entry)
@@ -350,13 +365,28 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 
 // FlushAll flushes every object (end of run, before DumpObject).
 func (r *Runtime) FlushAll(clk *sim.Clock) error {
+	names := make([]string, 0, len(r.objs))
 	for name := range r.objs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if err := r.FlushObject(clk, name); err != nil {
 			return err
 		}
 	}
+	// Degraded-mode write-backs queued in the transport must land before
+	// DumpObject reads far memory directly.
+	done, err := r.tr.Flush(clk.Now())
+	if err != nil {
+		return err
+	}
+	clk.AdvanceTo(done)
 	return nil
 }
+
+// NetStats reports the transport's resilience counters.
+func (r *Runtime) NetStats() transport.Stats { return r.tr.Stats() }
 
 // MissCount reports cumulative misses (the profiler's per-access probe).
 func (r *Runtime) MissCount() int64 { return r.misses }

@@ -10,10 +10,12 @@ import (
 	"fmt"
 
 	"mira/internal/farmem"
+	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/rt"
 	"mira/internal/sim"
 	"mira/internal/swap"
+	"mira/internal/transport"
 	"mira/internal/workload"
 )
 
@@ -32,6 +34,10 @@ type Options struct {
 	// The multithreaded driver scales it to model kernel-lock
 	// contention (§6.2).
 	MajorFaultOverhead sim.Duration
+	// Faults wires the deterministic fault injector into the transport.
+	Faults *faults.Config
+	// Resilience overrides the transport's retry/deadline/breaker policy.
+	Resilience *transport.Policy
 }
 
 // Readahead prefetches the pages following each fault — profitable for
@@ -85,6 +91,8 @@ func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
 			MajorFaultOverhead: opts.MajorFaultOverhead,
 			MinorFaultOverhead: 1000 * sim.Nanosecond,
 		},
+		Faults:     opts.Faults,
+		Resilience: opts.Resilience,
 	}
 	node := farmem.NewNode(opts.NodeCfg)
 	r, err := rt.New(cfg, node)

@@ -11,10 +11,12 @@ import (
 	"fmt"
 
 	"mira/internal/farmem"
+	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/rt"
 	"mira/internal/sim"
 	"mira/internal/swap"
+	"mira/internal/transport"
 	"mira/internal/workload"
 )
 
@@ -31,6 +33,10 @@ type Options struct {
 	Net netmodel.Config
 	// NodeCfg overrides the far node.
 	NodeCfg farmem.NodeConfig
+	// Faults wires the deterministic fault injector into the transport.
+	Faults *faults.Config
+	// Resilience overrides the transport's retry/deadline/breaker policy.
+	Resilience *transport.Policy
 }
 
 // Prefetcher implements Leap's majority-trend detection: if one fault-delta
@@ -132,6 +138,8 @@ func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
 			MajorFaultOverhead: 4500 * sim.Nanosecond,
 			MinorFaultOverhead: 1000 * sim.Nanosecond,
 		},
+		Faults:     opts.Faults,
+		Resilience: opts.Resilience,
 	}
 	node := farmem.NewNode(opts.NodeCfg)
 	r, err := rt.New(cfg, node)

@@ -43,7 +43,7 @@ func NewAllocator(base, size uint64) *Allocator {
 // Alloc reserves size bytes and returns the address of the range.
 func (a *Allocator) Alloc(size uint64) (uint64, error) {
 	if size == 0 {
-		return 0, fmt.Errorf("farmem: zero-size allocation")
+		return 0, fmt.Errorf("%w: zero-size allocation", ErrBadRequest)
 	}
 	// Align to 8 bytes, like any systems allocator would.
 	size = (size + 7) &^ 7
@@ -60,14 +60,14 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 			return addr, nil
 		}
 	}
-	return 0, fmt.Errorf("farmem: out of memory allocating %d bytes (in use %d of %d)", size, a.inUse, a.size)
+	return 0, fmt.Errorf("%w: allocating %d bytes (in use %d of %d)", ErrOutOfMemory, size, a.inUse, a.size)
 }
 
 // Free releases a previously-allocated range.
 func (a *Allocator) Free(addr uint64) error {
 	size, ok := a.used[addr]
 	if !ok {
-		return fmt.Errorf("farmem: free of unallocated address %#x", addr)
+		return fmt.Errorf("%w: free of unallocated address %#x", ErrUnmapped, addr)
 	}
 	delete(a.used, addr)
 	a.inUse -= size

@@ -1,0 +1,24 @@
+package farmem
+
+import "errors"
+
+// Sentinel errors for every way the far node can refuse a request. They are
+// all *permanent* failures: the node is reachable and answering, but the
+// request itself is wrong, so retrying it verbatim can never succeed. The
+// transport's retry policy classifies errors with errors.Is against these
+// (transient failures — injected I/O errors, crashes, partitions — carry a
+// Transient() marker instead; see internal/faults).
+var (
+	// ErrUnmapped reports an access outside any live allocation — the
+	// far-memory analogue of a segfault (an RDMA access outside a
+	// registered memory region).
+	ErrUnmapped = errors.New("farmem: address not mapped")
+	// ErrOutOfMemory reports remote-allocator exhaustion.
+	ErrOutOfMemory = errors.New("farmem: out of far memory")
+	// ErrUnknownProc reports an RPC to a procedure that was never
+	// registered.
+	ErrUnknownProc = errors.New("farmem: unknown procedure")
+	// ErrBadRequest reports a structurally malformed request (negative
+	// length, mismatched scatter/gather arity, zero-size allocation).
+	ErrBadRequest = errors.New("farmem: malformed request")
+)

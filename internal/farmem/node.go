@@ -107,16 +107,16 @@ func (m *Mem) removeRegion(base uint64) {
 // find locates the region containing [addr, addr+n).
 func (m *Mem) find(addr uint64, n int) (*memRegion, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("farmem: negative length %d", n)
+		return nil, fmt.Errorf("%w: negative length %d", ErrBadRequest, n)
 	}
 	i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].base > addr })
 	if i == 0 {
-		return nil, fmt.Errorf("farmem: access [%#x,+%d) hits no allocation", addr, n)
+		return nil, fmt.Errorf("%w: access [%#x,+%d) hits no allocation", ErrUnmapped, addr, n)
 	}
 	r := &m.regions[i-1]
 	if addr+uint64(n) > r.base+uint64(len(r.data)) {
-		return nil, fmt.Errorf("farmem: access [%#x,+%d) overruns allocation [%#x,+%d)",
-			addr, n, r.base, len(r.data))
+		return nil, fmt.Errorf("%w: access [%#x,+%d) overruns allocation [%#x,+%d)",
+			ErrUnmapped, addr, n, r.base, len(r.data))
 	}
 	return r, nil
 }
@@ -211,7 +211,7 @@ func (n *Node) Write(addr uint64, buf []byte) error {
 // structure transmission). Pieces are returned concatenated in order.
 func (n *Node) Gather(addrs []uint64, sizes []int) ([]byte, error) {
 	if len(addrs) != len(sizes) {
-		return nil, fmt.Errorf("farmem: gather with %d addrs but %d sizes", len(addrs), len(sizes))
+		return nil, fmt.Errorf("%w: gather with %d addrs but %d sizes", ErrBadRequest, len(addrs), len(sizes))
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -235,7 +235,7 @@ func (n *Node) Gather(addrs []uint64, sizes []int) ([]byte, error) {
 // pieces that the far node copies to their destinations.
 func (n *Node) Scatter(addrs []uint64, pieces [][]byte) error {
 	if len(addrs) != len(pieces) {
-		return fmt.Errorf("farmem: scatter with %d addrs but %d pieces", len(addrs), len(pieces))
+		return fmt.Errorf("%w: scatter with %d addrs but %d pieces", ErrBadRequest, len(addrs), len(pieces))
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -263,7 +263,7 @@ func (n *Node) Call(name string, args []byte) (result []byte, farCPU sim.Duratio
 	p, ok := n.procs[name]
 	if !ok {
 		n.mu.Unlock()
-		return nil, 0, fmt.Errorf("farmem: no procedure %q registered", name)
+		return nil, 0, fmt.Errorf("%w: no procedure %q registered", ErrUnknownProc, name)
 	}
 	n.rpcCalls++
 	mem := n.mem
@@ -275,6 +275,21 @@ func (n *Node) Call(name string, args []byte) (result []byte, farCPU sim.Duratio
 		return nil, 0, fmt.Errorf("farmem: procedure %q: %w", name, err)
 	}
 	return res, sim.Duration(float64(compute) * slow), nil
+}
+
+// WipeMemory zeroes every allocated byte while keeping the allocations
+// themselves. The fault injector uses it to model a far-node restart that
+// lost its volatile memory contents (a crash without a durable or replicated
+// backing store).
+func (n *Node) WipeMemory() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.mem.regions {
+		d := n.mem.regions[i].data
+		for j := range d {
+			d[j] = 0
+		}
+	}
 }
 
 // Stats reports cumulative node-side traffic and RPC counts.

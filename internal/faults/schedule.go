@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/sim"
+)
+
+// DefaultHorizon is the run length the CLI's named schedules assume when the
+// caller has not measured one: crash and partition windows are placed at
+// fractions of the horizon.
+const DefaultHorizon = 10 * sim.Millisecond
+
+// Names returns the named fault schedules, sorted, for CLI help text.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func(seed uint64, horizon sim.Duration) Config{
+	"none": func(uint64, sim.Duration) Config { return Config{} },
+	"flaky": func(seed uint64, _ sim.Duration) Config {
+		return Config{
+			Seed:      seed,
+			ErrorRate: 0.02,
+			DelayRate: 0.05,
+			DelayMin:  5 * sim.Microsecond,
+			DelayMax:  50 * sim.Microsecond,
+		}
+	},
+	"lossy": func(seed uint64, _ sim.Duration) Config {
+		return Config{
+			Seed:        seed,
+			ErrorRate:   0.005,
+			CorruptRate: 0.02,
+		}
+	},
+	"crash": func(seed uint64, h sim.Duration) Config {
+		return Config{
+			Seed: seed,
+			Schedule: []Event{
+				{At: sim.Time(h / 3), Kind: Crash},
+				{At: sim.Time(h / 2), Kind: Restart},
+			},
+		}
+	},
+	"crash-wipe": func(seed uint64, h sim.Duration) Config {
+		return Config{
+			Seed: seed,
+			Schedule: []Event{
+				{At: sim.Time(h / 3), Kind: Crash, LoseMemory: true},
+				{At: sim.Time(h / 2), Kind: Restart},
+			},
+		}
+	},
+	"partition": func(seed uint64, h sim.Duration) Config {
+		return Config{
+			Seed: seed,
+			Schedule: []Event{
+				{At: sim.Time(h / 4), Kind: PartitionStart},
+				{At: sim.Time(h/4 + h/8), Kind: PartitionEnd},
+			},
+		}
+	},
+	"chaos": func(seed uint64, h sim.Duration) Config {
+		return Config{
+			Seed:      seed,
+			ErrorRate: 0.01,
+			DelayRate: 0.02,
+			DelayMin:  5 * sim.Microsecond,
+			DelayMax:  30 * sim.Microsecond,
+			Schedule: []Event{
+				{At: sim.Time(h / 3), Kind: Crash},
+				{At: sim.Time(h/3 + h/10), Kind: Restart},
+				{At: sim.Time(2 * h / 3), Kind: PartitionStart},
+				{At: sim.Time(2*h/3 + h/20), Kind: PartitionEnd},
+			},
+		}
+	},
+}
+
+// Named builds one of the predefined fault schedules with windows placed at
+// fractions of DefaultHorizon.
+func Named(name string, seed uint64) (Config, error) {
+	return NamedScaled(name, seed, DefaultHorizon)
+}
+
+// NamedScaled builds a predefined schedule with crash/partition windows
+// placed at fractions of the given run horizon (callers that know the
+// fault-free run time pass it here so windows land mid-run).
+func NamedScaled(name string, seed uint64, horizon sim.Duration) (Config, error) {
+	b, ok := builders[name]
+	if !ok {
+		return Config{}, fmt.Errorf("faults: unknown schedule %q (have %v)", name, Names())
+	}
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	return b(seed, horizon), nil
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"testing"
+
+	"mira/internal/apps/arraysum"
+	"mira/internal/apps/dataframe"
+	"mira/internal/apps/gpt2"
+	"mira/internal/apps/graphtraverse"
+	"mira/internal/apps/mcf"
+	"mira/internal/faults"
+	"mira/internal/sim"
+	"mira/internal/transport"
+	"mira/internal/workload"
+)
+
+// faultApps is every application in internal/apps at a small test size —
+// the crash-and-recover acceptance check covers all of them.
+func faultApps() map[string]workload.Workload {
+	return map[string]workload.Workload{
+		"arraysum":      arraysum.New(arraysum.Config{N: 1 << 13, Seed: 1}),
+		"dataframe":     dataframe.New(dataframe.Config{Rows: 1 << 12, Seed: 2014}),
+		"gpt2":          gpt2.New(gpt2.Config{Layers: 2, DModel: 16, DFF: 32, SeqLen: 8, Seed: 3}),
+		"graphtraverse": graphtraverse.New(graphtraverse.Config{Edges: 4096, Nodes: 4096, Passes: 1, Seed: 21}),
+		"mcf":           mcf.New(mcf.Config{Arcs: 2048, Nodes: 512, Iterations: 8, WalkLen: 32, Seed: 429}),
+	}
+}
+
+// recoveryPolicy is generous enough that demand misses ride out a crash
+// window of t0/3: once the breaker is open each probe waits out the cooldown,
+// so the retry budget spans the whole window. The deadline is tight so
+// silent crash-window failures are detected quickly — enough attempts to
+// trip the breaker land inside the window even for microsecond-scale runs
+// (a tight deadline is safe here: only injected delay counts against it).
+func recoveryPolicy(t0 sim.Duration) *transport.Policy {
+	p := transport.RecoveryPolicy(t0)
+	// Trip after two consecutive failures so even the shortest app's crash
+	// window (a few failure-detection periods wide) arms the breaker.
+	p.BreakerThreshold = 2
+	return &p
+}
+
+// TestCrashAndRecoverByteIdentical is the tentpole acceptance check: every
+// app, run under a mid-run far-node crash (memory preserved across restart),
+// recovers and produces byte-identical output — verified against the native
+// oracle — with nonzero retries and breaker trips proving the fault window
+// was actually exercised.
+func TestCrashAndRecoverByteIdentical(t *testing.T) {
+	for name, w := range faultApps() {
+		t.Run(name, func(t *testing.T) {
+			budget := w.FullMemoryBytes() / 3
+			base, err := Run(FastSwap, w, Options{Budget: budget})
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			t0 := base.Time
+			fc := faults.Config{
+				Seed: 7,
+				Schedule: []faults.Event{
+					{At: sim.Time(t0 / 3), Kind: faults.Crash},
+					{At: sim.Time(2 * t0 / 3), Kind: faults.Restart},
+				},
+			}
+			opts := Options{
+				Budget:     budget,
+				Verify:     true,
+				Faults:     &fc,
+				Resilience: recoveryPolicy(t0),
+			}
+			res, err := Run(FastSwap, w, opts)
+			if err != nil {
+				t.Fatalf("crash-and-recover run failed verification or execution: %v", err)
+			}
+			if res.Net.Retries == 0 {
+				t.Errorf("no retries — the crash window injected nothing")
+			}
+			if res.Net.BreakerTrips == 0 {
+				t.Errorf("breaker never tripped during the crash window")
+			}
+			if res.Time <= t0 {
+				t.Errorf("crashed run (%v) not slower than fault-free (%v)", res.Time, t0)
+			}
+			// Determinism: the same seed and schedule replay identically.
+			res2, err := Run(FastSwap, w, opts)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if res2.Time != res.Time || res2.Net != res.Net {
+				t.Errorf("replay diverged: %v/%+v vs %v/%+v",
+					res.Time, res.Net, res2.Time, res2.Net)
+			}
+			t.Logf("t0=%v crashed=%v retries=%d trips=%d queued=%d degradedReads=%d",
+				t0, res.Time, res.Net.Retries, res.Net.BreakerTrips,
+				res.Net.QueuedWritebacks, res.Net.DegradedReads)
+		})
+	}
+}
+
+// TestMiraRecoversFromLossyNetwork drives the full Mira pipeline (planner
+// fault-free, timed run under injection) over a network that corrupts and
+// drops: end-to-end checksums plus retries keep the output byte-identical.
+func TestMiraRecoversFromLossyNetwork(t *testing.T) {
+	w := graphtraverse.New(graphtraverse.Config{Edges: 4096, Nodes: 4096, Passes: 1, Seed: 21})
+	fc, err := faults.Named("lossy", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Mira, w, Options{
+		Budget: w.FullMemoryBytes() / 4,
+		Verify: true,
+		Faults: &fc,
+	})
+	if err != nil {
+		t.Fatalf("mira under lossy network: %v", err)
+	}
+	if res.Net.Corruptions == 0 {
+		t.Errorf("no corruption injected — the lossy schedule exercised nothing")
+	}
+	if res.Net.Retries == 0 {
+		t.Errorf("no retries recorded")
+	}
+	t.Logf("time=%v corruptions=%d retries=%d", res.Time, res.Net.Corruptions, res.Net.Retries)
+}
+
+// TestFlakyScheduleDeterministicAcrossSystems re-runs each system under the
+// probabilistic "flaky" schedule: same seed, same final sim-time and
+// identical resilience counters.
+func TestFlakyScheduleDeterministicAcrossSystems(t *testing.T) {
+	w := graphtraverse.New(graphtraverse.Config{Edges: 4096, Nodes: 4096, Passes: 1, Seed: 21})
+	budget := w.FullMemoryBytes() / 4
+	fc, err := faults.Named("flaky", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{FastSwap, Leap, AIFM} {
+		opts := Options{Budget: budget, Verify: true, Faults: &fc}
+		a, err := Run(sys, w, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		b, err := Run(sys, w, opts)
+		if err != nil {
+			t.Fatalf("%s replay: %v", sys, err)
+		}
+		if a.Time != b.Time || a.Net != b.Net {
+			t.Errorf("%s: nondeterministic under flaky schedule: %v/%+v vs %v/%+v",
+				sys, a.Time, a.Net, b.Time, b.Net)
+		}
+		if a.Net.Retries == 0 && a.Net.Timeouts == 0 {
+			t.Errorf("%s: flaky schedule injected nothing", sys)
+		}
+	}
+}
+
+// TestNativeNeverSeesFaults pins the golden-reference contract: native runs
+// ignore the fault config entirely.
+func TestNativeNeverSeesFaults(t *testing.T) {
+	w := graphtraverse.New(graphtraverse.Config{Edges: 4096, Nodes: 4096, Passes: 1, Seed: 21})
+	clean, err := Run(Native, w, Options{Budget: w.FullMemoryBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := faults.Named("chaos", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(Native, w, Options{Budget: w.FullMemoryBytes(), Faults: &fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Time != faulted.Time {
+		t.Fatalf("native time changed under faults: %v vs %v", clean.Time, faulted.Time)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"mira/internal/baselines/leap"
 	"mira/internal/exec"
 	"mira/internal/farmem"
+	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/planner"
 	"mira/internal/rt"
 	"mira/internal/sim"
+	"mira/internal/transport"
 	"mira/internal/workload"
 )
 
@@ -53,7 +55,15 @@ type Options struct {
 	// AIFM customizes the AIFM baseline's library model (budget and
 	// interconnect are overridden by Budget/Net).
 	AIFM aifm.Options
+	// Faults injects the deterministic fault schedule into the run's
+	// transport (nil: fault-free). Native runs never see faults — they
+	// are the golden reference the faulted runs are compared against.
+	Faults *faults.Config
+	// Resilience overrides the transport's retry/deadline/breaker policy.
+	Resilience *transport.Policy
 }
+
+func (o Options) faultsEnabled() bool { return o.Faults != nil && o.Faults.Enabled() }
 
 // Result is one run's outcome.
 type Result struct {
@@ -66,6 +76,9 @@ type Result struct {
 	FailReason string
 	// PlanResult carries the planner record for Mira runs.
 	PlanResult *planner.Result
+	// Net reports the transport's resilience counters for the timed run
+	// (retries, timeouts, breaker trips, degraded-mode activity).
+	Net transport.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -111,7 +124,7 @@ func runRT(sys System, w workload.Workload, r *rt.Runtime, opts Options) (Result
 	if err := verify(w, r, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
 	}
-	return Result{System: sys, Time: clk.Now().Sub(0)}, nil
+	return Result{System: sys, Time: clk.Now().Sub(0), Net: r.NetStats()}, nil
 }
 
 func verify(w workload.Workload, d workload.ObjectDumper, opts Options) error {
@@ -175,10 +188,14 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	// Re-run the accepted configuration for verification (the planner's
-	// timing runs don't verify).
-	if opts.Verify {
+	// timing runs don't verify) or to measure it under the fault schedule
+	// (planning itself is always fault-free — an offline activity).
+	if opts.Verify || opts.faultsEnabled() {
 		node := farmem.NewNode(popts.NodeCfg)
-		r, err := rt.New(res.Config, node)
+		cfg := res.Config
+		cfg.Faults = opts.Faults
+		cfg.Resilience = opts.Resilience
+		r, err := rt.New(cfg, node)
 		if err != nil {
 			return Result{}, err
 		}
@@ -188,9 +205,15 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 		if err := w.Init(r); err != nil {
 			return Result{}, err
 		}
-		if _, err := runRT(sys, w, r, opts); err != nil {
+		rres, err := runRT(sys, w, r, opts)
+		if err != nil {
 			return Result{}, err
 		}
+		rres.PlanResult = res
+		if !opts.faultsEnabled() {
+			rres.Time = res.FinalTime
+		}
+		return rres, nil
 	}
 	return Result{System: sys, Time: res.FinalTime, PlanResult: res}, nil
 }
@@ -199,9 +222,15 @@ func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, err
 	var r *rt.Runtime
 	var err error
 	if sys == FastSwap {
-		r, err = fastswap.New(w, fastswap.Options{LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg})
+		r, err = fastswap.New(w, fastswap.Options{
+			LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg,
+			Faults: opts.Faults, Resilience: opts.Resilience,
+		})
 	} else {
-		r, err = leap.New(w, leap.Options{LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg})
+		r, err = leap.New(w, leap.Options{
+			LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg,
+			Faults: opts.Faults, Resilience: opts.Resilience,
+		})
 	}
 	if err != nil {
 		return Result{}, err
@@ -214,6 +243,8 @@ func runAIFM(w workload.Workload, opts Options) (Result, error) {
 	aopts.LocalBudget = opts.Budget
 	aopts.Net = opts.Net
 	aopts.NodeCfg = opts.NodeCfg
+	aopts.Faults = opts.Faults
+	aopts.Resilience = opts.Resilience
 	r, err := aifm.New(w, aopts)
 	if err != nil {
 		// AIFM's metadata-exhaustion failure is a *result* the paper
@@ -234,5 +265,5 @@ func runAIFM(w workload.Workload, opts Options) (Result, error) {
 	if err := verify(w, r, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: aifm: %w", err)
 	}
-	return Result{System: AIFM, Time: clk.Now().Sub(0)}, nil
+	return Result{System: AIFM, Time: clk.Now().Sub(0), Net: r.NetStats()}, nil
 }

@@ -316,6 +316,16 @@ func runOnce(w Workload, prog *ir.Program, cfg rt.Config, opts Options, profilin
 	if err := r.FlushAll(clk); err != nil {
 		return 0, nil, err
 	}
+	// Fold the transport's resilience counters into the profile. Planner
+	// runs are fault-free, so these are zero unless a caller wires a
+	// fault schedule into the runtime under profile.
+	ns := r.NetStats()
+	col.RecordNet(profile.NetRecord{
+		Retries: ns.Retries, Timeouts: ns.Timeouts,
+		Corruptions: ns.Corruptions, BreakerTrips: ns.BreakerTrips,
+		QueuedWritebacks: ns.QueuedWritebacks, DegradedReads: ns.DegradedReads,
+		DegradedTime: ns.DegradedTime, BackoffTime: ns.BackoffTime,
+	})
 	return clk.Now().Sub(0), col, nil
 }
 

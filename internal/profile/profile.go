@@ -58,12 +58,31 @@ type ObjectRecord struct {
 	Bytes int64
 }
 
+// NetRecord aggregates the transport's resilience events over a profiled
+// run: how hard the run had to fight the network to finish. The planner
+// ignores it (planning is fault-free), but the harness and CLI report it
+// alongside the function profile.
+type NetRecord struct {
+	Retries          int64
+	Timeouts         int64
+	Corruptions      int64
+	BreakerTrips     int64
+	QueuedWritebacks int64
+	DegradedReads    int64
+	DegradedTime     sim.Duration
+	BackoffTime      sim.Duration
+}
+
+// Zero reports whether no resilience event was recorded.
+func (n NetRecord) Zero() bool { return n == NetRecord{} }
+
 // Collector gathers profile events from the executor. It is not safe for
 // concurrent use; multithreaded simulations use one collector per simulated
 // thread and merge.
 type Collector struct {
 	funcs   map[string]*FuncRecord
 	objects map[string]*ObjectRecord
+	net     NetRecord
 }
 
 // NewCollector returns an empty collector.
@@ -113,6 +132,22 @@ func (c *Collector) fn(name string) *FuncRecord {
 	c.funcs[name] = f
 	return f
 }
+
+// RecordNet accumulates transport resilience counters into the profile
+// (callers snapshot rt.NetStats deltas per profiled region or per run).
+func (c *Collector) RecordNet(n NetRecord) {
+	c.net.Retries += n.Retries
+	c.net.Timeouts += n.Timeouts
+	c.net.Corruptions += n.Corruptions
+	c.net.BreakerTrips += n.BreakerTrips
+	c.net.QueuedWritebacks += n.QueuedWritebacks
+	c.net.DegradedReads += n.DegradedReads
+	c.net.DegradedTime += n.DegradedTime
+	c.net.BackoffTime += n.BackoffTime
+}
+
+// Net returns the accumulated resilience record.
+func (c *Collector) Net() NetRecord { return c.net }
 
 // Func returns a function's record (nil if never seen).
 func (c *Collector) Func(name string) *FuncRecord { return c.funcs[name] }
@@ -218,6 +253,7 @@ func (c *Collector) Merge(other *Collector) {
 	for name, o := range other.objects {
 		c.AllocSite(name, o.Bytes)
 	}
+	c.RecordNet(other.net)
 }
 
 // String renders a human-readable profile table.
@@ -230,6 +266,11 @@ func (c *Collector) String() string {
 	}
 	for _, o := range c.Objects() {
 		fmt.Fprintf(&sb, "object %-18s %10d bytes\n", o.Name, o.Bytes)
+	}
+	if !c.net.Zero() {
+		fmt.Fprintf(&sb, "net: %d retries, %d timeouts, %d corruptions, %d breaker trips, %d queued writebacks, %d degraded reads, %s degraded, %s backoff\n",
+			c.net.Retries, c.net.Timeouts, c.net.Corruptions, c.net.BreakerTrips,
+			c.net.QueuedWritebacks, c.net.DegradedReads, c.net.DegradedTime, c.net.BackoffTime)
 	}
 	return sb.String()
 }

@@ -1,12 +1,22 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"mira/internal/cache"
 	"mira/internal/ir"
 	"mira/internal/sim"
+	"mira/internal/transport"
 )
+
+// prefetchFailed reports a fetch failure a prefetch may swallow: prefetch is
+// advisory, so transient trouble (or an open breaker) degrades to "no
+// prefetch" instead of aborting the program.
+func prefetchFailed(err error) bool {
+	return errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err)
+}
 
 // Prefetch starts an asynchronous fetch of the line holding obj[elem].field
 // (§4.5 adaptive prefetching). The issuing thread pays only the posting
@@ -41,6 +51,10 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 	}
 	done, err := r.fetchLine(clk.Now(), s, o, l)
 	if err != nil {
+		if prefetchFailed(err) {
+			s.sec.Drop(tag)
+			return nil
+		}
 		return err
 	}
 	s.inflight[tag] = done
@@ -99,6 +113,12 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 	clk.Advance(r.cfg.Net.PerMessageOverhead)
 	data, done, err := r.tr.GatherTwoSided(clk.Now(), addrs, sizes)
 	if err != nil {
+		if prefetchFailed(err) {
+			for _, p := range pieces {
+				p.s.sec.Drop(p.l.Tag)
+			}
+			return nil
+		}
 		return err
 	}
 	pos := 0
@@ -276,12 +296,19 @@ func (r *Runtime) Release(clk *sim.Clock, name string) error {
 // FlushAll flushes every section and the swap pool; used at program end so
 // DumpObject sees final data, and by multithreaded barriers.
 func (r *Runtime) FlushAll(clk *sim.Clock) error {
-	for name := range r.objs {
-		o := r.objs[name]
+	// Flush in name order: write-back order decides how transfers queue on
+	// the shared link, and map iteration order would make final sim times
+	// run-dependent.
+	names := make([]string, 0, len(r.objs))
+	for name, o := range r.objs {
 		if o.place.Kind == PlaceSection {
-			if err := r.FlushObject(clk, name); err != nil {
-				return err
-			}
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := r.FlushObject(clk, name); err != nil {
+			return err
 		}
 	}
 	if r.swapC != nil {
@@ -289,6 +316,13 @@ func (r *Runtime) FlushAll(clk *sim.Clock) error {
 			return err
 		}
 	}
+	// Degraded-mode write-backs queued in the transport must reach far
+	// memory before DumpObject bypasses the cache to read it.
+	done, err := r.tr.Flush(clk.Now())
+	if err != nil {
+		return err
+	}
+	clk.AdvanceTo(done)
 	r.Fence(clk)
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"mira/internal/cache"
+	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/swap"
+	"mira/internal/transport"
 )
 
 // PlaceKind says where an object's data lives.
@@ -82,6 +84,12 @@ type Config struct {
 	SwapCfg swap.Config
 	// Profiling enables the compiler-inserted probes' cost accounting.
 	Profiling bool
+	// Faults, when non-nil and enabled, interposes the deterministic
+	// fault injector between the transport and the far node.
+	Faults *faults.Config
+	// Resilience overrides the transport's retry/deadline/breaker policy.
+	// Nil uses transport.DefaultPolicy.
+	Resilience *transport.Policy
 }
 
 // Validate checks structural sanity and that the carve-up fits the budget.

@@ -15,6 +15,7 @@ import (
 
 	"mira/internal/cache"
 	"mira/internal/farmem"
+	"mira/internal/faults"
 	"mira/internal/ir"
 	"mira/internal/sim"
 	"mira/internal/swap"
@@ -38,6 +39,7 @@ type Runtime struct {
 	cfg    Config
 	node   *farmem.Node
 	tr     *transport.T
+	inj    *faults.Injector // nil unless Config.Faults is enabled
 	la     *LocalAllocator
 	swapC  *swap.Cache
 	swapSz int64 // bytes of swap-placed objects
@@ -84,6 +86,13 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 		tr:   transport.New(node, cfg.Net),
 		objs: make(map[string]*objectRT),
 	}
+	if cfg.Resilience != nil {
+		r.tr.SetPolicy(*cfg.Resilience)
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		r.inj = faults.New(node, *cfg.Faults)
+		r.tr.SetBackend(r.inj)
+	}
 	r.la = NewLocalAllocator(1<<20, node.Alloc)
 	for i, spec := range cfg.Sections {
 		sec, err := cache.New(spec.Cache)
@@ -102,6 +111,9 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 
 // Transport exposes the runtime's transport (offload glue, tests).
 func (r *Runtime) Transport() *transport.T { return r.tr }
+
+// Injector exposes the fault injector, or nil when faults are disabled.
+func (r *Runtime) Injector() *faults.Injector { return r.inj }
 
 // Node exposes the far-memory node.
 func (r *Runtime) Node() *farmem.Node { return r.node }
@@ -316,14 +328,15 @@ func (r *Runtime) sectionAccess(clk *sim.Clock, o *objectRT, far uint64, buf []b
 	done := 0
 	for done < len(buf) {
 		addr := far + uint64(done)
-		l, err := r.lineFor(clk, s, o, addr, opts, write)
-		if err != nil {
-			return err
-		}
-		lineOff := int(addr - l.Tag)
+		lineOff := int(addr - cache.AlignDown(addr, lb))
 		n := lb - lineOff
 		if n > len(buf)-done {
 			n = len(buf) - done
+		}
+		full := write && lineOff == 0 && n == lb
+		l, err := r.lineFor(clk, s, o, addr, opts, write, full)
+		if err != nil {
+			return err
 		}
 		if write {
 			copy(l.Data[lineOff:], buf[done:done+n])
@@ -337,8 +350,9 @@ func (r *Runtime) sectionAccess(clk *sim.Clock, o *objectRT, far uint64, buf []b
 }
 
 // lineFor returns the resident, ready cache line containing addr, running
-// the dereference fast/slow path and charging clk.
-func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64, opts AccessOpts, write bool) (*cache.Line, error) {
+// the dereference fast/slow path and charging clk. fullLine marks a write
+// that will overwrite the whole line.
+func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64, opts AccessOpts, write, fullLine bool) (*cache.Line, error) {
 	tag := cache.AlignDown(addr, s.spec.Cache.LineBytes)
 	if opts.Native {
 		// Compiled native load: no lookup cost. The compiler proved
@@ -367,8 +381,11 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
 		return nil, err
 	}
-	if opts.NoFetch && write {
-		// Write-only full-line store: allocate without fetching.
+	if write && (opts.NoFetch || (fullLine && r.tr.BreakerOpen(clk.Now()))) {
+		// Write-only full-line store: allocate without fetching. The
+		// second arm is the degraded-mode fallback to local allocation:
+		// while the breaker is open, a store that overwrites the whole
+		// line need not stall on a fetch that cannot succeed.
 		return l, nil
 	}
 	done, err := r.fetchLine(clk.Now(), s, o, l)

@@ -2,10 +2,17 @@ package rt
 
 import (
 	"mira/internal/cache"
+	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/sim"
 	"mira/internal/swap"
+	"mira/internal/transport"
 )
+
+// ErrFarUnavailable is surfaced by accesses whose retry budget is exhausted
+// while the far node is unreachable (re-exported from transport so runtime
+// callers need not import it).
+var ErrFarUnavailable = transport.ErrFarUnavailable
 
 // DefaultNet returns the paper-calibrated interconnect model.
 func DefaultNet() netmodel.Config { return netmodel.DefaultConfig() }
@@ -80,6 +87,19 @@ func (r *Runtime) SwapPrefetcher(pf swap.Prefetcher) {
 
 // BytesMoved reports total bytes that crossed the interconnect.
 func (r *Runtime) BytesMoved() int64 { return r.tr.BW.BytesMoved() }
+
+// NetStats reports the transport's resilience counters: retries, timeouts,
+// checksum failures, breaker trips, and degraded-mode activity.
+func (r *Runtime) NetStats() transport.Stats { return r.tr.Stats() }
+
+// FaultStats reports what the fault injector actually injected (zero when
+// faults are disabled).
+func (r *Runtime) FaultStats() faults.Stats {
+	if r.inj == nil {
+		return faults.Stats{}
+	}
+	return r.inj.Stats()
+}
 
 // ShareBandwidth makes this runtime contend for bw with other runtimes —
 // simulated threads with private cache sections share the physical link

@@ -12,7 +12,9 @@ package swap
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 
 	"mira/internal/sim"
 	"mira/internal/transport"
@@ -182,11 +184,12 @@ func (c *Cache) access(clk *sim.Clock, far uint64, buf []byte, isWrite bool) err
 		if err != nil {
 			return err
 		}
-		p, err := c.touch(clk, no)
+		pageOff := int((far + uint64(off) - c.base) % PageBytes)
+		fullWrite := isWrite && pageOff == 0 && len(buf)-off >= c.pageSize(no)
+		p, err := c.touch(clk, no, fullWrite)
 		if err != nil {
 			return err
 		}
-		pageOff := int((far + uint64(off) - c.base) % PageBytes)
 		n := len(p.data) - pageOff
 		if n > len(buf)-off {
 			n = len(buf) - off
@@ -207,7 +210,8 @@ func (c *Cache) access(clk *sim.Clock, far uint64, buf []byte, isWrite bool) err
 }
 
 // touch ensures page no is resident and mapped, charging fault costs.
-func (c *Cache) touch(clk *sim.Clock, no int64) (*page, error) {
+// fullWrite marks an access that will overwrite the whole page.
+func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 	if el, ok := c.pages[no]; ok {
 		p := el.Value.(*page)
 		if p.prefetch {
@@ -233,11 +237,18 @@ func (c *Cache) touch(clk *sim.Clock, no int64) (*page, error) {
 	}
 	clk.Advance(c.cfg.MajorFaultOverhead)
 	clk.Advance(c.pf.PerFaultOverhead())
-	p, err := c.fetch(clk.Now(), no, false)
+	// Degraded mode: a store that overwrites the whole page while the
+	// circuit breaker is open allocates the page locally instead of
+	// stalling on a fetch that cannot succeed.
+	noFetch := fullWrite && c.tr.BreakerOpen(clk.Now())
+	p, err := c.fetch(clk.Now(), no, false, noFetch)
 	if err != nil {
 		return nil, err
 	}
 	clk.AdvanceTo(p.readyAt)
+	if noFetch {
+		return p, nil // the far node is unreachable; skip prefetch too
+	}
 
 	// Consult the prefetcher after servicing the demand page so its
 	// traffic queues behind the demand fetch. The demand page is pinned:
@@ -251,9 +262,12 @@ func (c *Cache) touch(clk *sim.Clock, no int64) (*page, error) {
 		if _, ok := c.pages[pno]; ok {
 			continue
 		}
-		if _, err := c.fetch(clk.Now(), pno, true); err != nil {
+		if _, err := c.fetch(clk.Now(), pno, true, false); err != nil {
 			if err == errNoEvictable {
 				break // pool too small to prefetch into
+			}
+			if errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err) {
+				break // prefetch is advisory: give up under faults
 			}
 			c.pinned = nil
 			return nil, err
@@ -266,7 +280,9 @@ func (c *Cache) touch(clk *sim.Clock, no int64) (*page, error) {
 
 // fetch brings page no into the pool (evicting as needed) and returns it.
 // Prefetch fetches do not block the caller; readyAt records completion.
-func (c *Cache) fetch(now sim.Time, no int64, isPrefetch bool) (*page, error) {
+// noFetch allocates the page locally without touching the network (degraded
+// full-page write-allocate).
+func (c *Cache) fetch(now sim.Time, no int64, isPrefetch, noFetch bool) (*page, error) {
 	if len(c.pages) >= c.capacity {
 		if err := c.evictOne(now); err != nil {
 			return nil, err
@@ -274,13 +290,17 @@ func (c *Cache) fetch(now sim.Time, no int64, isPrefetch bool) (*page, error) {
 	}
 	sz := c.pageSize(no)
 	p := &page{no: no, data: make([]byte, sz), prefetch: isPrefetch, resident: true}
-	done, err := c.tr.ReadOneSided(now, c.base+uint64(no)*PageBytes, p.data)
-	if err != nil {
-		return nil, err
+	if noFetch {
+		p.readyAt = now
+	} else {
+		done, err := c.tr.ReadOneSided(now, c.base+uint64(no)*PageBytes, p.data)
+		if err != nil {
+			return nil, err
+		}
+		p.readyAt = done
+		c.stats.PagesFetched++
 	}
-	p.readyAt = done
 	c.pages[no] = c.inactive.PushFront(p)
-	c.stats.PagesFetched++
 	return p, nil
 }
 
@@ -356,9 +376,16 @@ func (c *Cache) evictOne(now sim.Time) error {
 // blocking clk until the last write-back lands. Used at program end and
 // before offloaded calls.
 func (c *Cache) FlushAll(clk *sim.Clock) error {
+	// Write back in page order: map iteration order would make write-back
+	// queueing on the shared link — and so final sim times — run-dependent.
+	nos := make([]int64, 0, len(c.pages))
+	for no := range c.pages {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
 	var last sim.Time
-	for no, el := range c.pages {
-		p := el.Value.(*page)
+	for _, no := range nos {
+		p := c.pages[no].Value.(*page)
 		if p.dirty {
 			done, err := c.tr.WriteOneSided(clk.Now(), c.base+uint64(no)*PageBytes, p.data)
 			if err != nil {

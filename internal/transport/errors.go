@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"errors"
+
+	"mira/internal/farmem"
+)
+
+// Sentinel errors produced by the resilient transport itself.
+var (
+	// ErrTimeout reports a single attempt that blew its deadline (an
+	// injected delay spike larger than the policy allows, or a silent
+	// partition where no reply ever arrives).
+	ErrTimeout = errors.New("transport: operation deadline exceeded")
+	// ErrCorrupt reports an end-to-end checksum mismatch on a payload —
+	// the far node's checksum (computed over what it sent) disagrees with
+	// what arrived.
+	ErrCorrupt = errors.New("transport: payload checksum mismatch")
+	// ErrFarUnavailable reports that the far node could not be reached
+	// within the retry budget: the circuit breaker is open and every
+	// half-open probe failed. Callers that cannot degrade locally must
+	// surface this to the application.
+	ErrFarUnavailable = errors.New("transport: far node unavailable")
+)
+
+// NackError marks transient failures where the far side answered with an
+// explicit failure reply, so the client learns after roughly one round trip
+// instead of waiting out the full deadline (the injector's transient I/O
+// errors are NACKs; node-down and partition are silence).
+type NackError interface {
+	Nack() bool
+}
+
+// TransientError marks failures a retry may cure. The fault injector's
+// errors (node down, partition, injected I/O error) implement it; the far
+// node's own refusals (unmapped address, unknown procedure, …) do not.
+type TransientError interface {
+	Transient() bool
+}
+
+// IsTransient reports whether the retry policy should try the operation
+// again. Timeouts and corruption are always retryable (the next transfer
+// draws fresh luck); errors carrying a Transient() marker say so
+// themselves; the far node's sentinel refusals are permanent. Unknown
+// errors are treated as permanent so application bugs fail fast instead of
+// burning the retry budget.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrCorrupt) {
+		return true
+	}
+	var te TransientError
+	if errors.As(err, &te) {
+		return te.Transient()
+	}
+	if errors.Is(err, farmem.ErrUnmapped) || errors.Is(err, farmem.ErrOutOfMemory) ||
+		errors.Is(err, farmem.ErrUnknownProc) || errors.Is(err, farmem.ErrBadRequest) {
+		return false
+	}
+	return false
+}

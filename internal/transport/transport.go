@@ -4,24 +4,201 @@
 // batched messages, and offload RPCs. Every operation returns the virtual
 // completion instant so callers can either block (demand miss) or continue
 // (prefetch, async write-back).
+//
+// The transport is resilient: the far node and the interconnect are
+// independent failure domains (the fault injector in internal/faults can
+// delay, drop, corrupt, or partition any transfer), so every operation runs
+// under a Policy — a per-attempt deadline, bounded retries with exponential
+// backoff and deterministic jitter (all latency charged to the virtual
+// clock), end-to-end checksums on read payloads, and a circuit breaker that
+// trips after consecutive failures. While the breaker is open the transport
+// degrades gracefully: write-backs are queued locally (and served back to
+// readers — the queue is a consistent overlay over far memory), reads of
+// unqueued data wait out the cooldown in virtual time and probe half-open,
+// and callers that exhaust the retry budget receive ErrFarUnavailable.
 package transport
 
 import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
 	"mira/internal/farmem"
 	"mira/internal/netmodel"
 	"mira/internal/sim"
 )
+
+// Policy tunes the transport's failure handling. The zero value disables
+// resilience entirely (one attempt, no deadline, no breaker) — what the
+// pre-fault-model transport did.
+type Policy struct {
+	// MaxAttempts bounds tries per operation (minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; attempt k waits
+	// roughly BaseBackoff<<k, halved and re-filled with deterministic
+	// jitter, capped at MaxBackoff. Zero disables backoff.
+	BaseBackoff sim.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff sim.Duration
+	// DeadlineBase and DeadlineMult set the per-attempt deadline as
+	// DeadlineBase + DeadlineMult*expected(op): injected delay beyond the
+	// slack turns into ErrTimeout and a retry. DeadlineBase <= 0 disables
+	// deadlines (queueing on the shared link never counts against the
+	// deadline — only injected delay does, so contention cannot cause
+	// spurious timeouts).
+	DeadlineBase sim.Duration
+	DeadlineMult float64
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker (0 disables it).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before allowing
+	// a half-open probe.
+	BreakerCooldown sim.Duration
+	// JitterSeed seeds the deterministic backoff jitter stream.
+	JitterSeed uint64
+}
+
+// DefaultPolicy is calibrated for the default netmodel: microsecond-scale
+// ops, retry budgets that ride out short fault windows, and a breaker that
+// trips quickly so a dead node costs bounded probe traffic.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      6,
+		BaseBackoff:      2 * sim.Microsecond,
+		MaxBackoff:       256 * sim.Microsecond,
+		DeadlineBase:     25 * sim.Microsecond,
+		DeadlineMult:     4,
+		BreakerThreshold: 3,
+		BreakerCooldown:  150 * sim.Microsecond,
+		JitterSeed:       0x6d697261,
+	}
+}
+
+// RecoveryPolicy returns a policy able to ride out crash/partition windows
+// lasting a sizable fraction of the given run horizon (the named fault
+// schedules place windows at thirds of the measured fault-free run time).
+// The deadline is tight — only injected delay counts against it, so silent
+// crash-window failures are detected quickly and the retry budget spans the
+// window — and the breaker cooldown scales with the horizon so an open
+// breaker costs bounded probe traffic even on millisecond-scale runs.
+func RecoveryPolicy(horizon sim.Duration) Policy {
+	p := DefaultPolicy()
+	p.MaxAttempts = 64
+	p.DeadlineBase = 5 * sim.Microsecond
+	p.DeadlineMult = 1
+	p.MaxBackoff = 32 * sim.Microsecond
+	if p.BreakerCooldown < horizon/16 {
+		p.BreakerCooldown = horizon / 16
+	}
+	return p
+}
+
+// Stats counts the transport's resilience events. Retries/Timeouts/
+// BreakerTrips/DegradedTime are the headline robustness metrics the harness
+// and profiler report.
+type Stats struct {
+	Ops               int64
+	Failures          int64        // failed attempts, all causes
+	Retries           int64        // attempts after the first
+	Timeouts          int64        // attempts that blew the deadline
+	Corruptions       int64        // checksum mismatches detected
+	BreakerTrips      int64        // times the breaker (re)armed its open window
+	GaveUp            int64        // ops that exhausted the retry budget
+	QueuedWritebacks  int64        // writes queued locally while the breaker was open
+	DrainedWritebacks int64        // queued writes later pushed to the node
+	DroppedWritebacks int64        // queued writes refused permanently by the node
+	DegradedReads     int64        // reads served from the local write-back queue
+	DegradedTime      sim.Duration // virtual time stalled waiting for the breaker to half-open
+	BackoffTime       sim.Duration // virtual time spent in retry backoff
+}
 
 // T is a transport endpoint on the compute node.
 type T struct {
 	Node *farmem.Node
 	Cfg  netmodel.Config
 	BW   *netmodel.Bandwidth
+
+	be  Backend
+	pol Policy
+
+	mu          sync.Mutex
+	rng         *sim.RNG
+	consecFails int
+	open        bool
+	openUntil   sim.Time
+	queued      map[uint64][]byte
+	stats       Stats
 }
 
-// New builds a transport over node with the given cost model.
+// New builds a transport over node with the given cost model and the
+// default resilience policy.
 func New(node *farmem.Node, cfg netmodel.Config) *T {
-	return &T{Node: node, Cfg: cfg, BW: netmodel.NewBandwidth(cfg)}
+	return NewWithPolicy(node, cfg, DefaultPolicy())
+}
+
+// NewWithPolicy builds a transport with an explicit resilience policy.
+func NewWithPolicy(node *farmem.Node, cfg netmodel.Config, pol Policy) *T {
+	return &T{
+		Node:   node,
+		Cfg:    cfg,
+		BW:     netmodel.NewBandwidth(cfg),
+		be:     nodeBackend{node: node},
+		pol:    pol,
+		rng:    sim.NewRNG(pol.JitterSeed),
+		queued: make(map[uint64][]byte),
+	}
+}
+
+// SetBackend interposes a different far-node backend — the fault injector's
+// hook point.
+func (t *T) SetBackend(be Backend) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.be = be
+}
+
+// Backend returns the current backend.
+func (t *T) Backend() Backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.be
+}
+
+// SetPolicy replaces the resilience policy (and reseeds the jitter stream).
+func (t *T) SetPolicy(pol Policy) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pol = pol
+	t.rng = sim.NewRNG(pol.JitterSeed)
+}
+
+// Policy returns the active resilience policy.
+func (t *T) Policy() Policy { return t.pol }
+
+// Stats returns a snapshot of the resilience counters.
+func (t *T) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// BreakerOpen reports whether the circuit breaker is open (pre-cooldown) at
+// the given instant. The cache layers consult it to switch into degraded
+// mode — e.g. write-allocating full lines locally instead of stalling on a
+// fetch that cannot succeed.
+func (t *T) BreakerOpen(now sim.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open && now < t.openUntil
+}
+
+// PendingWritebacks reports how many degraded-mode writes are queued
+// locally, awaiting a drain to the far node.
+func (t *T) PendingWritebacks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.queued)
 }
 
 // latencyOneSided is OneSidedCost minus the wire time, which the bandwidth
@@ -35,62 +212,466 @@ func (t *T) latencyTwoSided(n int) sim.Duration {
 	return t.Cfg.TwoSidedCost(n) - t.Cfg.WireTime(n)
 }
 
-// ReadOneSided fetches len(buf) bytes at far address addr starting at now,
-// returning the completion instant.
-func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
-	if err := t.Node.Read(addr, buf); err != nil {
-		return now, err
+// deadline is the per-attempt completion budget for an op whose fault-free
+// cost is base. Zero means deadlines are disabled.
+func (t *T) deadline(base sim.Duration) sim.Duration {
+	if t.pol.DeadlineBase <= 0 {
+		return 0
 	}
-	wireEnd := t.BW.Acquire(now, len(buf))
-	return wireEnd.Add(t.latencyOneSided(len(buf))), nil
+	mult := t.pol.DeadlineMult
+	if mult < 1 {
+		mult = 1
+	}
+	return t.pol.DeadlineBase + sim.Duration(float64(base)*mult)
 }
 
-// WriteOneSided pushes buf to far address addr starting at now.
-func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
-	if err := t.Node.Write(addr, buf); err != nil {
-		return now, err
+// timedOut reports whether injected delay pushes an attempt past its
+// deadline.
+func (t *T) timedOut(base, extra sim.Duration) bool {
+	d := t.deadline(base)
+	if d <= 0 {
+		return false
 	}
-	wireEnd := t.BW.Acquire(now, len(buf))
-	return wireEnd.Add(t.latencyOneSided(len(buf))), nil
+	if base+extra > d {
+		t.bump(&t.stats.Timeouts)
+		return true
+	}
+	return false
+}
+
+func (t *T) bump(field *int64) {
+	t.mu.Lock()
+	*field++
+	t.mu.Unlock()
+}
+
+// resilient runs one operation under the retry/backoff/breaker policy.
+// attempt must charge bandwidth only on success; rtt is the op class's
+// NACK-detection latency; base its fault-free cost (deadline basis).
+// degraded, when non-nil, is consulted while the breaker is open (writes
+// queue locally through it); returning ok=true completes the op without the
+// network. Permanent errors return immediately with the caller's own `now`
+// — a refused operation charges neither time nor bandwidth.
+func (t *T) resilient(now sim.Time, rtt, base sim.Duration,
+	attempt func(at sim.Time) (sim.Time, error),
+	degraded func(at sim.Time) (sim.Time, bool)) (sim.Time, error) {
+
+	t.bump(&t.stats.Ops)
+	attempts := t.pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	at := now
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if degraded != nil && t.BreakerOpen(at) {
+			if end, ok := degraded(at); ok {
+				return end, nil
+			}
+		}
+		at = t.breakerWait(at)
+		end, err := attempt(at)
+		if err == nil {
+			t.noteSuccess(at)
+			return end, nil
+		}
+		if !IsTransient(err) {
+			return now, err
+		}
+		lastErr = err
+		if a < attempts-1 {
+			t.bump(&t.stats.Retries)
+		}
+		at = t.noteFailure(at, a, rtt, base, err)
+	}
+	t.bump(&t.stats.GaveUp)
+	return at, fmt.Errorf("%w after %d attempts (last: %v)", ErrFarUnavailable, attempts, lastErr)
+}
+
+// breakerWait blocks (in virtual time) until the breaker's cooldown has
+// elapsed, making the caller the half-open probe.
+func (t *T) breakerWait(at sim.Time) sim.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open && at < t.openUntil {
+		t.stats.DegradedTime += t.openUntil.Sub(at)
+		at = t.openUntil
+	}
+	return at
+}
+
+// noteFailure charges the failure's detection latency and backoff to the
+// attempt timeline and updates the breaker.
+func (t *T) noteFailure(at sim.Time, a int, rtt, base sim.Duration, err error) sim.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Failures++
+	switch {
+	case errors.Is(err, ErrCorrupt):
+		// The transfer completed and then failed the checksum.
+		at = at.Add(base)
+	case errors.Is(err, ErrTimeout):
+		at = at.Add(t.deadline(base))
+	default:
+		var ne NackError
+		if errors.As(err, &ne) && ne.Nack() {
+			at = at.Add(rtt) // explicit failure reply after one round trip
+		} else if d := t.deadline(base); d > 0 {
+			at = at.Add(d) // silence: wait out the deadline
+		} else {
+			at = at.Add(rtt)
+		}
+	}
+	if t.pol.BaseBackoff > 0 {
+		d := t.pol.BaseBackoff
+		if a < 30 {
+			d <<= uint(a)
+		} else {
+			d = t.pol.MaxBackoff
+		}
+		if t.pol.MaxBackoff > 0 && (d <= 0 || d > t.pol.MaxBackoff) {
+			d = t.pol.MaxBackoff
+		}
+		half := d / 2
+		b := half
+		if half > 0 {
+			b += sim.Duration(t.rng.Uint64() % uint64(half+1))
+		}
+		t.stats.BackoffTime += b
+		at = at.Add(b)
+	}
+	t.consecFails++
+	if t.pol.BreakerThreshold > 0 && t.consecFails >= t.pol.BreakerThreshold {
+		t.open = true
+		t.openUntil = at.Add(t.pol.BreakerCooldown)
+		t.stats.BreakerTrips++
+	}
+	return at
+}
+
+// noteSuccess closes the breaker and drains any queued write-backs.
+func (t *T) noteSuccess(at sim.Time) {
+	t.mu.Lock()
+	t.consecFails = 0
+	t.open = false
+	n := len(t.queued)
+	t.mu.Unlock()
+	if n > 0 {
+		t.drainOnce(at)
+	}
+}
+
+// enqueueWrite queues a degraded-mode write locally. The queue is an
+// overlay over far memory: reads consult it first, so queued data stays
+// visible. Keyed by address — write-back granularity per address is stable
+// (a line or page is always written whole, a selective field always as the
+// same range), so latest-wins replacement is exact.
+func (t *T) enqueueWrite(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queued[addr] = cp
+	t.stats.QueuedWritebacks++
+}
+
+// serveQueued serves [addr, addr+len(buf)) from the write-back overlay if a
+// single queued entry covers it.
+func (t *T) serveQueued(addr uint64, buf []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queued) == 0 {
+		return false
+	}
+	for base, data := range t.queued {
+		if addr >= base && addr+uint64(len(buf)) <= base+uint64(len(data)) {
+			copy(buf, data[addr-base:])
+			t.stats.DegradedReads++
+			return true
+		}
+	}
+	return false
+}
+
+// sortedQueuedAddrs snapshots the overlay keys in deterministic order.
+func (t *T) sortedQueuedAddrs() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addrs := make([]uint64, 0, len(t.queued))
+	for a := range t.queued {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// drainOnce replays queued write-backs through the backend, stopping at the
+// first transient failure (the node flapped; the breaker re-arms via the
+// failing op). Write-backs are asynchronous, so drained entries charge
+// bandwidth but do not extend any caller's completion.
+func (t *T) drainOnce(at sim.Time) {
+	for _, addr := range t.sortedQueuedAddrs() {
+		t.mu.Lock()
+		data, ok := t.queued[addr]
+		t.mu.Unlock()
+		if !ok {
+			continue
+		}
+		_, err := t.be.Write(at, addr, data)
+		if err == nil {
+			t.BW.Acquire(at, len(data))
+			t.mu.Lock()
+			delete(t.queued, addr)
+			t.stats.DrainedWritebacks++
+			t.mu.Unlock()
+			continue
+		}
+		if !IsTransient(err) {
+			t.mu.Lock()
+			delete(t.queued, addr)
+			t.stats.DroppedWritebacks++
+			t.mu.Unlock()
+			continue
+		}
+		t.noteFailure(at, 0, t.Cfg.OneSidedRTT, t.Cfg.OneSidedCost(len(data)), err)
+		return
+	}
+}
+
+// Flush forces every queued degraded-mode write-back out to the far node,
+// waiting out the breaker in virtual time and retrying under the policy.
+// It returns the completion instant of the last drained write. Callers that
+// read far memory directly (DumpObject) must Flush first.
+func (t *T) Flush(now sim.Time) (sim.Time, error) {
+	last := now
+	for {
+		addrs := t.sortedQueuedAddrs()
+		if len(addrs) == 0 {
+			return last, nil
+		}
+		addr := addrs[0]
+		t.mu.Lock()
+		data, ok := t.queued[addr]
+		delete(t.queued, addr)
+		t.mu.Unlock()
+		if !ok {
+			continue
+		}
+		base := t.Cfg.OneSidedCost(len(data))
+		end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+			extra, err := t.be.Write(at, addr, data)
+			if err != nil {
+				return 0, err
+			}
+			if t.timedOut(base, extra) {
+				return 0, ErrTimeout
+			}
+			wireEnd := t.BW.Acquire(at, len(data))
+			return wireEnd.Add(t.latencyOneSided(len(data))).Add(extra), nil
+		}, nil)
+		if err != nil {
+			t.mu.Lock()
+			t.queued[addr] = data
+			t.mu.Unlock()
+			return last, fmt.Errorf("transport: flush of queued write-back %#x: %w", addr, err)
+		}
+		t.bump(&t.stats.DrainedWritebacks)
+		if end > last {
+			last = end
+		}
+	}
+}
+
+// ReadOneSided fetches len(buf) bytes at far address addr starting at now,
+// returning the completion instant. The payload carries an end-to-end
+// checksum; corruption is detected and retried.
+func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
+	if t.serveQueued(addr, buf) {
+		return now, nil
+	}
+	base := t.Cfg.OneSidedCost(len(buf))
+	return t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		sum, extra, err := t.be.Read(at, addr, buf)
+		if err != nil {
+			return 0, err
+		}
+		if Checksum(buf) != sum {
+			t.bump(&t.stats.Corruptions)
+			return 0, ErrCorrupt
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		wireEnd := t.BW.Acquire(at, len(buf))
+		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra), nil
+	}, nil)
+}
+
+// WriteOneSided pushes buf to far address addr starting at now. One-sided
+// writes are idempotent, so a retry after a lost completion is safe. While
+// the breaker is open the write queues locally and completes immediately —
+// the degraded-mode write-back queue.
+func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
+	base := t.Cfg.OneSidedCost(len(buf))
+	return t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		extra, err := t.be.Write(at, addr, buf)
+		if err != nil {
+			return 0, err
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		wireEnd := t.BW.Acquire(at, len(buf))
+		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra), nil
+	}, func(at sim.Time) (sim.Time, bool) {
+		t.enqueueWrite(addr, buf)
+		return at, true
+	})
 }
 
 // GatherTwoSided fetches several pieces in one two-sided message (§4.5
 // batching, §4.7 partial-structure transmission). The reply carries the
-// pieces concatenated in request order.
+// pieces concatenated in request order. Pieces covered by the degraded-mode
+// write-back queue are patched from the overlay so reads always see the
+// newest data.
 func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error) {
-	data, err := t.Node.Gather(addrs, sizes)
-	if err != nil {
-		return nil, now, err
+	if data, ok := t.gatherQueued(addrs, sizes); ok {
+		return data, now, nil
 	}
-	wireEnd := t.BW.Acquire(now, len(data))
-	return data, wireEnd.Add(t.Cfg.BatchedCost(sizes) - t.Cfg.WireTime(len(data))), nil
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	base := t.Cfg.BatchedCost(sizes)
+	var data []byte
+	end, err := t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		d, sum, extra, err := t.be.Gather(at, addrs, sizes)
+		if err != nil {
+			return 0, err
+		}
+		if Checksum(d) != sum {
+			t.bump(&t.stats.Corruptions)
+			return 0, ErrCorrupt
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		data = d
+		wireEnd := t.BW.Acquire(at, len(d))
+		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra), nil
+	}, nil)
+	if err != nil {
+		return nil, end, err
+	}
+	t.patchFromQueue(addrs, sizes, data)
+	return data, end, nil
 }
 
-// ScatterTwoSided writes several pieces in one two-sided message.
-func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
-	if err := t.Node.Scatter(addrs, pieces); err != nil {
-		return now, err
+// gatherQueued serves a whole gather from the overlay when every piece is
+// covered by queued write-backs.
+func (t *T) gatherQueued(addrs []uint64, sizes []int) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queued) == 0 || len(addrs) != len(sizes) {
+		return nil, false
 	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	out := make([]byte, total)
+	off := 0
+	for i, a := range addrs {
+		found := false
+		for base, data := range t.queued {
+			if a >= base && a+uint64(sizes[i]) <= base+uint64(len(data)) {
+				copy(out[off:off+sizes[i]], data[a-base:])
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		off += sizes[i]
+	}
+	t.stats.DegradedReads++
+	return out, true
+}
+
+// patchFromQueue overwrites gather-reply segments with newer queued data.
+func (t *T) patchFromQueue(addrs []uint64, sizes []int, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queued) == 0 {
+		return
+	}
+	off := 0
+	for i, a := range addrs {
+		for base, q := range t.queued {
+			if a >= base && a+uint64(sizes[i]) <= base+uint64(len(q)) {
+				copy(data[off:off+sizes[i]], q[a-base:])
+				break
+			}
+		}
+		off += sizes[i]
+	}
+}
+
+// ScatterTwoSided writes several pieces in one two-sided message. While the
+// breaker is open each piece queues locally.
+func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
 	sizes := make([]int, len(pieces))
 	total := 0
 	for i, p := range pieces {
 		sizes[i] = len(p)
 		total += len(p)
 	}
-	wireEnd := t.BW.Acquire(now, total)
-	return wireEnd.Add(t.Cfg.BatchedCost(sizes) - t.Cfg.WireTime(total)), nil
+	base := t.Cfg.BatchedCost(sizes)
+	return t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		extra, err := t.be.Scatter(at, addrs, pieces)
+		if err != nil {
+			return 0, err
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		wireEnd := t.BW.Acquire(at, total)
+		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra), nil
+	}, func(at sim.Time) (sim.Time, bool) {
+		for i := range addrs {
+			t.enqueueWrite(addrs[i], pieces[i])
+		}
+		return at, true
+	})
 }
 
 // Call invokes an offloaded procedure (§4.8): args travel two-sided, the far
 // CPU executes (already slowdown-scaled by the node), and the result travels
 // back. The returned instant is when the result is available locally.
+// Bandwidth is charged only once the RPC is known to have succeeded, so a
+// refused call (unknown procedure, dead node) costs the caller nothing on
+// the wire. Registered procedures are deterministic, so a retry after a
+// transient failure is safe.
 func (t *T) Call(now sim.Time, name string, args []byte) ([]byte, sim.Time, error) {
-	argsEnd := t.BW.Acquire(now, len(args)).Add(t.latencyTwoSided(len(args)))
-	res, farCPU, err := t.Node.Call(name, args)
+	base := t.Cfg.TwoSidedCost(len(args))
+	var res []byte
+	end, err := t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		r, farCPU, extra, err := t.be.Call(at, name, args)
+		if err != nil {
+			return 0, err
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		res = r
+		argsEnd := t.BW.Acquire(at, len(args)).Add(t.latencyTwoSided(len(args)))
+		computeEnd := argsEnd.Add(farCPU)
+		resEnd := t.BW.Acquire(computeEnd, len(r)).Add(t.latencyTwoSided(len(r))).Add(extra)
+		return resEnd, nil
+	}, nil)
 	if err != nil {
-		return nil, now, err
+		return nil, end, err
 	}
-	computeEnd := argsEnd.Add(farCPU)
-	resEnd := t.BW.Acquire(computeEnd, len(res)).Add(t.latencyTwoSided(len(res)))
-	return res, resEnd, nil
+	return res, end, nil
 }

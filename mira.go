@@ -34,12 +34,14 @@ import (
 	"mira/internal/apps/graphtraverse"
 	"mira/internal/apps/mcf"
 	"mira/internal/exec"
+	"mira/internal/faults"
 	"mira/internal/figures"
 	"mira/internal/harness"
 	"mira/internal/ir"
 	"mira/internal/mtrun"
 	"mira/internal/planner"
 	"mira/internal/sim"
+	"mira/internal/transport"
 	"mira/internal/workload"
 )
 
@@ -85,6 +87,53 @@ type RunResult = harness.Result
 func Run(sys System, w Workload, opts RunOptions) (RunResult, error) {
 	return harness.Run(sys, w, opts)
 }
+
+// Fault injection and transport resilience (set RunOptions.Faults /
+// RunOptions.Resilience to exercise a run under failures).
+
+// FaultConfig describes a deterministic fault scenario: a schedule of
+// crash/partition windows plus seeded probabilistic per-operation faults.
+type FaultConfig = faults.Config
+
+// FaultEvent is one scheduled crash/restart/partition transition.
+type FaultEvent = faults.Event
+
+// Fault event kinds.
+const (
+	FaultCrash          = faults.Crash
+	FaultRestart        = faults.Restart
+	FaultPartitionStart = faults.PartitionStart
+	FaultPartitionEnd   = faults.PartitionEnd
+)
+
+// ResiliencePolicy tunes the transport's retries, deadlines, and circuit
+// breaker.
+type ResiliencePolicy = transport.Policy
+
+// DefaultResiliencePolicy returns the transport's default policy.
+func DefaultResiliencePolicy() ResiliencePolicy { return transport.DefaultPolicy() }
+
+// RecoveryResiliencePolicy returns a policy able to ride out the named
+// schedules' crash/partition windows on a run of the given length.
+func RecoveryResiliencePolicy(horizon Duration) ResiliencePolicy {
+	return transport.RecoveryPolicy(horizon)
+}
+
+// NetStats are the transport's resilience counters (RunResult.Net).
+type NetStats = transport.Stats
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = sim.Duration
+
+// NamedFaultSchedule builds one of the predefined fault scenarios, with
+// crash/partition windows placed at fractions of horizon (pass 0 for the
+// default horizon).
+func NamedFaultSchedule(name string, seed uint64, horizon sim.Duration) (FaultConfig, error) {
+	return faults.NamedScaled(name, seed, horizon)
+}
+
+// FaultScheduleNames lists the predefined fault scenarios.
+func FaultScheduleNames() []string { return faults.Names() }
 
 // Figure is a regenerated evaluation figure.
 type Figure = figures.Figure
