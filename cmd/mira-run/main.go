@@ -7,10 +7,16 @@
 //	mira-run -app graph -system mira -mem 0.25
 //	mira-run -app mcf -system fastswap -mem 0.5
 //	mira-run -app graph -system fastswap -mem 0.25 -faults crash
+//	mira-run -app graph -system fastswap -mem 0.25 -nodes 4 -replicas 2
 //
 // With -faults, the run first executes fault-free to measure its length,
 // then re-executes under the named fault schedule (crash/partition windows
 // scaled to land mid-run) and reports the resilience counters.
+//
+// With -nodes, far memory is sharded across N far nodes behind a
+// replicated pool; per-node read/write/failover counters are reported.
+// Combining -nodes with -faults injects the schedule into one node's fault
+// domain: with -replicas 2 even crash-wipe recovers via replica failover.
 package main
 
 import (
@@ -47,6 +53,10 @@ func main() {
 	aifmMeta := flag.Int64("aifm-meta", 0, "AIFM per-object metadata bytes (0 = default)")
 	faultsName := flag.String("faults", "", fmt.Sprintf("named fault schedule %v; empty = fault-free (crash-wipe loses data: run it with -verify=false)", mira.FaultScheduleNames()))
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's probabilistic draws")
+	nodes := flag.Int("nodes", 0, "shard far memory across this many far nodes (0 = classic single node)")
+	replicas := flag.Int("replicas", 1, "replication factor R in cluster mode: every range lives on R nodes")
+	stripe := flag.Int64("stripe", 64<<10, "cluster placement stripe in bytes")
+	faultNode := flag.Int("fault-node", 0, "which cluster node receives the -faults schedule")
 	flag.Parse()
 
 	w, err := buildWorkload(*app)
@@ -58,6 +68,14 @@ func main() {
 	opts := mira.RunOptions{Budget: budget, Verify: *verify}
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+		opts.Replicas = *replicas
+		opts.FaultNode = *faultNode
+		if *stripe > 0 {
+			opts.StripeBytes = uint64(*stripe)
+		}
+	}
 	if *faultsName != "" && *faultsName != "none" {
 		// Dry run fault-free to learn the run length, so the schedule's
 		// crash/partition windows land mid-run.
@@ -72,8 +90,14 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Faults = &fc
-		pol := mira.RecoveryResiliencePolicy(dry.Time)
-		opts.Resilience = &pol
+		if *nodes > 0 {
+			// Cluster members fail fast; the pool's replicas are the retry.
+			pol := mira.ClusterResiliencePolicy()
+			opts.Resilience = &pol
+		} else {
+			pol := mira.RecoveryResiliencePolicy(dry.Time)
+			opts.Resilience = &pol
+		}
 	}
 	res, err := mira.Run(mira.System(*system), w, opts)
 	if err != nil {
@@ -96,6 +120,19 @@ func main() {
 		fmt.Printf("  faults (%s, seed %d): %d retries, %d timeouts, %d corruptions, %d breaker trips, %d queued writebacks, %d degraded reads, %v degraded, %v backoff\n",
 			*faultsName, *faultSeed, n.Retries, n.Timeouts, n.Corruptions, n.BreakerTrips,
 			n.QueuedWritebacks, n.DegradedReads, n.DegradedTime, n.BackoffTime)
+	}
+	if len(res.Cluster) > 0 {
+		fmt.Printf("  cluster: %d nodes, R=%d, stripe %d bytes\n", *nodes, *replicas, *stripe)
+		for _, ns := range res.Cluster {
+			fmt.Printf("    node %d: %d reads (%d B), %d writes (%d B), %d failovers, %d repairs, %d resyncs (%d B), %d/%d B allocated",
+				ns.Node, ns.Reads, ns.ReadBytes, ns.Writes, ns.WriteBytes,
+				ns.Failovers, ns.Repairs, ns.Resyncs, ns.ResyncBytes,
+				ns.AllocatedBytes, ns.CapacityBytes)
+			if ns.Faults.Wipes > 0 || ns.Faults.DownRefusals > 0 {
+				fmt.Printf(", %d wipes, %d down refusals", ns.Faults.Wipes, ns.Faults.DownRefusals)
+			}
+			fmt.Println()
+		}
 	}
 	if *verify {
 		fmt.Println("  output verified against the native oracle")

@@ -9,6 +9,7 @@ package fastswap
 import (
 	"fmt"
 
+	"mira/internal/cluster"
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
@@ -38,6 +39,10 @@ type Options struct {
 	Faults *faults.Config
 	// Resilience overrides the transport's retry/deadline/breaker policy.
 	Resilience *transport.Policy
+	// Cluster, when non-nil, backs the swap heap with a sharded far-node
+	// pool instead of a single node (per-node faults ride in
+	// Cluster.Faults; Options.Faults must then be nil).
+	Cluster *cluster.Options
 }
 
 // Readahead prefetches the pages following each fault — profitable for
@@ -93,6 +98,7 @@ func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
 		},
 		Faults:     opts.Faults,
 		Resilience: opts.Resilience,
+		Cluster:    opts.Cluster,
 	}
 	node := farmem.NewNode(opts.NodeCfg)
 	r, err := rt.New(cfg, node)

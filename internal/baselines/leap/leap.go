@@ -10,6 +10,7 @@ package leap
 import (
 	"fmt"
 
+	"mira/internal/cluster"
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
@@ -37,6 +38,10 @@ type Options struct {
 	Faults *faults.Config
 	// Resilience overrides the transport's retry/deadline/breaker policy.
 	Resilience *transport.Policy
+	// Cluster, when non-nil, backs the swap heap with a sharded far-node
+	// pool instead of a single node (per-node faults ride in
+	// Cluster.Faults; Options.Faults must then be nil).
+	Cluster *cluster.Options
 }
 
 // Prefetcher implements Leap's majority-trend detection: if one fault-delta
@@ -140,6 +145,7 @@ func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
 		},
 		Faults:     opts.Faults,
 		Resilience: opts.Resilience,
+		Cluster:    opts.Cluster,
 	}
 	node := farmem.NewNode(opts.NodeCfg)
 	r, err := rt.New(cfg, node)

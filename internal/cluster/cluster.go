@@ -1,0 +1,412 @@
+// Package cluster shards the far-memory pool across N far nodes, each with
+// its own farmem.Node, resilient transport, independent network link, and
+// independent fault domain. The runtime talks to a single Pool through the
+// transport.Link interface; the Pool routes every operation to the owning
+// node(s) via an explicit, serializable placement table.
+//
+// Placement is deterministic capacity-weighted rendezvous hashing: each
+// allocation (a cache section placed whole, or a large allocation striped
+// at StripeBytes) ranks the nodes by a seeded hash score scaled by node
+// capacity, and the top R become primary + replicas. Writes fan out to
+// every home synchronously; reads are served by the primary and fail over
+// to replicas when the primary's circuit breaker is open, the read fails,
+// or the node has lost its memory (crash-wipe). A wiped node is re-synced
+// from a healthy replica and read-repair pushes correct bytes back to a
+// reachable primary that served a bad read.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mira/internal/farmem"
+	"mira/internal/faults"
+	"mira/internal/netmodel"
+	"mira/internal/transport"
+)
+
+// DefaultStripeBytes is the striping granularity for large allocations
+// (the swap heap): big enough that per-stripe metadata is negligible,
+// small enough that a multi-megabyte heap spreads across every node.
+const DefaultStripeBytes = 1 << 20
+
+// Options configures a far-memory cluster.
+type Options struct {
+	// Nodes is the far-node count N (minimum 1).
+	Nodes int
+	// Replicas is the replication factor R: every placement gets
+	// min(R, N) homes. R <= 1 means no replication.
+	Replicas int
+	// Seed drives the placement hash. Same seed, same allocation
+	// sequence, same placement table.
+	Seed uint64
+	// StripeBytes is the striping granularity for plain allocations.
+	// Zero means DefaultStripeBytes. Sections are never striped: a
+	// section lives whole on its home node so per-section routing is a
+	// single-link operation.
+	StripeBytes uint64
+	// NodeCfg configures every far node. Capacities overrides the
+	// capacity per node when non-nil (skewed clusters); len(Capacities)
+	// must equal Nodes.
+	NodeCfg    farmem.NodeConfig
+	Capacities []uint64
+	// Net is the per-link cost model. Every node gets its own
+	// netmodel.Bandwidth accountant, so traffic to different nodes is
+	// charged on independent links and sharding is a real speedup.
+	Net netmodel.Config
+	// Policy is the per-node resilience policy (nil = transport default).
+	// Each node's jitter stream is decorrelated from its peers'.
+	Policy *transport.Policy
+	// Faults holds one fault config per node (nil entries = no faults on
+	// that node). Shorter slices leave the remaining nodes fault-free.
+	Faults []*faults.Config
+}
+
+func (o Options) stripe() uint64 {
+	if o.StripeBytes == 0 {
+		return DefaultStripeBytes
+	}
+	return o.StripeBytes
+}
+
+func (o Options) replicas() int {
+	r := o.Replicas
+	if r < 1 {
+		r = 1
+	}
+	if r > o.Nodes {
+		r = o.Nodes
+	}
+	return r
+}
+
+// Home is one placement of an entry: the owning node and the address of
+// the bytes inside that node's address space. Homes[0] is the primary.
+type Home struct {
+	Node int    `json:"node"`
+	Base uint64 `json:"base"`
+}
+
+// PlacementEntry is one row of the serializable placement table: a
+// contiguous range of the pool's virtual address space and its homes.
+type PlacementEntry struct {
+	VBase   uint64 `json:"vbase"`
+	Size    uint64 `json:"size"`
+	Section uint16 `json:"section,omitempty"`
+	Homes   []Home `json:"homes"`
+}
+
+// NodeStats are the per-node counters mira-run reports.
+type NodeStats struct {
+	Node           int
+	Reads          int64 // segment reads served by this node
+	Writes         int64 // segment writes landed on this node
+	ReadBytes      int64
+	WriteBytes     int64
+	Failovers      int64 // reads this node should have served but a replica did
+	Repairs        int64 // read-repair writes pushed back to this node
+	Resyncs        int64 // placement ranges re-copied onto this node after a wipe
+	ResyncBytes    int64
+	AllocatedBytes uint64
+	CapacityBytes  uint64
+	Net            transport.Stats
+	Faults         faults.Stats
+}
+
+// farNode is one member of the pool.
+type farNode struct {
+	fm    *farmem.Node
+	tr    *transport.T
+	inj   *faults.Injector // nil when the node is fault-free
+	stale bool             // memory wiped since the last re-sync
+	stats NodeStats
+}
+
+// Pool is a sharded, replicated far-memory pool. It implements
+// transport.Link (the timed data plane the runtime and swap cache drive)
+// and the runtime's direct-store operations (Alloc/Read/Write).
+type Pool struct {
+	opts Options
+
+	mu    sync.Mutex
+	nodes []*farNode
+	table []*PlacementEntry // sorted by VBase; entries are stable pointers
+	next  uint64            // virtual bump pointer
+	seq   uint64            // allocation sequence number, feeds the hash
+}
+
+// New builds the pool: N far nodes, each behind its own transport and
+// optional fault injector.
+func New(opts Options) (*Pool, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", opts.Nodes)
+	}
+	if opts.Capacities != nil && len(opts.Capacities) != opts.Nodes {
+		return nil, fmt.Errorf("cluster: %d capacities for %d nodes", len(opts.Capacities), opts.Nodes)
+	}
+	if len(opts.Faults) > opts.Nodes {
+		return nil, fmt.Errorf("cluster: %d fault configs for %d nodes", len(opts.Faults), opts.Nodes)
+	}
+	p := &Pool{opts: opts, next: farmem.DefaultBase}
+	for i := 0; i < opts.Nodes; i++ {
+		cfg := opts.NodeCfg
+		if opts.Capacities != nil {
+			cfg.Capacity = opts.Capacities[i]
+		}
+		fm := farmem.NewNode(cfg)
+		tr := transport.New(fm, opts.Net)
+		if opts.Policy != nil {
+			pol := *opts.Policy
+			// Decorrelate the per-node jitter streams so simultaneous
+			// retries against different nodes don't move in lockstep.
+			pol.JitterSeed += uint64(i) * 0x9e3779b97f4a7c15
+			tr.SetPolicy(pol)
+		}
+		n := &farNode{fm: fm, tr: tr}
+		n.stats.Node = i
+		n.stats.CapacityBytes = cfg.Capacity
+		if i < len(opts.Faults) && opts.Faults[i] != nil && opts.Faults[i].Enabled() {
+			idx := i // wipe callback marks THIS node stale
+			n.inj = faults.Wrap(transport.NewNodeBackend(fm), func() {
+				fm.WipeMemory()
+				p.markStale(idx)
+			}, *opts.Faults[i])
+			tr.SetBackend(n.inj)
+		}
+		p.nodes = append(p.nodes, n)
+	}
+	return p, nil
+}
+
+// markStale flags a node as having lost its memory. Called from the fault
+// injector's wipe callback, which always runs under some operation that
+// already holds the node's injector lock — never the pool lock — so taking
+// p.mu here is safe.
+func (p *Pool) markStale(i int) {
+	p.mu.Lock()
+	p.nodes[i].stale = true
+	p.mu.Unlock()
+}
+
+// splitmix64 is the placement hash: a full-avalanche mix of the seed and
+// the placement key, so node ranking is uniform and deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rank orders the nodes for one placement key by capacity-weighted
+// rendezvous score (highest first). Weighting by capacity makes expected
+// load proportional to node size, so skewed clusters fill evenly.
+func (p *Pool) rank(key uint64) []int {
+	type scored struct {
+		node  int
+		score float64
+	}
+	sc := make([]scored, len(p.nodes))
+	for i, n := range p.nodes {
+		h := splitmix64(p.opts.Seed ^ splitmix64(key^uint64(i)))
+		// u in (0,1); -cap/ln(u) is the classic weighted-rendezvous score.
+		u := (float64(h>>11) + 0.5) / (1 << 53)
+		w := float64(n.fm.Capacity())
+		if w <= 0 {
+			w = 1
+		}
+		sc[i] = scored{node: i, score: -w / math.Log(u)}
+	}
+	sort.Slice(sc, func(a, b int) bool {
+		if sc[a].score != sc[b].score {
+			return sc[a].score > sc[b].score
+		}
+		return sc[a].node < sc[b].node
+	})
+	out := make([]int, len(sc))
+	for i, s := range sc {
+		out[i] = s.node
+	}
+	return out
+}
+
+// place allocates size bytes on the top-R nodes for key, skipping nodes
+// that are out of capacity. At least one home is required; fewer than R
+// homes means degraded replication, not failure.
+func (p *Pool) place(key, size uint64) ([]Home, error) {
+	want := p.opts.replicas()
+	var homes []Home
+	for _, node := range p.rank(key) {
+		base, err := p.nodes[node].fm.Alloc(size)
+		if err != nil {
+			continue // node full — rendezvous falls through to the next rank
+		}
+		homes = append(homes, Home{Node: node, Base: base})
+		if len(homes) == want {
+			break
+		}
+	}
+	if len(homes) == 0 {
+		return nil, fmt.Errorf("cluster: no node can hold %d bytes: %w", size, farmem.ErrOutOfMemory)
+	}
+	return homes, nil
+}
+
+// addEntry appends a placement row and keeps the table sorted by VBase.
+// The bump allocator only grows, so append preserves order.
+func (p *Pool) addEntry(e PlacementEntry) {
+	p.table = append(p.table, &e)
+	for i := range e.Homes {
+		n := p.nodes[e.Homes[i].Node]
+		n.stats.AllocatedBytes += e.Size
+	}
+}
+
+const allocAlign = 8
+
+// Alloc reserves size bytes of pool virtual address space, striped across
+// the cluster at StripeBytes granularity. Each stripe is placed
+// independently, so a large heap spreads over every node. The virtual
+// range is contiguous; only the backing is sharded.
+func (p *Pool) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("cluster: zero-size allocation")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stripe := p.opts.stripe()
+	vbase := p.next
+	for off := uint64(0); off < size; off += stripe {
+		n := stripe
+		if size-off < n {
+			n = size - off
+		}
+		p.seq++
+		key := splitmix64(p.seq)
+		homes, err := p.place(key, n)
+		if err != nil {
+			return 0, err
+		}
+		p.addEntry(PlacementEntry{VBase: vbase + off, Size: n, Homes: homes})
+	}
+	p.next += (size + allocAlign - 1) / allocAlign * allocAlign
+	return vbase, nil
+}
+
+// AllocSection places one cache section whole: the section ID is the
+// placement key, so a section's home is stable for the life of the pool
+// and every miss, eviction, flush, and offloaded procedure for that
+// section routes to a single node.
+func (p *Pool) AllocSection(sec uint16, size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("cluster: zero-size section %d", sec)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := splitmix64(uint64(sec) | 1<<32)
+	homes, err := p.place(key, size)
+	if err != nil {
+		return 0, err
+	}
+	vbase := p.next
+	p.addEntry(PlacementEntry{VBase: vbase, Size: size, Section: sec, Homes: homes})
+	p.next += (size + allocAlign - 1) / allocAlign * allocAlign
+	return vbase, nil
+}
+
+// seg is one piece of a pool operation that lands entirely inside one
+// placement entry.
+type seg struct {
+	entry *PlacementEntry
+	off   uint64 // offset inside the entry
+	n     int    // byte count
+	at    int    // offset inside the caller's buffer
+}
+
+// findEntry locates the placement row covering vaddr. Called with p.mu held.
+func (p *Pool) findEntry(vaddr uint64) (*PlacementEntry, error) {
+	i := sort.Search(len(p.table), func(i int) bool { return p.table[i].VBase > vaddr })
+	if i == 0 {
+		return nil, fmt.Errorf("cluster: %w: address %#x below every placement", farmem.ErrUnmapped, vaddr)
+	}
+	e := p.table[i-1]
+	if vaddr >= e.VBase+e.Size {
+		return nil, fmt.Errorf("cluster: %w: address %#x past entry [%#x,+%d)", farmem.ErrUnmapped, vaddr, e.VBase, e.Size)
+	}
+	return e, nil
+}
+
+// segments splits [vaddr, vaddr+n) into per-entry pieces. Called with
+// p.mu held.
+func (p *Pool) segments(vaddr uint64, n int) ([]seg, error) {
+	var out []seg
+	at := 0
+	for n > 0 {
+		e, err := p.findEntry(vaddr)
+		if err != nil {
+			return nil, err
+		}
+		off := vaddr - e.VBase
+		take := int(e.Size - off)
+		if take > n {
+			take = n
+		}
+		out = append(out, seg{entry: e, off: off, n: take, at: at})
+		vaddr += uint64(take)
+		n -= take
+		at += take
+	}
+	return out, nil
+}
+
+// Table snapshots the placement table, sorted by virtual base.
+func (p *Pool) Table() []PlacementEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PlacementEntry, len(p.table))
+	for i, e := range p.table {
+		out[i] = *e
+		out[i].Homes = append([]Home(nil), e.Homes...)
+	}
+	return out
+}
+
+// TableJSON serializes the placement table. Byte-stable across runs with
+// the same seed and allocation sequence — the determinism contract.
+func (p *Pool) TableJSON() ([]byte, error) {
+	return json.MarshalIndent(p.Table(), "", "  ")
+}
+
+// NodeCount returns N.
+func (p *Pool) NodeCount() int { return len(p.nodes) }
+
+// FarNode exposes node i's farmem.Node (tests, conformance suites).
+func (p *Pool) FarNode(i int) *farmem.Node { return p.nodes[i].fm }
+
+// Transport exposes node i's resilient transport.
+func (p *Pool) Transport(i int) *transport.T { return p.nodes[i].tr }
+
+// Backend exposes node i's transport backend — the fault injector when the
+// node has a fault domain, the raw node backend otherwise.
+func (p *Pool) Backend(i int) transport.Backend { return p.nodes[i].tr.Backend() }
+
+// Injector exposes node i's fault injector (nil when fault-free).
+func (p *Pool) Injector(i int) *faults.Injector { return p.nodes[i].inj }
+
+// NodeStats snapshots the per-node counters, ordered by node ID.
+func (p *Pool) NodeStats() []NodeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]NodeStats, len(p.nodes))
+	for i, n := range p.nodes {
+		s := n.stats
+		s.Net = n.tr.Stats()
+		if n.inj != nil {
+			s.Faults = n.inj.Stats()
+		}
+		out[i] = s
+	}
+	return out
+}

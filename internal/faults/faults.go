@@ -203,10 +203,46 @@ func (in *Injector) record(now sim.Time, format string, args ...any) {
 	in.log = append(in.log, fmt.Sprintf("%d %s", int64(now), fmt.Sprintf(format, args...)))
 }
 
-// gate applies the schedule at instant now: lazily wipes memory for
-// memory-losing restarts that have passed, then refuses the attempt if it
-// falls in a crash or partition window. Called with in.mu held.
-func (in *Injector) gate(now sim.Time, op string) error {
+// Sync forces every pending memory-losing wipe whose restart instant is at
+// or before now to apply immediately. Wipes normally apply lazily on the
+// first operation past the restart; recovery passes (cluster re-sync) call
+// Sync first so "has this node lost its memory by now?" has a deterministic
+// answer even when no operation has touched the node yet.
+func (in *Injector) Sync(now sim.Time) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.applyWipesLocked(now)
+}
+
+// Down reports whether the node is inside a crash or partition window at
+// instant now — i.e. whether an operation issued now would be refused.
+// Recovery passes consult it to avoid "restoring" a node that is still
+// dark (a pre-restart restore would be erased by the pending wipe).
+func (in *Injector) Down(now sim.Time) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	crashed, partitioned := false, false
+	for _, e := range in.schedule {
+		if e.At > now {
+			break
+		}
+		switch e.Kind {
+		case Crash:
+			crashed = true
+		case Restart:
+			crashed = false
+		case PartitionStart:
+			partitioned = true
+		case PartitionEnd:
+			partitioned = false
+		}
+	}
+	return crashed || partitioned
+}
+
+// applyWipesLocked fires every memory-losing restart at or before now.
+// Called with in.mu held.
+func (in *Injector) applyWipesLocked(now sim.Time) {
 	for in.wiped < len(in.wipeAt) && in.wipeAt[in.wiped] <= now {
 		if in.wipe != nil {
 			in.wipe()
@@ -215,6 +251,13 @@ func (in *Injector) gate(now sim.Time, op string) error {
 		in.record(in.wipeAt[in.wiped], "wipe: far memory lost across restart")
 		in.wiped++
 	}
+}
+
+// gate applies the schedule at instant now: lazily wipes memory for
+// memory-losing restarts that have passed, then refuses the attempt if it
+// falls in a crash or partition window. Called with in.mu held.
+func (in *Injector) gate(now sim.Time, op string) error {
+	in.applyWipesLocked(now)
 	crashed, partitioned := false, false
 	for _, e := range in.schedule {
 		if e.At > now {

@@ -11,6 +11,7 @@ import (
 	"mira/internal/baselines/aifm"
 	"mira/internal/baselines/fastswap"
 	"mira/internal/baselines/leap"
+	"mira/internal/cluster"
 	"mira/internal/exec"
 	"mira/internal/farmem"
 	"mira/internal/faults"
@@ -61,9 +62,61 @@ type Options struct {
 	Faults *faults.Config
 	// Resilience overrides the transport's retry/deadline/breaker policy.
 	Resilience *transport.Policy
+	// Nodes, when > 0, shards far memory across that many far nodes behind
+	// a cluster.Pool (placement, replication, failover). Zero keeps the
+	// classic single-node data path. Native runs ignore it — they hold
+	// everything local and remain the golden reference either way.
+	Nodes int
+	// Replicas is the replication factor R in cluster mode (default 1:
+	// each placement range lives on R nodes, writes fan out to all of
+	// them, reads fail over between them).
+	Replicas int
+	// FaultNode selects which cluster node receives Options.Faults when
+	// Nodes > 0 (clamped to the node range). The other nodes stay clean —
+	// that asymmetry is what makes replicated failover observable.
+	FaultNode int
+	// StripeBytes overrides the cluster placement granularity (0:
+	// cluster.DefaultStripeBytes). Tests use small stripes so test-sized
+	// heaps actually spread across nodes.
+	StripeBytes uint64
 }
 
 func (o Options) faultsEnabled() bool { return o.Faults != nil && o.Faults.Enabled() }
+
+// clusterOpts translates the harness knobs into cluster.Options, or nil in
+// single-node mode. withFaults moves Options.Faults onto the chosen node's
+// fault domain (planning runs pass false: planning is offline and
+// fault-free).
+func (o Options) clusterOpts(withFaults bool) *cluster.Options {
+	if o.Nodes <= 0 {
+		return nil
+	}
+	co := &cluster.Options{
+		Nodes:       o.Nodes,
+		Replicas:    o.Replicas,
+		Seed:        1,
+		StripeBytes: o.StripeBytes,
+		NodeCfg:     o.NodeCfg,
+		Net:         o.Net,
+	}
+	if o.Resilience != nil {
+		pol := *o.Resilience
+		co.Policy = &pol
+	}
+	if withFaults && o.faultsEnabled() {
+		at := o.FaultNode
+		if at < 0 {
+			at = 0
+		}
+		if at >= o.Nodes {
+			at = o.Nodes - 1
+		}
+		co.Faults = make([]*faults.Config, o.Nodes)
+		fc := *o.Faults
+		co.Faults[at] = &fc
+	}
+	return co
+}
 
 // Result is one run's outcome.
 type Result struct {
@@ -77,8 +130,12 @@ type Result struct {
 	// PlanResult carries the planner record for Mira runs.
 	PlanResult *planner.Result
 	// Net reports the transport's resilience counters for the timed run
-	// (retries, timeouts, breaker trips, degraded-mode activity).
+	// (retries, timeouts, breaker trips, degraded-mode activity); summed
+	// across node links in cluster mode.
 	Net transport.Stats
+	// Cluster carries the per-node counters when the run used a cluster
+	// (nil otherwise), ordered by node ID.
+	Cluster []cluster.NodeStats
 }
 
 func (o Options) withDefaults() Options {
@@ -124,7 +181,12 @@ func runRT(sys System, w workload.Workload, r *rt.Runtime, opts Options) (Result
 	if err := verify(w, r, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
 	}
-	return Result{System: sys, Time: clk.Now().Sub(0), Net: r.NetStats()}, nil
+	return Result{
+		System:  sys,
+		Time:    clk.Now().Sub(0),
+		Net:     r.NetStats(),
+		Cluster: r.ClusterStats(),
+	}, nil
 }
 
 func verify(w workload.Workload, d workload.ObjectDumper, opts Options) error {
@@ -183,6 +245,9 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 	if sys == MiraSwap {
 		popts.DisableSeparation = true
 	}
+	if co := opts.clusterOpts(false); co != nil {
+		popts.Cluster = co
+	}
 	res, err := planner.Plan(w, popts)
 	if err != nil {
 		return Result{}, err
@@ -195,6 +260,10 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 		cfg := res.Config
 		cfg.Faults = opts.Faults
 		cfg.Resilience = opts.Resilience
+		if co := opts.clusterOpts(true); co != nil {
+			cfg.Cluster = co
+			cfg.Faults = nil // per-node fault domains live in Cluster.Faults
+		}
 		r, err := rt.New(cfg, node)
 		if err != nil {
 			return Result{}, err
@@ -222,15 +291,23 @@ func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, err
 	var r *rt.Runtime
 	var err error
 	if sys == FastSwap {
-		r, err = fastswap.New(w, fastswap.Options{
+		fopts := fastswap.Options{
 			LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg,
 			Faults: opts.Faults, Resilience: opts.Resilience,
-		})
+		}
+		if co := opts.clusterOpts(true); co != nil {
+			fopts.Cluster, fopts.Faults = co, nil
+		}
+		r, err = fastswap.New(w, fopts)
 	} else {
-		r, err = leap.New(w, leap.Options{
+		lopts := leap.Options{
 			LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg,
 			Faults: opts.Faults, Resilience: opts.Resilience,
-		})
+		}
+		if co := opts.clusterOpts(true); co != nil {
+			lopts.Cluster, lopts.Faults = co, nil
+		}
+		r, err = leap.New(w, lopts)
 	}
 	if err != nil {
 		return Result{}, err
@@ -239,6 +316,9 @@ func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, err
 }
 
 func runAIFM(w workload.Workload, opts Options) (Result, error) {
+	if opts.Nodes > 0 {
+		return Result{}, fmt.Errorf("harness: aifm models a single far node; -nodes is not supported")
+	}
 	aopts := opts.AIFM
 	aopts.LocalBudget = opts.Budget
 	aopts.Net = opts.Net

@@ -1,0 +1,126 @@
+package planner
+
+import (
+	"testing"
+
+	"mira/internal/apps/dataframe"
+	"mira/internal/apps/graphtraverse"
+	"mira/internal/cluster"
+	"mira/internal/farmem"
+	"mira/internal/netmodel"
+	"mira/internal/rt"
+)
+
+// skewedCluster is a 3-node pool with one deliberately tiny node: the
+// planner's sizing decisions must respect per-node capacity, not just the
+// pool total.
+func skewedCluster(small uint64) *cluster.Options {
+	return &cluster.Options{
+		Nodes:       3,
+		Replicas:    2,
+		Seed:        1,
+		StripeBytes: 4096,
+		NodeCfg:     farmem.NodeConfig{Capacity: 1 << 24, CPUSlowdown: 3},
+		Capacities:  []uint64{1 << 24, 1 << 24, small},
+		Net:         netmodel.DefaultConfig(),
+	}
+}
+
+// assertNoOvercommit re-runs cfg on a fresh pool and checks every node's
+// live allocations stay within its capacity.
+func assertNoOvercommit(t *testing.T, w Workload, cfg rt.Config) {
+	t.Helper()
+	r, err := rt.New(cfg, nil)
+	if err != nil {
+		t.Fatalf("rebuild accepted config: %v", err)
+	}
+	if err := r.Bind(w.Program()); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if err := w.Init(r); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	p := r.Pool()
+	if p == nil {
+		t.Fatal("accepted config did not carry the cluster")
+	}
+	for _, ns := range p.NodeStats() {
+		if ns.AllocatedBytes > ns.CapacityBytes {
+			t.Errorf("node %d over-committed: %d allocated of %d capacity",
+				ns.Node, ns.AllocatedBytes, ns.CapacityBytes)
+		}
+	}
+}
+
+// TestClusterPlanRespectsSkewedCapacities: planning against a pool whose
+// third node is tiny must still converge, never regress past the swap
+// baseline (rollback), and never over-commit the small node — placement
+// spills to the big nodes instead.
+func TestClusterPlanRespectsSkewedCapacities(t *testing.T) {
+	w := graphtraverse.New(graphtraverse.Config{Edges: 2048, Nodes: 256, Passes: 1, Seed: 5})
+	opts := Options{
+		LocalBudget:   w.FullMemoryBytes() / 3,
+		MaxIterations: 2,
+		Cluster:       skewedCluster(128 << 10),
+	}
+	res, err := Plan(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTime > res.BaselineTime {
+		t.Fatalf("rollback failed: final %v worse than baseline %v",
+			res.FinalTime, res.BaselineTime)
+	}
+	assertNoOvercommit(t, w, res.Config)
+}
+
+// TestClusterAdaptSkewedCapacities: the §3 adapt path — keep a good
+// compilation, re-optimize a degraded one — must hold on a skewed pool,
+// and the adapted configuration must not over-commit the small node either.
+func TestClusterAdaptSkewedCapacities(t *testing.T) {
+	train := dataframe.New(dataframe.Config{Rows: 8192, Seed: 2014})
+	opts := Options{
+		LocalBudget:   train.FullMemoryBytes() / 3,
+		MaxIterations: 2,
+		Cluster:       skewedCluster(128 << 10),
+	}
+	res, err := Plan(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-distribution input: the compilation generalizes and is kept.
+	test := dataframe.New(dataframe.Config{Rows: 8192, Seed: 2015})
+	kept, reoptimized, err := Adapt(res, test, opts, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reoptimized {
+		t.Fatal("same-distribution input triggered re-optimization on a cluster")
+	}
+	assertNoOvercommit(t, test, kept.Config)
+
+	// Shifted input: re-optimization may trigger; whatever comes back must
+	// still fit every node.
+	heavy := dataframe.New(dataframe.Config{Rows: 8192, Seed: 2015, CreditRate: 0.9})
+	adapted, _, err := Adapt(res, heavy, opts, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoOvercommit(t, heavy, adapted.Config)
+}
+
+// TestClusterPlanTooSmallPoolFails pins the failure mode: when even the
+// replicated pool cannot hold the far footprint, planning surfaces an
+// error instead of silently under-placing.
+func TestClusterPlanTooSmallPoolFails(t *testing.T) {
+	w := graphtraverse.New(graphtraverse.Config{Edges: 2048, Nodes: 256, Passes: 1, Seed: 5})
+	co := skewedCluster(4 << 10)
+	co.Capacities = []uint64{4 << 10, 4 << 10, 4 << 10}
+	if _, err := Plan(w, Options{
+		LocalBudget:   w.FullMemoryBytes() / 3,
+		MaxIterations: 1,
+		Cluster:       co,
+	}); err == nil {
+		t.Fatal("planning succeeded against a pool too small for the workload")
+	}
+}

@@ -731,6 +731,7 @@ func assembleConfig(prog *ir.Program, drafts []*sectionDraft, merged map[string]
 		Placements:  map[string]rt.Placement{},
 		Cost:        opts.Cost,
 		Net:         opts.Net,
+		Cluster:     opts.Cluster,
 	}
 	for i, d := range drafts {
 		size := d.sizeBytes

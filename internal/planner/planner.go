@@ -14,6 +14,7 @@ import (
 
 	"mira/internal/analysis"
 	"mira/internal/baselines/fastswap"
+	"mira/internal/cluster"
 	"mira/internal/codegen"
 	"mira/internal/exec"
 	"mira/internal/farmem"
@@ -53,6 +54,10 @@ type Options struct {
 	// Techniques masks individual optimizations for the Fig. 21-style
 	// breakdowns; zero value enables everything.
 	Techniques TechniqueMask
+	// Cluster, when non-nil, plans against a sharded far-node pool instead
+	// of a single node. Planning itself is offline and fault-free: any
+	// per-node fault schedules belong to the final run, not here.
+	Cluster *cluster.Options
 }
 
 // TechniqueMask disables individual Mira techniques (all false = all on).
@@ -267,6 +272,7 @@ func swapOnlyConfig(prog *ir.Program, opts Options) (rt.Config, error) {
 		Placements:  map[string]rt.Placement{},
 		Cost:        opts.Cost,
 		Net:         opts.Net,
+		Cluster:     opts.Cluster,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mira/internal/cache"
+	"mira/internal/cluster"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/swap"
@@ -85,11 +86,18 @@ type Config struct {
 	// Profiling enables the compiler-inserted probes' cost accounting.
 	Profiling bool
 	// Faults, when non-nil and enabled, interposes the deterministic
-	// fault injector between the transport and the far node.
+	// fault injector between the transport and the far node. Single-node
+	// only: a cluster carries per-node fault domains in Cluster.Faults.
 	Faults *faults.Config
 	// Resilience overrides the transport's retry/deadline/breaker policy.
-	// Nil uses transport.DefaultPolicy.
+	// Nil uses transport.DefaultPolicy. In cluster mode it seeds each
+	// node's policy unless Cluster.Policy is set explicitly.
 	Resilience *transport.Policy
+	// Cluster, when non-nil, replaces the single far node with a sharded,
+	// replicated pool of far nodes: sections and the swap heap are placed
+	// across the pool and the runtime's data path routes per placement
+	// entry. Cluster.Net defaults to Config.Net.
+	Cluster *cluster.Options
 }
 
 // Validate checks structural sanity and that the carve-up fits the budget.
@@ -113,6 +121,14 @@ func (c Config) Validate() error {
 	for name, pl := range c.Placements {
 		if pl.Kind == PlaceSection && (pl.Section < 0 || pl.Section >= len(c.Sections)) {
 			return fmt.Errorf("rt: object %q placed in section %d of %d", name, pl.Section, len(c.Sections))
+		}
+	}
+	if c.Cluster != nil {
+		if c.Cluster.Nodes < 1 {
+			return fmt.Errorf("rt: cluster with %d nodes", c.Cluster.Nodes)
+		}
+		if c.Faults != nil && c.Faults.Enabled() {
+			return fmt.Errorf("rt: single-node Faults config with a cluster — put per-node faults in Cluster.Faults")
 		}
 	}
 	return nil

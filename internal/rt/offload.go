@@ -31,9 +31,9 @@ func (r *Runtime) RemoteAccess(name string, elem int64, field ir.Field, buf []by
 		buf = buf[:field.Bytes]
 	}
 	if write {
-		return r.node.Write(addr, buf)
+		return r.store.Write(addr, buf)
 	}
-	return r.node.Read(addr, buf)
+	return r.store.Read(addr, buf)
 }
 
 // RemoteBulk is RemoteAccess for a contiguous element range.
@@ -51,18 +51,18 @@ func (r *Runtime) RemoteBulk(name string, elem int64, buf []byte, write bool) er
 	}
 	addr := o.farBase + off
 	if write {
-		return r.node.Write(addr, buf)
+		return r.store.Write(addr, buf)
 	}
-	return r.node.Read(addr, buf)
+	return r.store.Read(addr, buf)
 }
 
 // CPUSlowdown reports the far node's compute slowdown.
-func (r *Runtime) CPUSlowdown() float64 { return r.node.CPUSlowdown() }
+func (r *Runtime) CPUSlowdown() float64 { return r.store.CPUSlowdown() }
 
 // OffloadTransfer charges the RPC round trip: arguments out (two-sided),
 // remote compute scaled by the far CPU's slowdown, results back.
 func (r *Runtime) OffloadTransfer(clk *sim.Clock, argBytes, resBytes int, remoteCompute sim.Duration) {
 	clk.Advance(r.cfg.Net.TwoSidedCost(argBytes))
-	clk.Advance(sim.Duration(float64(remoteCompute) * r.node.CPUSlowdown()))
+	clk.Advance(sim.Duration(float64(remoteCompute) * r.store.CPUSlowdown()))
 	clk.Advance(r.cfg.Net.TwoSidedCost(resBytes))
 }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mira/internal/cache"
+	"mira/internal/cluster"
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/ir"
@@ -34,11 +35,25 @@ type AccessOpts struct {
 	NoFetch bool
 }
 
+// farStore is the untimed far-memory store behind the runtime: allocation
+// and direct byte access, satisfied by a single *farmem.Node or by a
+// *cluster.Pool spanning many of them.
+type farStore interface {
+	Alloc(size uint64) (uint64, error)
+	Read(addr uint64, buf []byte) error
+	Write(addr uint64, buf []byte) error
+	CPUSlowdown() float64
+}
+
 // Runtime is one compute-node runtime instance.
 type Runtime struct {
-	cfg    Config
-	node   *farmem.Node
-	tr     *transport.T
+	cfg   Config
+	node  *farmem.Node   // the single far node (nil in cluster mode)
+	pool  *cluster.Pool  // the far-node cluster (nil in single-node mode)
+	store farStore       // node or pool: the untimed data/alloc path
+	tr    transport.Link // the timed data path (node's transport or the pool)
+	trT   *transport.T   // the single transport (nil in cluster mode)
+
 	inj    *faults.Injector // nil unless Config.Faults is enabled
 	la     *LocalAllocator
 	swapC  *swap.Cache
@@ -69,7 +84,9 @@ type objectRT struct {
 	hits, misses int64
 }
 
-// New creates a runtime over node. Call Bind before executing a program.
+// New creates a runtime over node, or — when cfg.Cluster is set — over a
+// sharded cluster.Pool built from it (node is then ignored and may be
+// nil). Call Bind before executing a program.
 func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
@@ -82,18 +99,39 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 	}
 	r := &Runtime{
 		cfg:  cfg,
-		node: node,
-		tr:   transport.New(node, cfg.Net),
 		objs: make(map[string]*objectRT),
 	}
-	if cfg.Resilience != nil {
-		r.tr.SetPolicy(*cfg.Resilience)
+	if cfg.Cluster != nil {
+		copts := *cfg.Cluster
+		if copts.Net.BytesPerSecond == 0 {
+			copts.Net = cfg.Net
+		}
+		if copts.Policy == nil && cfg.Resilience != nil {
+			pol := *cfg.Resilience
+			copts.Policy = &pol
+		}
+		pool, err := cluster.New(copts)
+		if err != nil {
+			return nil, err
+		}
+		r.pool = pool
+		r.store = pool
+		r.tr = pool
+	} else {
+		r.node = node
+		r.store = node
+		trT := transport.New(node, cfg.Net)
+		if cfg.Resilience != nil {
+			trT.SetPolicy(*cfg.Resilience)
+		}
+		if cfg.Faults != nil && cfg.Faults.Enabled() {
+			r.inj = faults.New(node, *cfg.Faults)
+			trT.SetBackend(r.inj)
+		}
+		r.trT = trT
+		r.tr = trT
 	}
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		r.inj = faults.New(node, *cfg.Faults)
-		r.tr.SetBackend(r.inj)
-	}
-	r.la = NewLocalAllocator(1<<20, node.Alloc)
+	r.la = NewLocalAllocator(1<<20, r.store.Alloc)
 	for i, spec := range cfg.Sections {
 		sec, err := cache.New(spec.Cache)
 		if err != nil {
@@ -109,13 +147,22 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 	return r, nil
 }
 
-// Transport exposes the runtime's transport (offload glue, tests).
-func (r *Runtime) Transport() *transport.T { return r.tr }
+// Transport exposes the runtime's single-node transport (offload glue,
+// bandwidth sharing, tests). Nil in cluster mode — use Link or Pool there.
+func (r *Runtime) Transport() *transport.T { return r.trT }
+
+// Link exposes the timed far-memory data path: the single transport or
+// the cluster pool.
+func (r *Runtime) Link() transport.Link { return r.tr }
+
+// Pool exposes the far-node cluster, or nil in single-node mode.
+func (r *Runtime) Pool() *cluster.Pool { return r.pool }
 
 // Injector exposes the fault injector, or nil when faults are disabled.
+// In cluster mode fault domains are per-node: see Pool().Injector(i).
 func (r *Runtime) Injector() *faults.Injector { return r.inj }
 
-// Node exposes the far-memory node.
+// Node exposes the far-memory node (nil in cluster mode).
 func (r *Runtime) Node() *farmem.Node { return r.node }
 
 // Config returns the runtime's configuration.
@@ -149,7 +196,16 @@ func (r *Runtime) Bind(p *ir.Program) error {
 			// Align the base and pad the tail so every line of
 			// the object stays inside its allocation.
 			size := (uint64(o.SizeBytes()) + 2*lb + lb - 1) / lb * lb
-			base, err := r.la.Alloc(size)
+			var base uint64
+			var err error
+			if r.pool != nil {
+				// Cluster mode: the section ID is the placement key, so
+				// every object of a section colocates on the section's
+				// home node and misses/evictions/flushes route there.
+				base, err = r.pool.AllocSection(s.id, size)
+			} else {
+				base, err = r.la.Alloc(size)
+			}
 			if err != nil {
 				return fmt.Errorf("rt: bind %q: %w", o.Name, err)
 			}
@@ -167,7 +223,14 @@ func (r *Runtime) Bind(p *ir.Program) error {
 			offsets[o.Name] = total
 			total += (o.SizeBytes() + swap.PageBytes - 1) / swap.PageBytes * swap.PageBytes
 		}
-		base, err := r.la.Alloc(uint64(total))
+		var base uint64
+		var err error
+		if r.pool != nil {
+			// Cluster mode: the swap heap is striped across the nodes.
+			base, err = r.pool.Alloc(uint64(total))
+		} else {
+			base, err = r.la.Alloc(uint64(total))
+		}
 		if err != nil {
 			return fmt.Errorf("rt: bind swap heap: %w", err)
 		}
@@ -236,7 +299,7 @@ func (r *Runtime) InitObject(name string, data []byte) error {
 		copy(o.local, data)
 		return nil
 	}
-	return r.node.Write(o.farBase, data)
+	return r.store.Write(o.farBase, data)
 }
 
 // DumpObject returns the object's current far-memory (or local) contents.
@@ -252,7 +315,7 @@ func (r *Runtime) DumpObject(name string) ([]byte, error) {
 		return out, nil
 	}
 	out := make([]byte, o.decl.SizeBytes())
-	if err := r.node.Read(o.farBase, out); err != nil {
+	if err := r.store.Read(o.farBase, out); err != nil {
 		return nil, err
 	}
 	return out, nil

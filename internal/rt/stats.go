@@ -2,6 +2,7 @@ package rt
 
 import (
 	"mira/internal/cache"
+	"mira/internal/cluster"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
 	"mira/internal/sim"
@@ -85,26 +86,56 @@ func (r *Runtime) SwapPrefetcher(pf swap.Prefetcher) {
 	}
 }
 
-// BytesMoved reports total bytes that crossed the interconnect.
-func (r *Runtime) BytesMoved() int64 { return r.tr.BW.BytesMoved() }
+// BytesMoved reports total bytes that crossed the interconnect (summed
+// over every link in cluster mode).
+func (r *Runtime) BytesMoved() int64 { return r.tr.BytesMoved() }
 
 // NetStats reports the transport's resilience counters: retries, timeouts,
 // checksum failures, breaker trips, and degraded-mode activity.
 func (r *Runtime) NetStats() transport.Stats { return r.tr.Stats() }
 
 // FaultStats reports what the fault injector actually injected (zero when
-// faults are disabled).
+// faults are disabled). In cluster mode fault domains are per-node and
+// their stats are summed here; see ClusterStats for the breakdown.
 func (r *Runtime) FaultStats() faults.Stats {
+	if r.pool != nil {
+		var sum faults.Stats
+		for _, ns := range r.pool.NodeStats() {
+			f := ns.Faults
+			sum.Ops += f.Ops
+			sum.DownRefusals += f.DownRefusals
+			sum.Partitioned += f.Partitioned
+			sum.IOErrors += f.IOErrors
+			sum.Delays += f.Delays
+			sum.BitFlips += f.BitFlips
+			sum.Wipes += f.Wipes
+		}
+		return sum
+	}
 	if r.inj == nil {
 		return faults.Stats{}
 	}
 	return r.inj.Stats()
 }
 
+// ClusterStats reports the per-node cluster counters (nil in single-node
+// mode), ordered by node ID.
+func (r *Runtime) ClusterStats() []cluster.NodeStats {
+	if r.pool == nil {
+		return nil
+	}
+	return r.pool.NodeStats()
+}
+
 // ShareBandwidth makes this runtime contend for bw with other runtimes —
 // simulated threads with private cache sections share the physical link
-// (§4.6 multithreading).
-func (r *Runtime) ShareBandwidth(bw *netmodel.Bandwidth) { r.tr.BW = bw }
+// (§4.6 multithreading). Single-node only: a cluster owns one independent
+// link per node, so the call is a no-op there.
+func (r *Runtime) ShareBandwidth(bw *netmodel.Bandwidth) {
+	if r.trT != nil {
+		r.trT.BW = bw
+	}
+}
 
 // SwapLock serializes the swap fault path across threads (must be called
 // after Bind; no-op without a swap section).

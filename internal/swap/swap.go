@@ -96,7 +96,7 @@ type page struct {
 // Cache is a swap cache over one contiguous far-memory region.
 type Cache struct {
 	cfg      Config
-	tr       *transport.T
+	tr       transport.Link
 	base     uint64 // far address of page 0
 	length   int64  // region bytes
 	capacity int    // max resident pages
@@ -117,7 +117,7 @@ type Cache struct {
 }
 
 // New builds a swap cache covering [base, base+length) of far memory.
-func New(cfg Config, tr *transport.T, base uint64, length int64, pf Prefetcher) (*Cache, error) {
+func New(cfg Config, tr transport.Link, base uint64, length int64, pf Prefetcher) (*Cache, error) {
 	if cfg.PoolBytes <= 0 {
 		return nil, fmt.Errorf("swap: PoolBytes must be positive, got %d", cfg.PoolBytes)
 	}

@@ -244,7 +244,7 @@ func TestFlushAllPersistsDirtyPages(t *testing.T) {
 		t.Fatalf("resident pages after flush: %d", c.Resident())
 	}
 	got := make([]byte, 2)
-	if err := c.tr.Node.Read(c.Base()+PageBytes, got); err != nil {
+	if err := c.tr.(*transport.T).Node.Read(c.Base()+PageBytes, got); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {

@@ -1,0 +1,19 @@
+package transport_test
+
+import (
+	"testing"
+
+	"mira/internal/farmem"
+	"mira/internal/transport"
+	"mira/internal/transport/transporttest"
+)
+
+// TestNodeBackendConformance runs the shared Backend contract against the
+// plain in-memory node backend — the reference implementation every other
+// backend (fault-injected, cluster per-node) is measured against.
+func TestNodeBackendConformance(t *testing.T) {
+	transporttest.Conformance(t, func(t *testing.T) transporttest.Instance {
+		node := farmem.NewNode(farmem.DefaultNodeConfig())
+		return transporttest.Instance{Backend: transport.NewNodeBackend(node), Node: node}
+	})
+}

@@ -1,0 +1,43 @@
+package transport
+
+import "mira/internal/sim"
+
+// Link is the far-memory data plane the runtime and the swap cache drive:
+// one-sided reads/writes, two-sided gather/scatter, offload RPCs, and the
+// degraded-mode controls. Two implementations exist: *T (a single resilient
+// transport over one far node — the paper's testbed) and cluster.Pool (a
+// sharded, replicated pool of far nodes, each behind its own *T).
+//
+// Every operation takes the caller's virtual instant and returns the
+// completion instant; data movement is real, so the whole data path stays
+// verifiable independent of the timing model.
+type Link interface {
+	// ReadOneSided fetches len(buf) bytes at far address addr.
+	ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error)
+	// WriteOneSided pushes buf to far address addr.
+	WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error)
+	// GatherTwoSided fetches several pieces in one two-sided message.
+	GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error)
+	// ScatterTwoSided writes several pieces in one two-sided message.
+	ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error)
+	// Call invokes an offloaded procedure on the far side.
+	Call(now sim.Time, name string, args []byte) ([]byte, sim.Time, error)
+	// Flush forces every queued degraded-mode write-back out to far
+	// memory, returning the completion instant of the last drained write.
+	Flush(now sim.Time) (sim.Time, error)
+	// BreakerOpen reports whether a circuit breaker is open at now (for a
+	// pool: whether any node's breaker is open). The cache layers consult
+	// it to switch into degraded mode.
+	BreakerOpen(now sim.Time) bool
+	// Stats returns the link's aggregate resilience counters.
+	Stats() Stats
+	// BytesMoved reports the total bytes that crossed the interconnect
+	// (for a pool: summed over every per-node link).
+	BytesMoved() int64
+}
+
+// BytesMoved reports the bytes that crossed this transport's link.
+func (t *T) BytesMoved() int64 { return t.BW.BytesMoved() }
+
+// Interface conformance.
+var _ Link = (*T)(nil)

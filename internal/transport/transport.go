@@ -201,6 +201,23 @@ func (t *T) PendingWritebacks() int {
 	return len(t.queued)
 }
 
+// DropQueued discards every queued degraded-mode write-back without pushing
+// it to the node, returning how many were dropped (counted as
+// DroppedWritebacks). Callers use this when the queued data is known
+// obsolete — e.g. the far node lost its memory and is being restored from a
+// replica whose copy already includes everything the queue holds; draining
+// the queue afterwards would overwrite the restored bytes with stale ones.
+func (t *T) DropQueued() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.queued)
+	for addr := range t.queued {
+		delete(t.queued, addr)
+	}
+	t.stats.DroppedWritebacks += int64(n)
+	return n
+}
+
 // latencyOneSided is OneSidedCost minus the wire time, which the bandwidth
 // accountant charges separately (so concurrent threads contend for the wire
 // but not for latency).
@@ -375,6 +392,24 @@ func (t *T) enqueueWrite(addr uint64, data []byte) {
 	t.stats.QueuedWritebacks++
 }
 
+// coveringQueuedLocked finds the queued entry covering [addr, addr+n), if
+// any. Iteration is over sorted keys: map order must never decide which
+// entry serves a read, or degraded-mode replays stop being byte-stable.
+func (t *T) coveringQueuedLocked(addr uint64, n int) (base uint64, data []byte, ok bool) {
+	keys := make([]uint64, 0, len(t.queued))
+	for k := range t.queued {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		d := t.queued[k]
+		if addr >= k && addr+uint64(n) <= k+uint64(len(d)) {
+			return k, d, true
+		}
+	}
+	return 0, nil, false
+}
+
 // serveQueued serves [addr, addr+len(buf)) from the write-back overlay if a
 // single queued entry covers it.
 func (t *T) serveQueued(addr uint64, buf []byte) bool {
@@ -383,12 +418,10 @@ func (t *T) serveQueued(addr uint64, buf []byte) bool {
 	if len(t.queued) == 0 {
 		return false
 	}
-	for base, data := range t.queued {
-		if addr >= base && addr+uint64(len(buf)) <= base+uint64(len(data)) {
-			copy(buf, data[addr-base:])
-			t.stats.DegradedReads++
-			return true
-		}
+	if base, data, ok := t.coveringQueuedLocked(addr, len(buf)); ok {
+		copy(buf, data[addr-base:])
+		t.stats.DegradedReads++
+		return true
 	}
 	return false
 }
@@ -582,17 +615,11 @@ func (t *T) gatherQueued(addrs []uint64, sizes []int) ([]byte, bool) {
 	out := make([]byte, total)
 	off := 0
 	for i, a := range addrs {
-		found := false
-		for base, data := range t.queued {
-			if a >= base && a+uint64(sizes[i]) <= base+uint64(len(data)) {
-				copy(out[off:off+sizes[i]], data[a-base:])
-				found = true
-				break
-			}
-		}
-		if !found {
+		base, data, ok := t.coveringQueuedLocked(a, sizes[i])
+		if !ok {
 			return nil, false
 		}
+		copy(out[off:off+sizes[i]], data[a-base:])
 		off += sizes[i]
 	}
 	t.stats.DegradedReads++
@@ -608,11 +635,8 @@ func (t *T) patchFromQueue(addrs []uint64, sizes []int, data []byte) {
 	}
 	off := 0
 	for i, a := range addrs {
-		for base, q := range t.queued {
-			if a >= base && a+uint64(sizes[i]) <= base+uint64(len(q)) {
-				copy(data[off:off+sizes[i]], q[a-base:])
-				break
-			}
+		if base, q, ok := t.coveringQueuedLocked(a, sizes[i]); ok {
+			copy(data[off:off+sizes[i]], q[a-base:])
 		}
 		off += sizes[i]
 	}

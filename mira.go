@@ -33,6 +33,7 @@ import (
 	"mira/internal/apps/gpt2"
 	"mira/internal/apps/graphtraverse"
 	"mira/internal/apps/mcf"
+	"mira/internal/cluster"
 	"mira/internal/exec"
 	"mira/internal/faults"
 	"mira/internal/figures"
@@ -121,6 +122,28 @@ func RecoveryResiliencePolicy(horizon Duration) ResiliencePolicy {
 
 // NetStats are the transport's resilience counters (RunResult.Net).
 type NetStats = transport.Stats
+
+// Multi-node cluster mode (set RunOptions.Nodes / RunOptions.Replicas to
+// shard far memory across a replicated pool of far nodes).
+
+// ClusterOptions configures the sharded far-node pool directly (most
+// callers just set RunOptions.Nodes and RunOptions.Replicas).
+type ClusterOptions = cluster.Options
+
+// ClusterNodeStats reports one far node's counters in a multi-node run
+// (RunResult.Cluster, ordered by node ID).
+type ClusterNodeStats = cluster.NodeStats
+
+// ClusterResiliencePolicy returns the per-node transport policy suited to a
+// replicated pool: members fail fast and the pool's replicas are the retry —
+// transport-internal persistence would only delay failover.
+func ClusterResiliencePolicy() ResiliencePolicy {
+	p := transport.DefaultPolicy()
+	p.MaxAttempts = 1
+	p.BreakerThreshold = 2
+	p.BreakerCooldown = 50 * sim.Microsecond
+	return p
+}
 
 // Duration is a span of virtual time in nanoseconds.
 type Duration = sim.Duration
