@@ -10,7 +10,9 @@
 package mira
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 )
 
@@ -220,4 +222,98 @@ func BenchmarkAblation_ILP(b *testing.B) {
 			b.ReportMetric(s.Y[0]/s.Y[1], "ilp/equal-split")
 		}
 	})
+}
+
+// ---- Vectored-I/O batching trajectory (BENCH_batching.json) ----
+
+// batchRunRecord is one (app, system, batching) measurement.
+type batchRunRecord struct {
+	SimTimeNs  int64   `json:"sim_time_ns"`
+	SimTime    string  `json:"sim_time"`
+	Messages   int64   `json:"messages"`
+	BytesMoved int64   `json:"bytes_moved"`
+	BatchHist  []int64 `json:"batch_hist"` // power-of-two piece-count buckets: 1,2,4,...,128+
+}
+
+// batchAppRecord pairs the batching-on/off runs of one system on one app.
+type batchAppRecord struct {
+	Batching         batchRunRecord `json:"batching"`
+	NoBatching       batchRunRecord `json:"no_batching"`
+	TimeReductionPct float64        `json:"time_reduction_pct"`
+	MessageRatio     float64        `json:"message_ratio"`
+}
+
+func batchMeasure(t *testing.T, sys System, w Workload, noBatching bool) batchRunRecord {
+	t.Helper()
+	res, err := Run(sys, w, RunOptions{
+		Budget:     int64(float64(w.FullMemoryBytes()) * 0.25),
+		Verify:     true,
+		NoBatching: noBatching,
+	})
+	if err != nil {
+		t.Fatalf("%s %s (noBatching=%v): %v", w.Name(), sys, noBatching, err)
+	}
+	if res.Failed {
+		t.Fatalf("%s %s (noBatching=%v): failed to execute: %s", w.Name(), sys, noBatching, res.FailReason)
+	}
+	return batchRunRecord{
+		SimTimeNs:  int64(res.Time),
+		SimTime:    res.Time.String(),
+		Messages:   res.Messages,
+		BytesMoved: res.BytesMoved,
+		BatchHist:  append([]int64(nil), res.Net.BatchHist[:]...),
+	}
+}
+
+// TestBenchBatching measures the vectored-I/O data path (doorbell-batched
+// prefetch + async write-back) against the unbatched per-line path on the
+// sequential and strided scan apps, emits BENCH_batching.json for future
+// PRs to diff, and gates the batching win: simulated completion time must
+// drop >= 15% and transport messages >= 2x on both apps. CI runs this as
+// the benchmark smoke job.
+func TestBenchBatching(t *testing.T) {
+	apps := []Workload{
+		NewSeqScanWorkload(SeqScanConfig{}),
+		NewStrideScanWorkload(StrideScanConfig{}),
+	}
+	out := map[string]map[string]batchAppRecord{}
+	for _, w := range apps {
+		perSys := map[string]batchAppRecord{}
+		for _, sys := range []System{SystemMira, SystemLeap} {
+			on := batchMeasure(t, sys, w, false)
+			off := batchMeasure(t, sys, w, true)
+			rec := batchAppRecord{Batching: on, NoBatching: off}
+			if off.SimTimeNs > 0 {
+				rec.TimeReductionPct = 100 * float64(off.SimTimeNs-on.SimTimeNs) / float64(off.SimTimeNs)
+			}
+			if on.Messages > 0 {
+				rec.MessageRatio = float64(off.Messages) / float64(on.Messages)
+			}
+			perSys[string(sys)] = rec
+			t.Logf("%s on %s: %s -> %s (%.1f%%), %d -> %d messages (%.1fx)",
+				w.Name(), sys, off.SimTime, on.SimTime, rec.TimeReductionPct,
+				off.Messages, on.Messages, rec.MessageRatio)
+		}
+		out[w.Name()] = perSys
+
+		mira := perSys[string(SystemMira)]
+		if mira.TimeReductionPct < 15 {
+			t.Errorf("%s: batching cuts simulated time by %.1f%%, want >= 15%%", w.Name(), mira.TimeReductionPct)
+		}
+		if mira.MessageRatio < 2 {
+			t.Errorf("%s: batching cuts messages by %.2fx, want >= 2x", w.Name(), mira.MessageRatio)
+		}
+	}
+	doc := map[string]any{
+		"description":  "Vectored remote I/O A/B: mira-run -batch=true vs -batch=false at 25% local memory. Regenerate with: go test -run TestBenchBatching .",
+		"mem_fraction": 0.25,
+		"apps":         out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_batching.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -39,16 +39,22 @@ func buildWorkload(app string) (mira.Workload, error) {
 		return mira.NewGPT2Workload(mira.GPT2Config{}), nil
 	case "arraysum":
 		return mira.NewArraySumWorkload(mira.ArraySumConfig{}), nil
+	case "seqscan":
+		return mira.NewSeqScanWorkload(mira.SeqScanConfig{}), nil
+	case "stridescan":
+		return mira.NewStrideScanWorkload(mira.StrideScanConfig{}), nil
 	default:
-		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2, arraysum)", app)
+		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan)", app)
 	}
 }
 
 func main() {
-	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum")
+	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan")
 	system := flag.String("system", "mira", "system: native, mira, mira-swap, fastswap, leap, aifm")
 	mem := flag.Float64("mem", 0.5, "local memory as a fraction of the workload's footprint")
 	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
+	batch := flag.Bool("batch", true, "vectored remote I/O: doorbell-batched prefetch and async write-back (false = PR 2 data path)")
+	wbq := flag.Int("wbq", 0, "async write-back queue bound in lines (0 = default, negative = disabled)")
 	aifmChunk := flag.Int64("aifm-chunk", 0, "AIFM remotable-object granularity in bytes (0 = per-element array library)")
 	aifmMeta := flag.Int64("aifm-meta", 0, "AIFM per-object metadata bytes (0 = default)")
 	faultsName := flag.String("faults", "", fmt.Sprintf("named fault schedule %v; empty = fault-free (crash-wipe loses data: run it with -verify=false)", mira.FaultScheduleNames()))
@@ -66,6 +72,8 @@ func main() {
 	}
 	budget := int64(float64(w.FullMemoryBytes()) * *mem)
 	opts := mira.RunOptions{Budget: budget, Verify: *verify}
+	opts.NoBatching = !*batch
+	opts.WritebackQueueLines = *wbq
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
 	if *nodes > 0 {
@@ -111,6 +119,9 @@ func main() {
 	}
 	fmt.Printf("%s on %s at %.0f%% local memory (%d bytes): %v\n",
 		*app, *system, *mem*100, budget, res.Time)
+	if res.Messages > 0 {
+		fmt.Printf("  transport: %d messages, %d bytes moved\n", res.Messages, res.BytesMoved)
+	}
 	if res.PlanResult != nil {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,

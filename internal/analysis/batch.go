@@ -1,0 +1,35 @@
+package analysis
+
+import "mira/internal/netmodel"
+
+// DoorbellBatchLines picks how many future cache lines one batched prefetch
+// doorbell should cover for a sequential or strided stream (§4.5 data access
+// batching). Batching amortizes the round trip and per-message overhead over
+// several lines, but the marginal saving shrinks as the wire time of the
+// extra lines comes to dominate; depth doubles only while adding lines still
+// cuts the per-line cost by a meaningful fraction, and never past maxLines.
+// Returns at least 1 (no batching).
+func DoorbellBatchLines(net netmodel.Config, lineBytes int, maxLines int64) int64 {
+	if lineBytes <= 0 || maxLines < 2 {
+		return 1
+	}
+	const marginalGain = 0.30 // stop when doubling saves < 30% per line
+	perLine := func(n int64) float64 {
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = lineBytes
+		}
+		return float64(net.VectoredOneSidedCost(sizes)) / float64(n)
+	}
+	depth := int64(1)
+	cost := perLine(1)
+	for depth*2 <= maxLines {
+		next := perLine(depth * 2)
+		if next >= cost*(1-marginalGain) {
+			break
+		}
+		depth *= 2
+		cost = next
+	}
+	return depth
+}

@@ -12,6 +12,8 @@ import (
 	"mira/internal/apps/gpt2"
 	"mira/internal/apps/graphtraverse"
 	"mira/internal/apps/mcf"
+	"mira/internal/apps/seqscan"
+	"mira/internal/apps/stridescan"
 	"mira/internal/harness"
 	"mira/internal/workload"
 )
@@ -24,6 +26,8 @@ func smallWorkloads() []workload.Workload {
 		mcf.New(mcf.Config{Arcs: 2048, Nodes: 512, Iterations: 8, WalkLen: 32, Seed: 42}),
 		dataframe.New(dataframe.Config{Rows: 8192, Seed: 2014}),
 		gpt2.New(gpt2.Config{Layers: 2, DModel: 32, DFF: 64, SeqLen: 16, Seed: 5}),
+		seqscan.New(seqscan.Config{N: 4096, Seed: 1}),
+		stridescan.New(stridescan.Config{N: 2048, Seed: 1}),
 	}
 }
 

@@ -42,6 +42,9 @@ type Options struct {
 	// pool instead of a single node (per-node faults ride in
 	// Cluster.Faults; Options.Faults must then be nil).
 	Cluster *cluster.Options
+	// NoBatching disables the doorbell-batched prefetch gather (one read
+	// per prefetched page, the pre-vectored-I/O datapath).
+	NoBatching bool
 }
 
 // Prefetcher implements Leap's majority-trend detection: if one fault-delta
@@ -142,6 +145,7 @@ func New(w workload.Workload, opts Options) (*rt.Runtime, error) {
 		SwapCfg: swap.Config{
 			MajorFaultOverhead: 4500 * sim.Nanosecond,
 			MinorFaultOverhead: 1000 * sim.Nanosecond,
+			BatchPrefetch:      !opts.NoBatching,
 		},
 		Faults:     opts.Faults,
 		Resilience: opts.Resilience,

@@ -1,0 +1,137 @@
+package cache
+
+import "testing"
+
+// These tests model the runtime's batched-prefetch race: a placeholder line
+// is Reserved for an in-flight fetch, and before the data lands, later
+// Reserves (set conflicts or capacity pressure) evict it or reuse its slot.
+// The runtime guards against the race with an identity-plus-tag re-check
+// (Peek returns the same *Line AND that line still carries the tag); these
+// tests pin down the Section behaviors that make the guard sound for every
+// structure.
+
+// evictTag0 reserves enough conflicting/fresh lines to push the line with
+// tag 0 out of sec, returning the victims produced along the way.
+func evictTag0(t *testing.T, sec Section, lineBytes, lines int) []Victim {
+	t.Helper()
+	var victims []Victim
+	// Reserving `lines` more tags that all map over tag 0's slot (direct,
+	// set-assoc) or exhaust capacity (full-assoc) is guaranteed to displace
+	// it regardless of structure.
+	for k := 1; k <= lines; k++ {
+		tag := uint64(k * lines * lineBytes) // same direct/set index as tag 0
+		if _, ok := sec.Peek(tag); ok {
+			continue
+		}
+		_, v := sec.Reserve(tag)
+		if v.Data != nil {
+			victims = append(victims, v)
+		}
+		if _, still := sec.Peek(0); !still {
+			return victims
+		}
+	}
+	t.Fatal("could not evict tag 0")
+	return nil
+}
+
+func TestInflightPlaceholderEvictedBeforeArrival(t *testing.T) {
+	const lineBytes = 64
+	const lines = 4
+	for _, st := range []Structure{Direct, SetAssoc, FullAssoc} {
+		t.Run(st.String(), func(t *testing.T) {
+			sec, err := New(Config{Name: "s", Structure: st, Ways: 2, LineBytes: lineBytes, SizeBytes: lines * lineBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l0, v := sec.Reserve(0) // in-flight placeholder, not yet filled
+			if v.Data != nil {
+				t.Fatal("empty section produced a victim")
+			}
+			victims := evictTag0(t, sec, lineBytes, lines)
+
+			// The placeholder was clean, so its eviction must not demand a
+			// write-back of garbage data.
+			for _, vv := range victims {
+				if vv.Tag == 0 && vv.Dirty {
+					t.Fatal("clean placeholder evicted dirty")
+				}
+			}
+			// Peek must no longer resolve tag 0: a late arrival that only
+			// checked residency would otherwise fill a slot now owned by
+			// someone else.
+			if cur, ok := sec.Peek(0); ok {
+				t.Fatalf("evicted placeholder still resident: %+v", cur)
+			}
+			// The runtime's full guard — Peek resolves the tag to the very
+			// same *Line that still carries it — must reject the stale
+			// pointer, whether the structure reused its slot (rewriting the
+			// tag) or discarded the Line object (Peek misses or returns a
+			// different pointer).
+			if cur, ok := sec.Peek(0); ok && cur == l0 && l0.Tag == 0 {
+				t.Fatal("stale placeholder passes the identity re-check after eviction")
+			}
+			// Drop of a non-resident tag must report not-ok, not invent a
+			// victim.
+			if _, ok := sec.Drop(0); ok {
+				t.Fatal("Drop of evicted line reported a victim")
+			}
+			// Re-reserving the same tag must hand out a working slot.
+			l, _ := sec.Reserve(0)
+			if l.Tag != 0 || len(l.Data) != lineBytes {
+				t.Fatalf("re-reserve broken: tag=%d len=%d", l.Tag, len(l.Data))
+			}
+		})
+	}
+}
+
+func TestDropInflightPlaceholderDirectly(t *testing.T) {
+	// The failure path of a batched gather drops its placeholders; a clean
+	// placeholder must come back as a clean victim and leave the section
+	// consistent, for every structure.
+	const lineBytes = 64
+	for _, st := range []Structure{Direct, SetAssoc, FullAssoc} {
+		t.Run(st.String(), func(t *testing.T) {
+			sec, err := New(Config{Name: "s", Structure: st, Ways: 2, LineBytes: lineBytes, SizeBytes: 4 * lineBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sec.Reserve(0)
+			v, ok := sec.Drop(0)
+			if !ok {
+				t.Fatal("Drop of resident placeholder failed")
+			}
+			if v.Dirty {
+				t.Fatal("clean placeholder dropped dirty")
+			}
+			if _, ok := sec.Peek(0); ok {
+				t.Fatal("dropped line still resident")
+			}
+			// The freed slot must be reusable.
+			if l, _ := sec.Reserve(0); l.Tag != 0 {
+				t.Fatalf("slot not reusable after Drop: tag=%d", l.Tag)
+			}
+		})
+	}
+}
+
+func TestPeekIdentityStableWhileResident(t *testing.T) {
+	// While a line stays resident, Peek must keep returning the same *Line:
+	// the runtime's identity re-check depends on pointer stability across
+	// unrelated Reserves.
+	const lineBytes = 64
+	for _, st := range []Structure{Direct, SetAssoc, FullAssoc} {
+		t.Run(st.String(), func(t *testing.T) {
+			sec, err := New(Config{Name: "s", Structure: st, Ways: 2, LineBytes: lineBytes, SizeBytes: 8 * lineBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l0, _ := sec.Reserve(0)
+			sec.Reserve(uint64(lineBytes)) // unrelated line, different slot
+			cur, ok := sec.Peek(0)
+			if !ok || cur != l0 {
+				t.Fatalf("Peek identity changed while resident: %p vs %p", cur, l0)
+			}
+		})
+	}
+}

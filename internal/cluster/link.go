@@ -298,6 +298,21 @@ func (p *Pool) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, e
 // parallel. A node whose batch fails (or turns out wiped) falls back to
 // per-segment reads with full failover.
 func (p *Pool) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error) {
+	return p.gatherVec(now, addrs, sizes, false)
+}
+
+// GatherOneSided implements transport.Link: the same placement-aware
+// splitting as GatherTwoSided, but each node's share travels as one
+// doorbell-batched chain of one-sided reads. A gather spanning the cluster
+// still pays one message per involved link.
+func (p *Pool) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error) {
+	return p.gatherVec(now, addrs, sizes, true)
+}
+
+// gatherVec routes pieces to their serving nodes and issues one vectored
+// message per node — two-sided or doorbell-batched one-sided. Failover and
+// stale handling are identical for both flavors.
+func (p *Pool) gatherVec(now sim.Time, addrs []uint64, sizes []int, oneSided bool) ([]byte, sim.Time, error) {
 	total := 0
 	var segs []seg
 	p.mu.Lock()
@@ -346,7 +361,14 @@ func (p *Pool) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte
 			na[j] = s.entry.Homes[chosen[i]].Base + s.off
 			ns[j] = s.n
 		}
-		data, d, err := p.nodes[node].tr.GatherTwoSided(now, na, ns)
+		var data []byte
+		var d sim.Time
+		var err error
+		if oneSided {
+			data, d, err = p.nodes[node].tr.GatherOneSided(now, na, ns)
+		} else {
+			data, d, err = p.nodes[node].tr.GatherTwoSided(now, na, ns)
+		}
 		if err == nil && p.isStale(node) {
 			err = errStale // wipe fired during the batch: zeros under valid CRC
 		}
@@ -384,6 +406,21 @@ func (p *Pool) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte
 // whose every home refused its batch is retried through the one-sided
 // fan-out before the scatter fails.
 func (p *Pool) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
+	return p.scatterVec(now, addrs, pieces, false)
+}
+
+// ScatterWrite implements transport.Link: placement-aware splitting like
+// ScatterTwoSided, but each node's share travels as one doorbell-batched
+// chain of one-sided writes — the pool-wide vehicle of the runtime's
+// coalesced write-back drain. Replication, staleness marking, and the
+// per-segment retry are identical to the two-sided flavor.
+func (p *Pool) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
+	return p.scatterVec(now, addrs, pieces, true)
+}
+
+// scatterVec replicates every piece to all its homes, one vectored message
+// per node, two-sided or doorbell-batched one-sided.
+func (p *Pool) scatterVec(now sim.Time, addrs []uint64, pieces [][]byte, oneSided bool) (sim.Time, error) {
 	type placed struct {
 		s    seg
 		data []byte
@@ -431,7 +468,13 @@ func (p *Pool) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (s
 	var failedNodes []int
 	for _, node := range nodesInUse {
 		b := byNode[node]
-		d, err := p.nodes[node].tr.ScatterTwoSided(now, b.addrs, b.pieces)
+		var d sim.Time
+		var err error
+		if oneSided {
+			d, err = p.nodes[node].tr.ScatterWrite(now, b.addrs, b.pieces)
+		} else {
+			d, err = p.nodes[node].tr.ScatterTwoSided(now, b.addrs, b.pieces)
+		}
 		if err != nil {
 			failedNodes = append(failedNodes, node)
 			continue
@@ -516,20 +559,7 @@ func (p *Pool) BreakerOpen(now sim.Time) bool {
 func (p *Pool) Stats() transport.Stats {
 	var sum transport.Stats
 	for _, n := range p.nodes {
-		s := n.tr.Stats()
-		sum.Ops += s.Ops
-		sum.Failures += s.Failures
-		sum.Retries += s.Retries
-		sum.Timeouts += s.Timeouts
-		sum.Corruptions += s.Corruptions
-		sum.BreakerTrips += s.BreakerTrips
-		sum.GaveUp += s.GaveUp
-		sum.QueuedWritebacks += s.QueuedWritebacks
-		sum.DrainedWritebacks += s.DrainedWritebacks
-		sum.DroppedWritebacks += s.DroppedWritebacks
-		sum.DegradedReads += s.DegradedReads
-		sum.DegradedTime += s.DegradedTime
-		sum.BackoffTime += s.BackoffTime
+		sum.Add(n.tr.Stats())
 	}
 	return sum
 }
@@ -539,6 +569,15 @@ func (p *Pool) BytesMoved() int64 {
 	var sum int64
 	for _, n := range p.nodes {
 		sum += n.tr.BytesMoved()
+	}
+	return sum
+}
+
+// Messages implements transport.Link: total transfers across every link.
+func (p *Pool) Messages() int64 {
+	var sum int64
+	for _, n := range p.nodes {
+		sum += n.tr.Messages()
 	}
 	return sum
 }

@@ -27,6 +27,11 @@ type ObjectPlan struct {
 	// LineElems is elements per cache line: prefetches and eviction
 	// hints fire once per line boundary, not per element.
 	LineElems int64
+	// BatchLines vectorizes the prefetch stream: each doorbell fetches
+	// this many future lines in one batched chain, and the guard fires
+	// once per BatchLines line boundaries instead of per line (§4.5 data
+	// access batching). 0 or 1 keeps the per-line prefetch.
+	BatchLines int64
 	// Native converts this object's loop accesses to native loads —
 	// legal when the planner proved prefetch-covered residency and no
 	// conflicting accesses (§4.4).
@@ -266,15 +271,36 @@ func (g *gen) instrumentLoop(l *ir.Loop) {
 	if len(seqPF) >= 2 && g.plan.BatchFusedPrefetch && sameLineElems(seqPF) {
 		d := seqPF[0].plan.PrefetchDistance
 		le := seqPF[0].plan.LineElems
-		entries := make([]ir.PrefetchRef, len(seqPF))
-		for i, a := range seqPF {
-			entries[i] = ir.PrefetchRef{Obj: a.obj, Index: ir.Add(iv(), ir.C(d)), Field: a.field}
+		b := batchDepth(seqPF)
+		// One doorbell covers b future lines of every fused object: the
+		// entry list is the cross product (object × line offset), and the
+		// guard widens to fire once per b line boundaries.
+		var entries []ir.PrefetchRef
+		for k := int64(0); k < b; k++ {
+			for _, a := range seqPF {
+				entries = append(entries, ir.PrefetchRef{Obj: a.obj, Index: ir.Add(iv(), ir.C(d+k*le)), Field: a.field})
+			}
 		}
-		pre = append(pre, guarded(iv, d, le, &ir.BatchPrefetch{Entries: entries}))
+		if p := priming(iv, l.Start, d, le, b, seqPF); p != nil {
+			pre = append(pre, p)
+		}
+		pre = append(pre, guarded(iv, d, b*le, &ir.BatchPrefetch{Entries: entries}))
 	} else {
 		for _, a := range seqPF {
-			pf := &ir.Prefetch{Obj: a.obj, Index: ir.Add(iv(), ir.C(a.plan.PrefetchDistance)), Field: a.field}
-			pre = append(pre, guarded(iv, a.plan.PrefetchDistance, a.plan.LineElems, pf))
+			d, le := a.plan.PrefetchDistance, a.plan.LineElems
+			if b := a.plan.BatchLines; b >= 2 && le >= 1 {
+				entries := make([]ir.PrefetchRef, b)
+				for k := int64(0); k < b; k++ {
+					entries[k] = ir.PrefetchRef{Obj: a.obj, Index: ir.Add(iv(), ir.C(d+k*le)), Field: a.field}
+				}
+				if p := priming(iv, l.Start, d, le, b, []*loopAccess{a}); p != nil {
+					pre = append(pre, p)
+				}
+				pre = append(pre, guarded(iv, d, b*le, &ir.BatchPrefetch{Entries: entries}))
+				continue
+			}
+			pf := &ir.Prefetch{Obj: a.obj, Index: ir.Add(iv(), ir.C(d)), Field: a.field}
+			pre = append(pre, guarded(iv, d, le, pf))
 		}
 	}
 
@@ -331,8 +357,43 @@ func guarded(iv func() ir.Expr, d, lineElems int64, op ir.Stmt) ir.Stmt {
 	}
 }
 
+// priming builds the first-iteration doorbell of a batched prefetch stream.
+// The steady-state guard first fires at the smallest iv with
+// (iv+d) % (b*le) == 0 and covers indices from iv+d on, so every line in
+// [Start, firstFire+d) — at most d/le + b lines — would demand-miss during
+// warmup. One vectored gather on the first iteration fills that gap;
+// entries past the object end or already resident are skipped at runtime.
+func priming(iv func() ir.Expr, start ir.Expr, d, le, b int64, as []*loopAccess) ir.Stmt {
+	if b < 2 || le < 1 {
+		return nil
+	}
+	lines := d/le + b
+	var entries []ir.PrefetchRef
+	for k := int64(0); k < lines; k++ {
+		for _, a := range as {
+			entries = append(entries, ir.PrefetchRef{Obj: a.obj, Index: ir.Add(iv(), ir.C(k*le)), Field: a.field})
+		}
+	}
+	return &ir.If{
+		Cond: ir.Eq(iv(), ir.CloneExpr(start)),
+		Then: []ir.Stmt{&ir.BatchPrefetch{Entries: entries}},
+	}
+}
+
 func isSeqLike(p analysis.Pattern) bool {
 	return p == analysis.PatternSequential || p == analysis.PatternStrided
+}
+
+// batchDepth picks the doorbell depth for a fused prefetch group: the widest
+// requested BatchLines, floored at 1 (per-line).
+func batchDepth(as []*loopAccess) int64 {
+	b := int64(1)
+	for _, a := range as {
+		if a.plan.BatchLines > b {
+			b = a.plan.BatchLines
+		}
+	}
+	return b
 }
 
 func sameLineElems(as []*loopAccess) bool {

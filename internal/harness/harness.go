@@ -15,6 +15,7 @@ import (
 	"mira/internal/exec"
 	"mira/internal/farmem"
 	"mira/internal/faults"
+	"mira/internal/ir"
 	"mira/internal/netmodel"
 	"mira/internal/planner"
 	"mira/internal/rt"
@@ -79,6 +80,24 @@ type Options struct {
 	// cluster.DefaultStripeBytes). Tests use small stripes so test-sized
 	// heaps actually spread across nodes.
 	StripeBytes uint64
+	// NoBatching disables the vectored-I/O data path end to end: Mira's
+	// doorbell-batched prefetch and async write-back pipeline, and Leap's
+	// batched prefetch gather — the PR 2 data path, kept for A/B
+	// benchmarking.
+	NoBatching bool
+	// WritebackQueueLines overrides the runtime's async write-back queue
+	// bound (0 = default, negative = disabled). NoBatching forces it off
+	// unless set explicitly.
+	WritebackQueueLines int
+}
+
+// wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
+// data path, which had no queue.
+func (o Options) wbqLines() int {
+	if o.NoBatching && o.WritebackQueueLines == 0 {
+		return -1
+	}
+	return o.WritebackQueueLines
 }
 
 func (o Options) faultsEnabled() bool { return o.Faults != nil && o.Faults.Enabled() }
@@ -136,6 +155,12 @@ type Result struct {
 	// Cluster carries the per-node counters when the run used a cluster
 	// (nil otherwise), ordered by node ID.
 	Cluster []cluster.NodeStats
+	// Messages counts link-level transfers for the timed run (summed
+	// across node links in cluster mode) — the metric vectored I/O
+	// collapses.
+	Messages int64
+	// BytesMoved counts the bytes that crossed the interconnect.
+	BytesMoved int64
 }
 
 func (o Options) withDefaults() Options {
@@ -165,9 +190,12 @@ func Run(sys System, w workload.Workload, opts Options) (Result, error) {
 	}
 }
 
-// runRT executes w over an already-bound rt runtime and verifies.
-func runRT(sys System, w workload.Workload, r *rt.Runtime, opts Options) (Result, error) {
-	ex, err := exec.New(w.Program(), r, exec.Options{Params: w.Params()})
+// runRT executes prog over an already-bound rt runtime and verifies. For
+// Mira this must be the planner's transformed program — running the
+// workload's original would silently drop the compiled-in prefetch and
+// eviction instrumentation.
+func runRT(sys System, w workload.Workload, prog *ir.Program, r *rt.Runtime, opts Options) (Result, error) {
+	ex, err := exec.New(prog, r, exec.Options{Params: w.Params()})
 	if err != nil {
 		return Result{}, err
 	}
@@ -182,10 +210,12 @@ func runRT(sys System, w workload.Workload, r *rt.Runtime, opts Options) (Result
 		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
 	}
 	return Result{
-		System:  sys,
-		Time:    clk.Now().Sub(0),
-		Net:     r.NetStats(),
-		Cluster: r.ClusterStats(),
+		System:     sys,
+		Time:       clk.Now().Sub(0),
+		Net:        r.NetStats(),
+		Cluster:    r.ClusterStats(),
+		Messages:   r.Link().Messages(),
+		BytesMoved: r.Link().BytesMoved(),
 	}, nil
 }
 
@@ -228,7 +258,7 @@ func runNative(w workload.Workload, opts Options) (Result, error) {
 	if err := w.Init(r); err != nil {
 		return Result{}, err
 	}
-	return runRT(Native, w, r, opts)
+	return runRT(Native, w, prog, r, opts)
 }
 
 // runMira plans (or, for MiraSwap, stops at iteration 0) and reports the
@@ -244,6 +274,13 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 	}
 	if sys == MiraSwap {
 		popts.DisableSeparation = true
+	}
+	popts.WritebackQueueLines = opts.wbqLines()
+	if opts.NoBatching {
+		if popts.Techniques == (planner.TechniqueMask{}) {
+			popts.Techniques = planner.DefaultTechniques()
+		}
+		popts.Techniques.NoBatching = true
 	}
 	if co := opts.clusterOpts(false); co != nil {
 		popts.Cluster = co
@@ -274,7 +311,7 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 		if err := w.Init(r); err != nil {
 			return Result{}, err
 		}
-		rres, err := runRT(sys, w, r, opts)
+		rres, err := runRT(sys, w, res.Program, r, opts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -303,6 +340,7 @@ func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, err
 		lopts := leap.Options{
 			LocalBudget: opts.Budget, Net: opts.Net, NodeCfg: opts.NodeCfg,
 			Faults: opts.Faults, Resilience: opts.Resilience,
+			NoBatching: opts.NoBatching,
 		}
 		if co := opts.clusterOpts(true); co != nil {
 			lopts.Cluster, lopts.Faults = co, nil
@@ -312,7 +350,7 @@ func runSwapBaseline(sys System, w workload.Workload, opts Options) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	return runRT(sys, w, r, opts)
+	return runRT(sys, w, w.Program(), r, opts)
 }
 
 func runAIFM(w workload.Workload, opts Options) (Result, error) {

@@ -147,6 +147,39 @@ func (c Config) BatchedCost(pieces []int) sim.Duration {
 		sim.Duration(float64(total)*c.RemoteCopyPerByte)
 }
 
+// VectoredOneSidedCost returns the latency of a doorbell-batched chain of
+// one-sided work requests covering the given piece sizes. The sender posts
+// one WR per MaxMessageBytes chunk of each piece and rings the doorbell
+// once, so the chain pays the posting overhead once (plus a per-WR SGE
+// cost) and — unlike issuing the pieces as separate requests — the WRs
+// pipeline through the NIC: one round trip covers the whole chain, and the
+// pieces then stream back-to-back on the wire. No remote CPU is involved
+// (the far node's NIC serves each WR directly), which is what makes this
+// the cheapest way to move N cache lines and the mechanism behind the
+// runtime's batched prefetch and vectored write-back (§4.5).
+func (c Config) VectoredOneSidedCost(pieces []int) sim.Duration {
+	if len(pieces) == 0 {
+		return 0
+	}
+	total, wrs := 0, 0
+	for _, p := range pieces {
+		total += p
+		wrs += c.chunks(p)
+	}
+	return c.OneSidedRTT + c.wireTime(total) +
+		c.PerMessageOverhead + c.PerSGEOverhead*sim.Duration(wrs)
+}
+
+// VectoredPostCost is the sender-side CPU cost of posting a doorbell-batched
+// chain of n pieces without waiting for it: the cost an asynchronous batched
+// prefetch charges to the issuing thread.
+func (c Config) VectoredPostCost(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return c.PerMessageOverhead + c.PerSGEOverhead*sim.Duration(n)
+}
+
 // RTTEstimate returns the latency a compiler should assume when computing
 // prefetch distances (§4.5): the one-sided RTT plus wire time for a typical
 // line of n bytes.
@@ -156,8 +189,12 @@ func (c Config) RTTEstimate(n int) sim.Duration {
 
 // Bandwidth serializes transfers from all simulated threads onto the shared
 // link, modelling contention: a transfer issued at time t begins when the
-// link frees up and occupies it for the transfer's wire time. It is safe for
-// concurrent use (simulated threads may run on real goroutines in tests).
+// link frees up and occupies it for the transfer's wire time plus one
+// PerMessageOverhead — the NIC's per-doorbell processing. That per-transfer
+// term is what doorbell coalescing attacks: a vectored chain crosses the
+// link as one transfer, so N lines pay the overhead once instead of N times.
+// It is safe for concurrent use (simulated threads may run on real
+// goroutines in tests).
 type Bandwidth struct {
 	mu       sync.Mutex
 	cfg      Config
@@ -175,6 +212,10 @@ func NewBandwidth(cfg Config) *Bandwidth {
 // Acquire reserves the link for n bytes starting no earlier than now and
 // returns the instant the transfer completes on the wire. Latency (RTT) is
 // not included here — callers add it — only serialization and queueing.
+// Every non-empty transfer also holds the link for one PerMessageOverhead:
+// the NIC processes one doorbell per message, so two messages occupy it
+// strictly longer than one message carrying the same bytes. Zero-byte
+// acquires ring no doorbell and are free.
 func (b *Bandwidth) Acquire(now sim.Time, n int) sim.Time {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -182,7 +223,11 @@ func (b *Bandwidth) Acquire(now sim.Time, n int) sim.Time {
 	if b.nextFree > start {
 		start = b.nextFree
 	}
-	end := start.Add(b.cfg.wireTime(n))
+	busy := b.cfg.wireTime(n)
+	if n > 0 {
+		busy += b.cfg.PerMessageOverhead
+	}
+	end := start.Add(busy)
 	b.nextFree = end
 	b.bytesMoved += int64(n)
 	b.transfers++

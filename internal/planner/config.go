@@ -186,6 +186,12 @@ func buildConfig(w Workload, prog *ir.Program, report *analysis.Report, objs []s
 			le = int64(d.lineBytes / elemBytesOf(prog, d.members[0]))
 		}
 		window := dElems/le + 4
+		if !tech.NoBatching {
+			// Doorbell-batched prefetch lands a whole batch of future
+			// lines at once; the section must hold it alongside the
+			// regular window.
+			window += analysis.DoorbellBatchLines(opts.Net, d.lineBytes, maxBatchLines)
+		}
 		d.sizeBytes = 2 * window * int64(d.lineBytes) * int64(len(d.members))
 		var coRes int64
 		for _, m := range d.members {
@@ -243,7 +249,7 @@ func buildConfig(w Workload, prog *ir.Program, report *analysis.Report, objs []s
 
 	// Build the codegen plan now — sizing samples run the compiled
 	// program.
-	plan := buildPlan(prog, merged, drafts, dElems, tech)
+	plan := buildPlan(prog, merged, drafts, dElems, tech, opts.Net)
 	// Lifetime-bounded sections: release each object where its global
 	// lifetime ends (§4.1), unless eviction hints are masked (the
 	// Fig. 21 breakdown treats releases as part of the hint technique).
@@ -485,8 +491,13 @@ func elemBytesOf(prog *ir.Program, name string) int {
 	return o.ElemBytes
 }
 
+// maxBatchLines caps the doorbell-batch depth: past this the wire time of
+// the extra lines dwarfs the amortized overheads and the warm-up cost of the
+// deeper window stops paying for itself.
+const maxBatchLines = 16
+
 // buildPlan assembles the codegen plan from the drafts.
-func buildPlan(prog *ir.Program, merged map[string]*analysis.ObjectAccess, drafts []*sectionDraft, dElems int64, tech TechniqueMask) *codegen.Plan {
+func buildPlan(prog *ir.Program, merged map[string]*analysis.ObjectAccess, drafts []*sectionDraft, dElems int64, tech TechniqueMask, net netmodel.Config) *codegen.Plan {
 	plan := &codegen.Plan{
 		Objects:            map[string]*codegen.ObjectPlan{},
 		FuseLoops:          !tech.NoBatching,
@@ -509,6 +520,20 @@ func buildPlan(prog *ir.Program, merged map[string]*analysis.ObjectAccess, draft
 				switch m.Pattern {
 				case analysis.PatternSequential, analysis.PatternStrided:
 					op.PrefetchDistance = maxI64(2*dElems, le)
+					if !tech.NoBatching {
+						// A batch may occupy at most a quarter of the
+						// section, or landing it would evict the live
+						// window and thrash. Sections still unsized here
+						// (reused ones, sized later by sampling) get no
+						// batching rather than a guess.
+						capLines := int64(0)
+						if d.lineBytes > 0 {
+							capLines = d.sizeBytes / int64(d.lineBytes)
+						}
+						if b := analysis.DoorbellBatchLines(net, d.lineBytes, minI64(maxBatchLines, capLines/4)); b >= 2 {
+							op.BatchLines = b
+						}
+					}
 				case analysis.PatternIndirect:
 					if via := m.IndirectVia; via != "" {
 						if _, ok := merged[via]; ok {
@@ -540,6 +565,13 @@ func buildPlan(prog *ir.Program, merged map[string]*analysis.ObjectAccess, draft
 
 func maxI64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b
@@ -726,12 +758,13 @@ func assembleConfig(prog *ir.Program, drafts []*sectionDraft, merged map[string]
 		}
 	}
 	cfg := rt.Config{
-		LocalBudget: opts.LocalBudget,
-		SwapPool:    pool,
-		Placements:  map[string]rt.Placement{},
-		Cost:        opts.Cost,
-		Net:         opts.Net,
-		Cluster:     opts.Cluster,
+		LocalBudget:         opts.LocalBudget,
+		SwapPool:            pool,
+		Placements:          map[string]rt.Placement{},
+		Cost:                opts.Cost,
+		Net:                 opts.Net,
+		Cluster:             opts.Cluster,
+		WritebackQueueLines: opts.WritebackQueueLines,
 	}
 	for i, d := range drafts {
 		size := d.sizeBytes

@@ -54,6 +54,11 @@ type Options struct {
 	// Techniques masks individual optimizations for the Fig. 21-style
 	// breakdowns; zero value enables everything.
 	Techniques TechniqueMask
+	// WritebackQueueLines is copied into every emitted rt.Config: it
+	// bounds the runtime's asynchronous write-back queues (0 = default,
+	// negative = disabled). The planner's own timing iterations run with
+	// the same setting so accepted plans reflect it.
+	WritebackQueueLines int
 	// Cluster, when non-nil, plans against a sharded far-node pool instead
 	// of a single node. Planning itself is offline and fault-free: any
 	// per-node fault schedules belong to the final run, not here.
@@ -267,12 +272,13 @@ func swapOnlyConfig(prog *ir.Program, opts Options) (rt.Config, error) {
 		return rt.Config{}, fmt.Errorf("planner: local objects (%d bytes) exceed budget %d", local, opts.LocalBudget)
 	}
 	return rt.Config{
-		LocalBudget: opts.LocalBudget,
-		SwapPool:    pool,
-		Placements:  map[string]rt.Placement{},
-		Cost:        opts.Cost,
-		Net:         opts.Net,
-		Cluster:     opts.Cluster,
+		LocalBudget:         opts.LocalBudget,
+		SwapPool:            pool,
+		Placements:          map[string]rt.Placement{},
+		Cost:                opts.Cost,
+		Net:                 opts.Net,
+		Cluster:             opts.Cluster,
+		WritebackQueueLines: opts.WritebackQueueLines,
 	}, nil
 }
 

@@ -44,6 +44,9 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 	if _, inflight := s.inflight[tag]; inflight {
 		return nil
 	}
+	if r.recoverFromWbq(clk, s, o, addr, tag) {
+		return nil
+	}
 	clk.Advance(r.cfg.Net.PerMessageOverhead)
 	l, victim := s.sec.Reserve(addr)
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
@@ -53,12 +56,38 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 	if err != nil {
 		if prefetchFailed(err) {
 			s.sec.Drop(tag)
+			delete(s.inflight, tag)
 			return nil
 		}
 		return err
 	}
 	s.inflight[tag] = done
 	return nil
+}
+
+// recoverFromWbq serves a prefetch target from the section's write-back
+// queue — the line was evicted but its write-back has not drained, so the
+// queued copy is the newest data and no network is needed. Reports whether
+// the line was recovered.
+func (r *Runtime) recoverFromWbq(clk *sim.Clock, s *sectionRT, o *objectRT, addr, tag uint64) bool {
+	if s.wbq == nil {
+		return false
+	}
+	data, _, ok := s.wbq.take(tag)
+	if !ok {
+		return false
+	}
+	r.wbqStats.Hits++
+	l, victim := s.sec.Reserve(addr)
+	if err := r.retireVictim(clk, s, o, victim); err != nil {
+		// Re-park the recovered line; the caller's prefetch is advisory.
+		s.sec.Drop(tag)
+		s.wbq.add(tag, data, o)
+		return true
+	}
+	copy(l.Data, data)
+	l.Dirty = true // newest copy still lives only locally
+	return true
 }
 
 // BatchEntry names one piece of a batched prefetch.
@@ -69,12 +98,16 @@ type BatchEntry struct {
 }
 
 // PrefetchBatch fetches several lines — possibly of different objects and
-// sections — in a single two-sided scatter-gather message (§4.5 data access
-// batching). The issuing thread pays one posting cost.
+// sections — in a single doorbell-batched chain of one-sided reads (§4.5
+// data access batching). The issuing thread pays one posting cost for the
+// whole chain; each line is tagged in-flight with its own arrival instant
+// (the reply streams pieces in request order), so a later access waits only
+// for its own line, not for the chain's tail.
 func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 	type piece struct {
-		s *sectionRT
-		l *cache.Line
+		s   *sectionRT
+		l   *cache.Line
+		tag uint64
 	}
 	var addrs []uint64
 	var sizes []int
@@ -99,33 +132,54 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 		if _, inflight := s.inflight[tag]; inflight {
 			continue
 		}
+		if r.recoverFromWbq(clk, s, o, addr, tag) {
+			continue
+		}
 		l, victim := s.sec.Reserve(addr)
 		if err := r.retireVictim(clk, s, o, victim); err != nil {
 			return err
 		}
 		addrs = append(addrs, tag)
 		sizes = append(sizes, len(l.Data))
-		pieces = append(pieces, piece{s: s, l: l})
+		pieces = append(pieces, piece{s: s, l: l, tag: tag})
 	}
 	if len(addrs) == 0 {
 		return nil
 	}
-	clk.Advance(r.cfg.Net.PerMessageOverhead)
-	data, done, err := r.tr.GatherTwoSided(clk.Now(), addrs, sizes)
+	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
+	data, done, err := r.tr.GatherOneSided(clk.Now(), addrs, sizes)
 	if err != nil {
 		if prefetchFailed(err) {
 			for _, p := range pieces {
-				p.s.sec.Drop(p.l.Tag)
+				if cur, ok := p.s.sec.Peek(p.tag); ok && cur == p.l {
+					p.s.sec.Drop(p.tag)
+				}
 			}
 			return nil
 		}
 		return err
 	}
+	// Per-line arrival: piece i is ready as soon as its own bytes are off
+	// the wire — the chain's completion minus the trailing pieces' wire
+	// time.
+	readies := make([]sim.Time, len(pieces))
+	suffix := 0
+	for i := len(pieces) - 1; i >= 0; i-- {
+		readies[i] = done.Add(-r.cfg.Net.WireTime(suffix))
+		suffix += sizes[i]
+	}
 	pos := 0
 	for i, p := range pieces {
-		copy(p.l.Data, data[pos:pos+sizes[i]])
+		// A line evicted by a later Reserve in this same batch (set
+		// conflict or capacity pressure) has a new tenant: copying into it
+		// would corrupt that tenant, and tagging it in-flight would leave a
+		// stale entry suppressing every future prefetch of the line. Skip
+		// pieces whose reserved line is no longer theirs.
+		if cur, ok := p.s.sec.Peek(p.tag); ok && cur == p.l && p.l.Tag == p.tag {
+			copy(p.l.Data, data[pos:pos+sizes[i]])
+			p.s.inflight[p.tag] = readies[i]
+		}
 		pos += sizes[i]
-		p.s.inflight[p.l.Tag] = done
 	}
 	return nil
 }
@@ -148,15 +202,13 @@ func (r *Runtime) EvictHint(clk *sim.Clock, name string, elem int64) error {
 	}
 	s.sec.MarkEvictable(addr)
 	if l.Dirty {
-		clk.Advance(r.cfg.Net.PerMessageOverhead)
-		done, err := r.writebackLine(clk.Now(), o, l.Tag, l.Data)
-		if err != nil {
+		if s.wbq == nil {
+			clk.Advance(r.cfg.Net.PerMessageOverhead)
+		}
+		if err := r.wbqEnqueue(clk, s, o, l.Tag, l.Data); err != nil {
 			return err
 		}
 		l.Dirty = false
-		if done > r.lastFlush {
-			r.lastFlush = done
-		}
 	}
 	return nil
 }
@@ -193,8 +245,13 @@ func (r *Runtime) SettleAsync() {
 }
 
 // Fence blocks until every in-flight prefetch and asynchronous write-back
-// has completed.
+// has completed — including lines still parked in the write-back queues,
+// which are drained here (a drain failure re-parks them and is surfaced by
+// the next flush, so Fence itself stays infallible).
 func (r *Runtime) Fence(clk *sim.Clock) {
+	for _, s := range r.secs {
+		_, _ = r.drainWbq(clk, s)
+	}
 	latest := r.lastFlush
 	for _, s := range r.secs {
 		for _, t := range s.inflight {
@@ -237,15 +294,34 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 			continue
 		}
 		delete(s.inflight, tag)
-		if v.Dirty {
-			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
-			if err != nil {
+		if !v.Dirty {
+			continue
+		}
+		if s.wbq != nil {
+			// Park the line so the drain below pushes the whole flush as
+			// one coalesced vectored write.
+			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
 				return err
 			}
-			if done > last {
-				last = done
-			}
+			continue
 		}
+		done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+		if err != nil {
+			return err
+		}
+		if done > last {
+			last = done
+		}
+	}
+	// A flush is a synchronization point: everything parked in the
+	// section's queue — this object's lines and earlier evictions — must
+	// reach far memory before the flush returns.
+	done, err := r.drainWbq(clk, s)
+	if err != nil {
+		return err
+	}
+	if done > last {
+		last = done
 	}
 	clk.AdvanceTo(last)
 	return nil
@@ -280,13 +356,11 @@ func (r *Runtime) Release(clk *sim.Clock, name string) error {
 		}
 		delete(s.inflight, tag)
 		if v.Dirty {
-			clk.Advance(r.cfg.Net.PerMessageOverhead)
-			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
-			if err != nil {
-				return err
+			if s.wbq == nil {
+				clk.Advance(r.cfg.Net.PerMessageOverhead)
 			}
-			if done > r.lastFlush {
-				r.lastFlush = done
+			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
+				return err
 			}
 		}
 	}
@@ -316,8 +390,13 @@ func (r *Runtime) FlushAll(clk *sim.Clock) error {
 			return err
 		}
 	}
-	// Degraded-mode write-backs queued in the transport must reach far
-	// memory before DumpObject bypasses the cache to read it.
+	// Ordering under faults: the per-section write-back queues drain first
+	// (their lines may land in the transport's degraded-mode overlay), and
+	// only then is the overlay flushed — so everything reaches far memory
+	// before DumpObject bypasses the cache to read it.
+	if _, err := r.drainAllWbq(clk); err != nil {
+		return err
+	}
 	done, err := r.tr.Flush(clk.Now())
 	if err != nil {
 		return err
@@ -352,12 +431,8 @@ func (r *Runtime) ReleaseSection(clk *sim.Clock, idx int) error {
 			if o == nil {
 				return fmt.Errorf("rt: dirty line %#x has no owning object", tag)
 			}
-			done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
-			if err != nil {
+			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
 				return err
-			}
-			if done > r.lastFlush {
-				r.lastFlush = done
 			}
 		}
 	}

@@ -85,6 +85,13 @@ type Config struct {
 	SwapCfg swap.Config
 	// Profiling enables the compiler-inserted probes' cost accounting.
 	Profiling bool
+	// WritebackQueueLines bounds each section's asynchronous write-back
+	// queue: dirty victims park there and drain in background simulated
+	// time as coalesced vectored writes, so a miss stops paying the
+	// victim's write latency unless the queue is full. Zero means
+	// DefaultWritebackQueueLines; negative disables the pipeline (dirty
+	// victims write back immediately on the miss path).
+	WritebackQueueLines int
 	// Faults, when non-nil and enabled, interposes the deterministic
 	// fault injector between the transport and the far node. Single-node
 	// only: a cluster carries per-node fault domains in Cluster.Faults.
@@ -134,6 +141,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// writebackQueueLimit resolves the WritebackQueueLines knob: zero defaults,
+// negative disables.
+func (c Config) writebackQueueLimit() int {
+	switch {
+	case c.WritebackQueueLines < 0:
+		return 0
+	case c.WritebackQueueLines == 0:
+		return DefaultWritebackQueueLines
+	default:
+		return c.WritebackQueueLines
+	}
+}
+
 // DefaultSwapConfig fills in fault-path costs if the caller left them zero.
 func (c Config) effectiveSwapCfg(pool int64) swap.Config {
 	sc := c.SwapCfg
@@ -142,6 +162,9 @@ func (c Config) effectiveSwapCfg(pool int64) swap.Config {
 		d := swap.DefaultConfig(pool)
 		sc.MajorFaultOverhead = d.MajorFaultOverhead
 		sc.MinorFaultOverhead = d.MinorFaultOverhead
+	}
+	if sc.Net.BytesPerSecond == 0 {
+		sc.Net = c.Net // batched-prefetch readiness staggering
 	}
 	return sc
 }

@@ -63,6 +63,7 @@ type Runtime struct {
 
 	localBytes int64 // local-placed object bytes (count against budget)
 	lastFlush  sim.Time
+	wbqStats   WbqStats
 }
 
 type sectionRT struct {
@@ -70,6 +71,7 @@ type sectionRT struct {
 	spec     SectionSpec
 	sec      cache.Section
 	inflight map[uint64]sim.Time // line tag -> fetch completion
+	wbq      *writebackQueue     // async eviction pipeline (nil when disabled)
 }
 
 type objectRT struct {
@@ -142,6 +144,7 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 			spec:     spec,
 			sec:      sec,
 			inflight: make(map[uint64]sim.Time),
+			wbq:      newWritebackQueue(cfg.writebackQueueLimit()),
 		})
 	}
 	return r, nil
@@ -440,9 +443,25 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	if r.cfg.Profiling {
 		clk.Advance(r.cfg.Cost.ProfileEvent)
 	}
+	// A miss on an in-flight tag means the prefetched line was dropped
+	// before this access arrived; clear the stale tag so it cannot
+	// suppress future prefetches of the line.
+	delete(s.inflight, tag)
 	l, victim := s.sec.Reserve(addr)
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
 		return nil, err
+	}
+	// Read-your-writes over the async eviction pipeline: a line parked in
+	// the write-back queue is the newest copy — recover it locally. Taken
+	// even for full-line stores (the queued entry must die either way, or
+	// a later drain would clobber the new store).
+	if s.wbq != nil {
+		if data, _, ok := s.wbq.take(tag); ok {
+			r.wbqStats.Hits++
+			copy(l.Data, data)
+			l.Dirty = true
+			return l, nil
+		}
 	}
 	if write && (opts.NoFetch || (fullLine && r.tr.BreakerOpen(clk.Now()))) {
 		// Write-only full-line store: allocate without fetching. The
@@ -467,7 +486,8 @@ func (r *Runtime) waitReady(clk *sim.Clock, s *sectionRT, tag uint64) {
 	}
 }
 
-// retireVictim writes back a dirty victim asynchronously and clears its
+// retireVictim parks a dirty victim in the section's write-back queue (or
+// writes it back immediately when the queue is disabled) and clears its
 // in-flight state.
 func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cache.Victim) error {
 	if v.Data == nil {
@@ -477,14 +497,7 @@ func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cach
 	if !v.Dirty {
 		return nil
 	}
-	done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
-	if err != nil {
-		return err
-	}
-	if done > r.lastFlush {
-		r.lastFlush = done
-	}
-	return nil
+	return r.wbqEnqueue(clk, s, o, v.Tag, v.Data)
 }
 
 // fetchLine pulls the line's bytes from far memory — whole line one-sided,

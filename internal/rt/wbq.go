@@ -1,0 +1,184 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/sim"
+)
+
+// DefaultWritebackQueueLines is the per-section write-back queue bound used
+// when Config.WritebackQueueLines is zero.
+const DefaultWritebackQueueLines = 16
+
+// writebackQueue is the per-section asynchronous eviction pipeline: dirty
+// victims park here instead of paying their write latency on the miss path,
+// and the queue drains in background simulated time as coalesced vectored
+// writes (adjacent lines merge into one contiguous piece, pieces share one
+// doorbell-batched message). The queue is a read-your-writes overlay over
+// far memory — the miss path consults it before fetching, so a line evicted
+// and re-touched before its write-back drained is recovered locally.
+type writebackQueue struct {
+	limit   int
+	entries map[uint64]wbqEntry
+	tags    []uint64 // sorted mirror of entries' keys
+}
+
+type wbqEntry struct {
+	data []byte
+	o    *objectRT // owning object (selective write-back resolution)
+}
+
+func newWritebackQueue(limit int) *writebackQueue {
+	if limit <= 0 {
+		return nil
+	}
+	return &writebackQueue{limit: limit, entries: make(map[uint64]wbqEntry)}
+}
+
+// add parks one dirty line, latest write wins. Reports whether the queue is
+// now over its bound and must drain.
+func (q *writebackQueue) add(tag uint64, data []byte, o *objectRT) (mustDrain bool) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if _, exists := q.entries[tag]; !exists {
+		i := sort.Search(len(q.tags), func(i int) bool { return q.tags[i] >= tag })
+		q.tags = append(q.tags, 0)
+		copy(q.tags[i+1:], q.tags[i:])
+		q.tags[i] = tag
+	}
+	q.entries[tag] = wbqEntry{data: cp, o: o}
+	return len(q.tags) >= q.limit
+}
+
+// take removes and returns the queued line for tag — the read-your-writes
+// path. The caller owns the returned buffer.
+func (q *writebackQueue) take(tag uint64) ([]byte, *objectRT, bool) {
+	e, ok := q.entries[tag]
+	if !ok {
+		return nil, nil, false
+	}
+	delete(q.entries, tag)
+	i := sort.Search(len(q.tags), func(i int) bool { return q.tags[i] >= tag })
+	if i < len(q.tags) && q.tags[i] == tag {
+		q.tags = append(q.tags[:i], q.tags[i+1:]...)
+	}
+	return e.data, e.o, true
+}
+
+func (q *writebackQueue) len() int { return len(q.tags) }
+
+// WbqStats counts the write-back pipeline's activity.
+type WbqStats struct {
+	Enqueued int64 // dirty victims parked in a queue
+	Hits     int64 // misses served from a queue (read-your-writes)
+	Drains   int64 // vectored drain messages issued
+	Lines    int64 // lines drained
+	Pieces   int64 // coalesced pieces those lines collapsed into
+}
+
+// WritebackQueueStats reports the runtime-wide write-back queue counters.
+func (r *Runtime) WritebackQueueStats() WbqStats { return r.wbqStats }
+
+// wbqEnqueue parks a dirty victim in the section's queue, draining it when
+// the bound is hit — the only time an evicting access pays write-back
+// latency. With the queue disabled it falls back to issuing the write
+// immediately (the pre-pipeline behavior).
+func (r *Runtime) wbqEnqueue(clk *sim.Clock, s *sectionRT, o *objectRT, tag uint64, data []byte) error {
+	if s.wbq == nil {
+		done, err := r.writebackLine(clk.Now(), o, tag, data)
+		if err != nil {
+			return err
+		}
+		if done > r.lastFlush {
+			r.lastFlush = done
+		}
+		return nil
+	}
+	if owner := r.ownerOf(tag); owner != nil {
+		o = owner
+	}
+	r.wbqStats.Enqueued++
+	if s.wbq.add(tag, data, o) {
+		_, err := r.drainWbq(clk, s)
+		return err
+	}
+	return nil
+}
+
+// drainWbq flushes the section's write-back queue as one doorbell-batched
+// vectored write, coalescing adjacent lines into contiguous pieces. The
+// issuing thread pays the posting cost; completion lands in lastFlush (the
+// Fence horizon) and is returned so flush paths can block on it.
+func (r *Runtime) drainWbq(clk *sim.Clock, s *sectionRT) (sim.Time, error) {
+	if s.wbq == nil || s.wbq.len() == 0 {
+		return clk.Now(), nil
+	}
+	tags := append([]uint64(nil), s.wbq.tags...)
+	var addrs []uint64
+	var pieces [][]byte
+	type taken struct {
+		tag  uint64
+		data []byte
+		o    *objectRT
+	}
+	var drained []taken
+	for _, tag := range tags {
+		data, o, ok := s.wbq.take(tag)
+		if !ok {
+			continue
+		}
+		drained = append(drained, taken{tag, data, o})
+		if o != nil && len(o.selFields) > 0 {
+			sa, sz, offs := r.selectivePieces(o, tag, len(data))
+			for i := range sa {
+				addrs = append(addrs, sa[i])
+				pieces = append(pieces, data[offs[i]:offs[i]+sz[i]])
+			}
+			continue
+		}
+		// Adjacent whole lines merge into one contiguous piece (one WR).
+		if n := len(addrs); n > 0 && addrs[n-1]+uint64(len(pieces[n-1])) == tag {
+			pieces[n-1] = append(pieces[n-1], data...)
+			continue
+		}
+		addrs = append(addrs, tag)
+		pieces = append(pieces, data)
+	}
+	if len(addrs) == 0 {
+		return clk.Now(), nil
+	}
+	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
+	done, err := r.tr.ScatterWrite(clk.Now(), addrs, pieces)
+	if err != nil {
+		// Re-park everything: the queued copies are the only copies.
+		for _, d := range drained {
+			s.wbq.add(d.tag, d.data, d.o)
+		}
+		return clk.Now(), fmt.Errorf("rt: write-back drain: %w", err)
+	}
+	r.wbqStats.Drains++
+	r.wbqStats.Lines += int64(len(drained))
+	r.wbqStats.Pieces += int64(len(addrs))
+	if done > r.lastFlush {
+		r.lastFlush = done
+	}
+	return done, nil
+}
+
+// drainAllWbq drains every section's queue (program-end flush ordering:
+// queued lines must reach far memory before the transport-level overlay is
+// flushed and DumpObject bypasses the cache).
+func (r *Runtime) drainAllWbq(clk *sim.Clock) (sim.Time, error) {
+	last := clk.Now()
+	for _, s := range r.secs {
+		done, err := r.drainWbq(clk, s)
+		if err != nil {
+			return last, err
+		}
+		if done > last {
+			last = done
+		}
+	}
+	return last, nil
+}

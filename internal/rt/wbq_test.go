@@ -1,0 +1,220 @@
+package rt
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/cache"
+	"mira/internal/sim"
+)
+
+// wbqRuntime builds a runtime whose items section has a small direct-mapped
+// cache (8 lines of 128 B) so evictions are easy to force, with the
+// write-back queue bounded at limit lines.
+func wbqRuntime(t *testing.T, limit int) (*Runtime, *sim.Clock) {
+	t.Helper()
+	r, clk := mkRuntime(t, func(c *Config) {
+		c.Sections[0].Cache = cache.Config{Name: "items", Structure: cache.Direct, LineBytes: 128, SizeBytes: 1 << 10}
+		c.WritebackQueueLines = limit
+	})
+	return r, clk
+}
+
+func TestWbqReadYourWrites(t *testing.T) {
+	r, clk := wbqRuntime(t, 16)
+	w := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	if err := r.Access(clk, "items", 3, fld(0, 8), w, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the (evictable) line so the only copy of the write sits in the
+	// write-back queue. items elems are 64 B, lines 128 B, 8 slots: elem 64
+	// maps over elem 3's slot... direct slot of tag: (tag/128) % 8. Elem 3 is
+	// tag 128 (slot 1); elem 16+2 = tag 1024+128 → slot 1 again.
+	if err := r.Access(clk, "items", 18, fld(0, 8), make([]byte, 8), false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WritebackQueueStats().Enqueued; got == 0 {
+		t.Fatal("dirty victim did not enter the write-back queue")
+	}
+	msgsBefore := r.Link().Messages()
+	g := make([]byte, 8)
+	if err := r.Access(clk, "items", 3, fld(0, 8), g, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatalf("read-your-writes broken: got %x want %x", g, w)
+	}
+	if got := r.WritebackQueueStats().Hits; got != 1 {
+		t.Fatalf("wbq hits = %d, want 1", got)
+	}
+	if r.Link().Messages() != msgsBefore {
+		t.Fatal("read of a queued line went to the network")
+	}
+}
+
+func TestWbqCoalescesAdjacentLinesIntoOnePiece(t *testing.T) {
+	r, clk := wbqRuntime(t, 16)
+	// Dirty four adjacent lines (elems 0,2,4,6 → tags 0,128,256,384) and
+	// park them all via eviction hints.
+	for _, e := range []int64{0, 2, 4, 6} {
+		if err := r.Access(clk, "items", e, fld(0, 8), []byte{byte(e), 1, 2, 3, 4, 5, 6, 7}, true, AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EvictHint(clk, "items", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.WritebackQueueStats().Enqueued; got != 4 {
+		t.Fatalf("enqueued = %d, want 4", got)
+	}
+	r.Fence(clk) // fence drains every queue
+	st := r.WritebackQueueStats()
+	if st.Drains != 1 || st.Lines != 4 || st.Pieces != 1 {
+		t.Fatalf("drain stats = %+v, want 1 drain, 4 lines, 1 coalesced piece", st)
+	}
+	// Far memory must now hold every line.
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []int64{0, 2, 4, 6} {
+		want := []byte{byte(e), 1, 2, 3, 4, 5, 6, 7}
+		if !bytes.Equal(dump[e*64:e*64+8], want) {
+			t.Fatalf("elem %d not drained: %x", e, dump[e*64:e*64+8])
+		}
+	}
+}
+
+func TestWbqBoundTriggersDrain(t *testing.T) {
+	r, clk := wbqRuntime(t, 2)
+	for _, e := range []int64{0, 4} { // tags 0 and 256: distinct lines
+		if err := r.Access(clk, "items", e, fld(0, 8), []byte{1}, true, AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EvictHint(clk, "items", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.WritebackQueueStats()
+	if st.Drains != 1 {
+		t.Fatalf("hitting the bound did not drain: %+v", st)
+	}
+	if st.Lines != 2 {
+		t.Fatalf("drained %d lines, want 2", st.Lines)
+	}
+}
+
+func TestWbqLatestWriteWins(t *testing.T) {
+	r, clk := wbqRuntime(t, 16)
+	if err := r.Access(clk, "items", 3, fld(0, 8), []byte{1, 1, 1, 1, 1, 1, 1, 1}, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Re-touch the queued line (recovered locally), overwrite, park again:
+	// the queue must keep only the newest copy.
+	w2 := []byte{2, 2, 2, 2, 2, 2, 2, 2}
+	if err := r.Access(clk, "items", 3, fld(0, 8), w2, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump[3*64:3*64+8], w2) {
+		t.Fatalf("far memory holds %x, want latest write %x", dump[3*64:3*64+8], w2)
+	}
+}
+
+func TestWbqFlushAllDrainsQueues(t *testing.T) {
+	r, clk := wbqRuntime(t, 16)
+	w := []byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x11, 0x22}
+	if err := r.Access(clk, "items", 5, fld(0, 8), w, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	// DumpObject bypasses the cache: FlushAll returning means the queued
+	// line already reached far memory.
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump[5*64:5*64+8], w) {
+		t.Fatal("FlushAll returned before the write-back queue drained")
+	}
+}
+
+func TestWbqDisabledWritesBackOnEviction(t *testing.T) {
+	r, clk := wbqRuntime(t, -1)
+	w := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := r.Access(clk, "items", 3, fld(0, 8), w, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 3); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence(clk)
+	if st := r.WritebackQueueStats(); st.Enqueued != 0 {
+		t.Fatalf("disabled queue still used: %+v", st)
+	}
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump[3*64:3*64+8], w) {
+		t.Fatal("immediate write-back path lost the data")
+	}
+}
+
+// TestPrefetchInflightClearedOnEviction is the regression test for the
+// stale in-flight entry: a prefetched-but-evicted line's tag must not keep
+// suppressing future prefetches of the same line.
+func TestPrefetchInflightClearedOnEviction(t *testing.T) {
+	r, clk := wbqRuntime(t, 16)
+	data := make([]byte, 128*64)
+	for i := range data {
+		data[i] = byte(i % 253)
+	}
+	_ = r.InitObject("items", data)
+
+	if err := r.Prefetch(clk, "items", 0, fld(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Elem 16 is tag 1024 → direct slot 0, same as elem 0's line: this
+	// access evicts the in-flight placeholder.
+	if err := r.Access(clk, "items", 16, fld(0, 8), make([]byte, 8), false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// A second prefetch of elem 0 must actually fetch (a stale in-flight
+	// entry would swallow it), so the subsequent access hits.
+	if err := r.Prefetch(clk, "items", 0, fld(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence(clk)
+	missesBefore := r.SectionStats(0).Misses
+	g := make([]byte, 8)
+	if err := r.Access(clk, "items", 0, fld(0, 8), g, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.SectionStats(0).Misses != missesBefore {
+		t.Fatal("re-prefetch after eviction was suppressed by a stale in-flight entry")
+	}
+	if !bytes.Equal(g, data[:8]) {
+		t.Fatalf("prefetched line has wrong data: %x", g)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mira/internal/netmodel"
 	"mira/internal/sim"
 	"mira/internal/transport"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	// accesses natively); Mira's user-space swap charges nothing either,
 	// matching the paper's "native memory access intact" profiling note.
 	HitOverhead sim.Duration
+	// BatchPrefetch issues each fault's prefetch candidates as one
+	// doorbell-batched gather instead of one read per page: the round trip
+	// and per-message overhead are paid once for the whole batch, and each
+	// page becomes usable as its bytes arrive in the reply stream.
+	BatchPrefetch bool
+	// Net is the interconnect model used to stagger per-page readiness
+	// inside a batched gather; zero value disables staggering (every page
+	// in a batch becomes ready at chain completion).
+	Net netmodel.Config
 }
 
 // DefaultConfig returns a FastSwap-calibrated fault path.
@@ -255,6 +265,7 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 	// prefetch-triggered evictions must not invalidate the page we are
 	// about to hand to the caller.
 	c.pinned = p
+	var cands []int64
 	for _, pno := range c.pf.OnFault(no) {
 		if pno < 0 || pno >= c.npages() {
 			continue
@@ -262,20 +273,115 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 		if _, ok := c.pages[pno]; ok {
 			continue
 		}
-		if _, err := c.fetch(clk.Now(), pno, true, false); err != nil {
+		cands = append(cands, pno)
+	}
+	if c.cfg.BatchPrefetch && len(cands) >= 2 {
+		err = c.prefetchBatch(clk.Now(), cands)
+	} else {
+		err = c.prefetchEach(clk.Now(), cands)
+	}
+	c.pinned = nil
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// prefetchEach issues one read per candidate page (the unbatched path).
+func (c *Cache) prefetchEach(now sim.Time, cands []int64) error {
+	for _, pno := range cands {
+		if _, ok := c.pages[pno]; ok {
+			continue
+		}
+		if _, err := c.fetch(now, pno, true, false); err != nil {
 			if err == errNoEvictable {
-				break // pool too small to prefetch into
+				return nil // pool too small to prefetch into
 			}
 			if errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err) {
-				break // prefetch is advisory: give up under faults
+				return nil // prefetch is advisory: give up under faults
 			}
-			c.pinned = nil
-			return nil, err
+			return err
 		}
 		c.stats.Prefetches++
 	}
-	c.pinned = nil
-	return p, nil
+	return nil
+}
+
+// prefetchBatch brings every candidate page in with one doorbell-batched
+// gather. Page i becomes usable once its bytes have streamed in — chain
+// completion minus the wire time of the pages behind it in the reply.
+func (c *Cache) prefetchBatch(now sim.Time, cands []int64) error {
+	var ps []*page
+	var addrs []uint64
+	var sizes []int
+	for _, pno := range cands {
+		if _, ok := c.pages[pno]; ok {
+			continue
+		}
+		if len(c.pages) >= c.capacity {
+			if err := c.evictOne(now); err != nil {
+				if err == errNoEvictable {
+					break // pool too small; gather what we have
+				}
+				c.dropPages(ps)
+				return err
+			}
+		}
+		p := &page{no: pno, data: make([]byte, c.pageSize(pno)), prefetch: true, resident: true}
+		c.pages[pno] = c.inactive.PushFront(p)
+		ps = append(ps, p)
+		addrs = append(addrs, c.base+uint64(pno)*PageBytes)
+		sizes = append(sizes, len(p.data))
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	data, done, err := c.tr.GatherOneSided(now, addrs, sizes)
+	if err != nil {
+		// Prefetch is advisory: the placeholder pages hold no data yet, so
+		// they must not stay resident looking like valid prefetches.
+		c.dropPages(ps)
+		if errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err) {
+			return nil
+		}
+		return err
+	}
+	suffix := 0
+	readies := make([]sim.Time, len(ps))
+	for i := len(ps) - 1; i >= 0; i-- {
+		readies[i] = done
+		if c.cfg.Net.BytesPerSecond > 0 {
+			readies[i] = done.Add(-c.cfg.Net.WireTime(suffix))
+		}
+		suffix += sizes[i]
+	}
+	off := 0
+	for i, p := range ps {
+		copy(p.data, data[off:off+sizes[i]])
+		off += sizes[i]
+		p.readyAt = readies[i]
+	}
+	c.stats.Prefetches += int64(len(ps))
+	c.stats.PagesFetched += int64(len(ps))
+	return nil
+}
+
+// dropPages removes batch placeholder pages that never received data. Pages
+// already evicted by a later allocation in the same batch are skipped.
+func (c *Cache) dropPages(ps []*page) {
+	for _, p := range ps {
+		el, ok := c.pages[p.no]
+		if !ok || el.Value.(*page) != p {
+			continue
+		}
+		if p.inActive {
+			c.active.Remove(el)
+		} else {
+			c.inactive.Remove(el)
+		}
+		delete(c.pages, p.no)
+		p.resident = false
+	}
 }
 
 // fetch brings page no into the pool (evicting as needed) and returns it.

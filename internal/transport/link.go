@@ -20,6 +20,13 @@ type Link interface {
 	GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error)
 	// ScatterTwoSided writes several pieces in one two-sided message.
 	ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error)
+	// GatherOneSided fetches several pieces with one doorbell-batched
+	// chain of one-sided reads (one RTT, one posting overhead for the
+	// whole chain) — the runtime's batched-prefetch primitive.
+	GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error)
+	// ScatterWrite pushes several pieces with one doorbell-batched chain
+	// of one-sided writes — the coalesced write-back primitive.
+	ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error)
 	// Call invokes an offloaded procedure on the far side.
 	Call(now sim.Time, name string, args []byte) ([]byte, sim.Time, error)
 	// Flush forces every queued degraded-mode write-back out to far
@@ -34,10 +41,17 @@ type Link interface {
 	// BytesMoved reports the total bytes that crossed the interconnect
 	// (for a pool: summed over every per-node link).
 	BytesMoved() int64
+	// Messages reports the total link-level transfers issued (for a
+	// pool: summed over every per-node link) — the metric vectored I/O
+	// collapses.
+	Messages() int64
 }
 
 // BytesMoved reports the bytes that crossed this transport's link.
 func (t *T) BytesMoved() int64 { return t.BW.BytesMoved() }
+
+// Messages reports the link-level transfers issued on this transport.
+func (t *T) Messages() int64 { return t.BW.Transfers() }
 
 // Interface conformance.
 var _ Link = (*T)(nil)

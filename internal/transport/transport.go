@@ -111,6 +111,50 @@ type Stats struct {
 	DegradedReads     int64        // reads served from the local write-back queue
 	DegradedTime      sim.Duration // virtual time stalled waiting for the breaker to half-open
 	BackoffTime       sim.Duration // virtual time spent in retry backoff
+
+	// Vectored-I/O counters: doorbell-batched gathers/scatters issued, the
+	// pieces they carried, and a histogram of batch sizes (bucket i counts
+	// batches of 2^i .. 2^(i+1)-1 pieces; the last bucket is open-ended).
+	Batches       int64
+	BatchedPieces int64
+	BatchHist     [BatchHistBuckets]int64
+}
+
+// BatchHistBuckets is the number of power-of-two batch-size histogram
+// buckets in Stats.BatchHist.
+const BatchHistBuckets = 8
+
+// batchBucket maps a piece count to its BatchHist bucket.
+func batchBucket(n int) int {
+	b := 0
+	for n > 1 && b < BatchHistBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Add accumulates o into s — the one place that must know every counter, so
+// multi-link aggregation (cluster pools) cannot silently drop new fields.
+func (s *Stats) Add(o Stats) {
+	s.Ops += o.Ops
+	s.Failures += o.Failures
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Corruptions += o.Corruptions
+	s.BreakerTrips += o.BreakerTrips
+	s.GaveUp += o.GaveUp
+	s.QueuedWritebacks += o.QueuedWritebacks
+	s.DrainedWritebacks += o.DrainedWritebacks
+	s.DroppedWritebacks += o.DroppedWritebacks
+	s.DegradedReads += o.DegradedReads
+	s.DegradedTime += o.DegradedTime
+	s.BackoffTime += o.BackoffTime
+	s.Batches += o.Batches
+	s.BatchedPieces += o.BatchedPieces
+	for i := range s.BatchHist {
+		s.BatchHist[i] += o.BatchHist[i]
+	}
 }
 
 // T is a transport endpoint on the compute node.
@@ -128,6 +172,10 @@ type T struct {
 	open        bool
 	openUntil   sim.Time
 	queued      map[uint64][]byte
+	// queuedAddrs mirrors queued's keys in ascending order, maintained
+	// incrementally on enqueue/dequeue so the drain and overlay-read paths
+	// never rebuild and re-sort the key set.
+	queuedAddrs []uint64
 	stats       Stats
 }
 
@@ -214,6 +262,7 @@ func (t *T) DropQueued() int {
 	for addr := range t.queued {
 		delete(t.queued, addr)
 	}
+	t.queuedAddrs = t.queuedAddrs[:0]
 	t.stats.DroppedWritebacks += int64(n)
 	return n
 }
@@ -388,20 +437,37 @@ func (t *T) enqueueWrite(addr uint64, data []byte) {
 	copy(cp, data)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if _, exists := t.queued[addr]; !exists {
+		i := sort.Search(len(t.queuedAddrs), func(i int) bool { return t.queuedAddrs[i] >= addr })
+		t.queuedAddrs = append(t.queuedAddrs, 0)
+		copy(t.queuedAddrs[i+1:], t.queuedAddrs[i:])
+		t.queuedAddrs[i] = addr
+	}
 	t.queued[addr] = cp
 	t.stats.QueuedWritebacks++
 }
 
-// coveringQueuedLocked finds the queued entry covering [addr, addr+n), if
-// any. Iteration is over sorted keys: map order must never decide which
-// entry serves a read, or degraded-mode replays stop being byte-stable.
-func (t *T) coveringQueuedLocked(addr uint64, n int) (base uint64, data []byte, ok bool) {
-	keys := make([]uint64, 0, len(t.queued))
-	for k := range t.queued {
-		keys = append(keys, k)
+// dequeueLocked removes addr from the overlay map and its sorted key mirror.
+func (t *T) dequeueLocked(addr uint64) {
+	if _, exists := t.queued[addr]; !exists {
+		return
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
+	delete(t.queued, addr)
+	i := sort.Search(len(t.queuedAddrs), func(i int) bool { return t.queuedAddrs[i] >= addr })
+	if i < len(t.queuedAddrs) && t.queuedAddrs[i] == addr {
+		t.queuedAddrs = append(t.queuedAddrs[:i], t.queuedAddrs[i+1:]...)
+	}
+}
+
+// coveringQueuedLocked finds the queued entry covering [addr, addr+n), if
+// any. Iteration is over the sorted key mirror: map order must never decide
+// which entry serves a read, or degraded-mode replays stop being
+// byte-stable.
+func (t *T) coveringQueuedLocked(addr uint64, n int) (base uint64, data []byte, ok bool) {
+	for _, k := range t.queuedAddrs {
+		if k > addr {
+			break
+		}
 		d := t.queued[k]
 		if addr >= k && addr+uint64(n) <= k+uint64(len(d)) {
 			return k, d, true
@@ -426,16 +492,13 @@ func (t *T) serveQueued(addr uint64, buf []byte) bool {
 	return false
 }
 
-// sortedQueuedAddrs snapshots the overlay keys in deterministic order.
+// sortedQueuedAddrs snapshots the overlay keys in deterministic order. The
+// sorted mirror is maintained incrementally, so this is a copy, not a
+// rebuild-and-sort.
 func (t *T) sortedQueuedAddrs() []uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	addrs := make([]uint64, 0, len(t.queued))
-	for a := range t.queued {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	return addrs
+	return append([]uint64(nil), t.queuedAddrs...)
 }
 
 // drainOnce replays queued write-backs through the backend, stopping at the
@@ -454,14 +517,14 @@ func (t *T) drainOnce(at sim.Time) {
 		if err == nil {
 			t.BW.Acquire(at, len(data))
 			t.mu.Lock()
-			delete(t.queued, addr)
+			t.dequeueLocked(addr)
 			t.stats.DrainedWritebacks++
 			t.mu.Unlock()
 			continue
 		}
 		if !IsTransient(err) {
 			t.mu.Lock()
-			delete(t.queued, addr)
+			t.dequeueLocked(addr)
 			t.stats.DroppedWritebacks++
 			t.mu.Unlock()
 			continue
@@ -485,7 +548,7 @@ func (t *T) Flush(now sim.Time) (sim.Time, error) {
 		addr := addrs[0]
 		t.mu.Lock()
 		data, ok := t.queued[addr]
-		delete(t.queued, addr)
+		t.dequeueLocked(addr)
 		t.mu.Unlock()
 		if !ok {
 			continue
@@ -503,8 +566,9 @@ func (t *T) Flush(now sim.Time) (sim.Time, error) {
 			return wireEnd.Add(t.latencyOneSided(len(data))).Add(extra), nil
 		}, nil)
 		if err != nil {
+			t.enqueueWrite(addr, data)
 			t.mu.Lock()
-			t.queued[addr] = data
+			t.stats.QueuedWritebacks-- // re-queue of a failed flush, not a new write-back
 			t.mu.Unlock()
 			return last, fmt.Errorf("transport: flush of queued write-back %#x: %w", addr, err)
 		}
@@ -668,6 +732,91 @@ func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.
 		}
 		return at, true
 	})
+}
+
+// noteBatch records a vectored op of n pieces in the batch-size histogram.
+func (t *T) noteBatch(n int) {
+	t.mu.Lock()
+	t.stats.Batches++
+	t.stats.BatchedPieces += int64(n)
+	t.stats.BatchHist[batchBucket(n)]++
+	t.mu.Unlock()
+}
+
+// GatherOneSided fetches several pieces with one doorbell-batched chain of
+// one-sided reads: the WRs are posted together and ring the doorbell once,
+// so the whole chain pays one round trip and one posting overhead (§4.5
+// batched prefetch). The reply carries the pieces concatenated in request
+// order, streaming back-to-back on the wire — callers that hand pieces out
+// individually can therefore compute each piece's own arrival instant by
+// subtracting the trailing pieces' wire time from the returned completion.
+// Pieces covered by the degraded-mode write-back queue are patched from the
+// overlay so reads always see the newest data.
+func (t *T) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, sim.Time, error) {
+	if data, ok := t.gatherQueued(addrs, sizes); ok {
+		return data, now, nil
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	base := t.Cfg.VectoredOneSidedCost(sizes)
+	var data []byte
+	end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		d, sum, extra, err := t.be.Gather(at, addrs, sizes)
+		if err != nil {
+			return 0, err
+		}
+		if Checksum(d) != sum {
+			t.bump(&t.stats.Corruptions)
+			return 0, ErrCorrupt
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		data = d
+		wireEnd := t.BW.Acquire(at, len(d))
+		t.noteBatch(len(addrs))
+		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra), nil
+	}, nil)
+	if err != nil {
+		return nil, end, err
+	}
+	t.patchFromQueue(addrs, sizes, data)
+	return data, end, nil
+}
+
+// ScatterWrite pushes several pieces with one doorbell-batched chain of
+// one-sided writes — the write-side twin of GatherOneSided and the vehicle
+// of the runtime's coalesced write-back drain. Like WriteOneSided it is
+// idempotent (safe to retry) and degrades gracefully: while the breaker is
+// open every piece queues locally and the op completes immediately.
+func (t *T) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Time, error) {
+	sizes := make([]int, len(pieces))
+	total := 0
+	for i, p := range pieces {
+		sizes[i] = len(p)
+		total += len(p)
+	}
+	base := t.Cfg.VectoredOneSidedCost(sizes)
+	end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		extra, err := t.be.Scatter(at, addrs, pieces)
+		if err != nil {
+			return 0, err
+		}
+		if t.timedOut(base, extra) {
+			return 0, ErrTimeout
+		}
+		wireEnd := t.BW.Acquire(at, total)
+		t.noteBatch(len(addrs))
+		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra), nil
+	}, func(at sim.Time) (sim.Time, bool) {
+		for i := range addrs {
+			t.enqueueWrite(addrs[i], pieces[i])
+		}
+		return at, true
+	})
+	return end, err
 }
 
 // Call invokes an offloaded procedure (§4.8): args travel two-sided, the far

@@ -33,6 +33,8 @@ import (
 	"mira/internal/apps/gpt2"
 	"mira/internal/apps/graphtraverse"
 	"mira/internal/apps/mcf"
+	"mira/internal/apps/seqscan"
+	"mira/internal/apps/stridescan"
 	"mira/internal/cluster"
 	"mira/internal/exec"
 	"mira/internal/faults"
@@ -259,6 +261,19 @@ type ArraySumConfig = arraysum.Config
 
 // NewArraySumWorkload builds the array-sum microbenchmark.
 func NewArraySumWorkload(cfg ArraySumConfig) Workload { return arraysum.New(cfg) }
+
+// SeqScanConfig sizes the sequential read-modify-write scan microbenchmark.
+type SeqScanConfig = seqscan.Config
+
+// NewSeqScanWorkload builds the memory-bound sequential scan (the vectored
+// remote I/O evaluation's primary workload).
+func NewSeqScanWorkload(cfg SeqScanConfig) Workload { return seqscan.New(cfg) }
+
+// StrideScanConfig sizes the strided read-modify-write scan microbenchmark.
+type StrideScanConfig = stridescan.Config
+
+// NewStrideScanWorkload builds the memory-bound strided scan.
+func NewStrideScanWorkload(cfg StrideScanConfig) Workload { return stridescan.New(cfg) }
 
 // IR construction surface: NewProgram returns the ir.Builder, and the
 // expression constructors below are re-exported so custom programs can be
