@@ -22,10 +22,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mira"
 )
+
+// writeFile streams write's output into path, creating or truncating it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func buildWorkload(app string) (mira.Workload, error) {
 	switch app {
@@ -63,6 +77,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replication factor R in cluster mode: every range lives on R nodes")
 	stripe := flag.Int64("stripe", 64<<10, "cluster placement stripe in bytes")
 	faultNode := flag.Int("fault-node", 0, "which cluster node receives the -faults schedule")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics", "", "write the run's metrics registry as JSON to this file")
 	flag.Parse()
 
 	w, err := buildWorkload(*app)
@@ -107,10 +123,29 @@ func main() {
 			opts.Resilience = &pol
 		}
 	}
+	var tracer *mira.Tracer
+	if *traceOut != "" || *metricsOut != "" {
+		// Attach the tracer to the final run only: the -faults dry run above
+		// and the planner's internal sampling runs stay uninstrumented.
+		tracer = mira.NewTracer()
+		opts.Trace = tracer
+	}
 	res, err := mira.Run(mira.System(*system), w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tracer.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, tracer.Registry().WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if res.Failed {
 		fmt.Printf("%s on %s at %.0f%% memory: FAILED TO EXECUTE (%s)\n",

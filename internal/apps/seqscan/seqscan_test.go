@@ -1,0 +1,162 @@
+package seqscan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"mira/internal/exec"
+	"mira/internal/farmem"
+	"mira/internal/ir"
+	"mira/internal/planner"
+	"mira/internal/rt"
+	"mira/internal/sim"
+)
+
+func TestProgramShape(t *testing.T) {
+	w := New(Config{N: 512, Seed: 1})
+	p := w.Program()
+	if p.Entry != "scan" {
+		t.Fatalf("entry %q", p.Entry)
+	}
+	if err := ir.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	w := New(Config{})
+	if w.FullMemoryBytes() != (1<<14)*RecBytes+8 {
+		t.Fatalf("default footprint %d", w.FullMemoryBytes())
+	}
+}
+
+func TestNameAndParams(t *testing.T) {
+	w := New(Config{N: 16})
+	if w.Name() != "seqscan" {
+		t.Fatalf("name %q", w.Name())
+	}
+	if w.Params() != nil {
+		t.Fatal("unexpected params")
+	}
+}
+
+type memStore map[string][]byte
+
+func (m memStore) InitObject(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[name] = cp
+	return nil
+}
+
+func (m memStore) DumpObject(name string) ([]byte, error) { return m[name], nil }
+
+func TestInitAndVerify(t *testing.T) {
+	w := New(Config{N: 256, Seed: 1})
+	st := memStore{}
+	if err := w.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st["recs"]) != 256*RecBytes {
+		t.Fatalf("record image %d bytes", len(st["recs"]))
+	}
+	// Apply the scan by hand, then Verify must accept.
+	var sum int64
+	for i := int64(0); i < 256; i++ {
+		nv := w.val(i) + w.key(i)*3
+		binary.LittleEndian.PutUint64(st["recs"][i*RecBytes+8:], uint64(nv))
+		sum += nv
+	}
+	res := make([]byte, 8)
+	binary.LittleEndian.PutUint64(res, uint64(sum))
+	st["result"] = res
+	if err := w.Verify(st); err != nil {
+		t.Fatalf("correct state rejected: %v", err)
+	}
+	// A single lost write-back must be caught.
+	binary.LittleEndian.PutUint64(st["recs"][100*RecBytes+8:], uint64(w.val(100)))
+	if err := w.Verify(st); err == nil {
+		t.Fatal("lost write-back accepted")
+	}
+}
+
+// TestGoldenNativeVsMira: the Mira compilation's final memory image must be
+// byte-identical to native execution, across sizes that exercise partial
+// lines, multi-line scans, and eviction under pressure.
+func TestGoldenNativeVsMira(t *testing.T) {
+	for _, n := range []int64{64, 1 << 10, 1 << 13} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			w := New(Config{N: n, Seed: 1})
+			native := runDump(t, w, true)
+			mira := runDump(t, w, false)
+			for _, obj := range []string{"recs", "result"} {
+				if !bytes.Equal(native[obj], mira[obj]) {
+					t.Fatalf("object %q: Mira image diverges from native", obj)
+				}
+			}
+			if err := w.Verify(memStore(mira)); err != nil {
+				t.Fatalf("golden image fails the oracle: %v", err)
+			}
+		})
+	}
+}
+
+// runDump executes the workload natively (everything local) or through the
+// full planner+runtime pipeline at a quarter of its footprint, and returns
+// the final object images.
+func runDump(t *testing.T, w *Workload, native bool) map[string][]byte {
+	t.Helper()
+	var prog *ir.Program
+	var r *rt.Runtime
+	var err error
+	if native {
+		prog = w.Program()
+		placements := map[string]rt.Placement{}
+		for _, o := range prog.Objects {
+			placements[o.Name] = rt.Placement{Kind: rt.PlaceLocal}
+		}
+		r, err = rt.New(rt.Config{LocalBudget: w.FullMemoryBytes() + (1 << 20), Placements: placements},
+			farmem.NewNode(farmem.DefaultNodeConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		res, err := planner.Plan(w, planner.Options{LocalBudget: w.FullMemoryBytes() / 4, MaxIterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog = res.Program
+		r, err = rt.New(res.Config, farmem.NewNode(farmem.DefaultNodeConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Bind(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Init(r); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exec.New(prog, r, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, o := range prog.Objects {
+		buf, err := r.DumpObject(o.Name)
+		if err != nil {
+			t.Fatalf("dump %s: %v", o.Name, err)
+		}
+		out[o.Name] = buf
+	}
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"mira/internal/netmodel"
 	"mira/internal/rt"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 	"mira/internal/workload"
 )
@@ -113,6 +114,16 @@ type entry struct {
 	key   entryKey
 	data  []byte
 	dirty bool
+}
+
+// SetTrace attaches the deterministic tracing layer to the baseline's
+// transport, so AIFM runs emit the same net-level spans and counters as
+// the other systems. A nil tracer leaves tracing disabled.
+func (r *Runtime) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	r.tr.SetTrace(tr, "net")
 }
 
 // New builds an AIFM runtime for w and loads its data. It returns an error

@@ -25,6 +25,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
+	"mira/internal/trace"
 	"mira/internal/transport"
 )
 
@@ -136,6 +137,10 @@ type Pool struct {
 	table []*PlacementEntry // sorted by VBase; entries are stable pointers
 	next  uint64            // virtual bump pointer
 	seq   uint64            // allocation sequence number, feeds the hash
+
+	// Tracing (nil when disabled — every use is nil-safe).
+	trc       *trace.Buffer
+	cFailover *trace.Counter
 }
 
 // New builds the pool: N far nodes, each behind its own transport and
@@ -179,6 +184,22 @@ func New(opts Options) (*Pool, error) {
 		p.nodes = append(p.nodes, n)
 	}
 	return p, nil
+}
+
+// SetTrace attaches the deterministic tracing layer: a pool-level buffer for
+// routing events (failover, re-sync) plus per-node transport tracing, so
+// retries and breaker trips are attributed to the node that caused them.
+func (p *Pool) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trc = tr.Buffer("cluster")
+	p.cFailover = tr.Registry().Counter("cluster.failovers")
+	for i, n := range p.nodes {
+		n.tr.SetTrace(tr, fmt.Sprintf("net.node%d", i))
+	}
 }
 
 // markStale flags a node as having lost its memory. Called from the fault

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 )
 
@@ -51,7 +52,7 @@ func (p *Pool) chooseHome(now sim.Time, homes []Home) (int, error) {
 	return -1, errStale
 }
 
-func (p *Pool) noteRead(node, nbytes int, failedOver bool, primary int) {
+func (p *Pool) noteRead(now sim.Time, node, nbytes int, failedOver bool, primary int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := &p.nodes[node].stats
@@ -59,6 +60,9 @@ func (p *Pool) noteRead(node, nbytes int, failedOver bool, primary int) {
 	s.ReadBytes += int64(nbytes)
 	if failedOver {
 		p.nodes[primary].stats.Failovers++
+		p.cFailover.Inc()
+		p.trc.Instant(now, "cluster", "failover",
+			trace.I("primary", int64(primary)), trace.I("served_by", int64(node)))
 	}
 }
 
@@ -102,7 +106,7 @@ func (p *Pool) readSegment(now sim.Time, s seg, buf []byte) (sim.Time, error) {
 			lastErr = errStale
 			continue
 		}
-		p.noteRead(h.Node, s.n, h.Node != primary, primary)
+		p.noteRead(now, h.Node, s.n, h.Node != primary, primary)
 		if h.Node != primary {
 			p.readRepair(now, repair, s, buf)
 			p.resyncStale(now)
@@ -157,6 +161,7 @@ func (p *Pool) resyncStale(now sim.Time) sim.Time {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	done := now
+	ranges, moved := 0, int64(0)
 	for idx, n := range p.nodes {
 		if !n.stale || down[idx] {
 			continue
@@ -203,10 +208,16 @@ func (p *Pool) resyncStale(now sim.Time) sim.Time {
 			}
 			n.stats.Resyncs++
 			n.stats.ResyncBytes += int64(e.Size)
+			ranges++
+			moved += int64(e.Size)
 		}
 		if recovered {
 			n.stale = false
 		}
+	}
+	if ranges > 0 && p.trc != nil {
+		p.trc.Span(now, done, "cluster", "resync",
+			trace.I("ranges", int64(ranges)), trace.I("bytes", moved))
 	}
 	return done
 }
@@ -392,7 +403,7 @@ func (p *Pool) gatherVec(now sim.Time, addrs []uint64, sizes []int, oneSided boo
 			copy(out[s.at:s.at+s.n], data[off:off+s.n])
 			off += s.n
 			primary := s.entry.Homes[0].Node
-			p.noteRead(node, s.n, node != primary, primary)
+			p.noteRead(now, node, s.n, node != primary, primary)
 		}
 		if d > done {
 			done = d

@@ -20,6 +20,7 @@ import (
 	"mira/internal/planner"
 	"mira/internal/rt"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 	"mira/internal/workload"
 )
@@ -89,6 +90,11 @@ type Options struct {
 	// bound (0 = default, negative = disabled). NoBatching forces it off
 	// unless set explicitly.
 	WritebackQueueLines int
+	// Trace, when non-nil, records the run's events and metrics into the
+	// deterministic tracing layer. For Mira it attaches to the timed
+	// re-run of the accepted configuration (and to the planner's
+	// iteration timeline), never to the planner's internal sampling runs.
+	Trace *trace.Tracer
 }
 
 // wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
@@ -195,6 +201,7 @@ func Run(sys System, w workload.Workload, opts Options) (Result, error) {
 // workload's original would silently drop the compiled-in prefetch and
 // eviction instrumentation.
 func runRT(sys System, w workload.Workload, prog *ir.Program, r *rt.Runtime, opts Options) (Result, error) {
+	r.SetTrace(opts.Trace)
 	ex, err := exec.New(prog, r, exec.Options{Params: w.Params()})
 	if err != nil {
 		return Result{}, err
@@ -285,14 +292,16 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 	if co := opts.clusterOpts(false); co != nil {
 		popts.Cluster = co
 	}
+	popts.Trace = opts.Trace
 	res, err := planner.Plan(w, popts)
 	if err != nil {
 		return Result{}, err
 	}
 	// Re-run the accepted configuration for verification (the planner's
-	// timing runs don't verify) or to measure it under the fault schedule
-	// (planning itself is always fault-free — an offline activity).
-	if opts.Verify || opts.faultsEnabled() {
+	// timing runs don't verify), to measure it under the fault schedule
+	// (planning itself is always fault-free — an offline activity), or to
+	// trace it (the planner's internal runs are not instrumented).
+	if opts.Verify || opts.faultsEnabled() || opts.Trace != nil {
 		node := farmem.NewNode(popts.NodeCfg)
 		cfg := res.Config
 		cfg.Faults = opts.Faults
@@ -369,6 +378,7 @@ func runAIFM(w workload.Workload, opts Options) (Result, error) {
 		// reports, not a harness error.
 		return Result{System: AIFM, Failed: true, FailReason: err.Error()}, nil
 	}
+	r.SetTrace(opts.Trace)
 	ex, err := exec.New(w.Program(), r, exec.Options{Params: w.Params()})
 	if err != nil {
 		return Result{}, err

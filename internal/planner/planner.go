@@ -23,6 +23,7 @@ import (
 	"mira/internal/profile"
 	"mira/internal/rt"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/workload"
 )
 
@@ -63,6 +64,12 @@ type Options struct {
 	// of a single node. Planning itself is offline and fault-free: any
 	// per-node fault schedules belong to the final run, not here.
 	Cluster *cluster.Options
+	// Trace, when non-nil, records per-iteration planner spans (scope,
+	// section count, accept/rollback) into the run's trace. The timing
+	// runs inside each iteration are NOT individually instrumented — the
+	// planner buffer carries one span per iteration on a cumulative
+	// timeline instead.
+	Trace *trace.Tracer
 }
 
 // TechniqueMask disables individual Mira techniques (all false = all on).
@@ -139,6 +146,15 @@ func Plan(w Workload, opts Options) (*Result, error) {
 	res.Program = prog
 	res.Plan = &codegen.Plan{}
 
+	// Planner spans live on a cumulative timeline: the baseline run, then
+	// each iteration's timing run back to back. Each timed run starts its
+	// own virtual clock at zero, so the cursor stitches them into one
+	// readable track.
+	ptrc := opts.Trace.Buffer("planner")
+	cursor := sim.Time(0).Add(baseTime)
+	ptrc.Span(0, cursor, "planner", "baseline",
+		trace.I("time_ns", int64(baseTime)))
+
 	if opts.DisableSeparation {
 		return res, nil
 	}
@@ -182,6 +198,8 @@ func Plan(w Workload, opts Options) (*Result, error) {
 			res.Iterations = append(res.Iterations, Iteration{
 				Index: iter, FuncFrac: frac, Funcs: funcs, Objects: objs,
 			})
+			ptrc.Instant(cursor, "planner", "iter.infeasible",
+				trace.I("iter", int64(iter)))
 			continue
 		}
 		compiled, err := codegen.Apply(prog, plan)
@@ -202,6 +220,8 @@ func Plan(w Workload, opts Options) (*Result, error) {
 			// the carve-up past the budget) is a rejected iteration,
 			// not a planning failure.
 			res.Iterations = append(res.Iterations, rec)
+			ptrc.Instant(cursor, "planner", "iter.runtime-rejected",
+				trace.I("iter", int64(iter)))
 			continue
 		}
 		rec.Time = t
@@ -216,6 +236,22 @@ func Plan(w Workload, opts Options) (*Result, error) {
 			col = newCol
 		}
 		res.Iterations = append(res.Iterations, rec)
+		if ptrc != nil {
+			verdict := "rolled-back"
+			if rec.Accepted {
+				verdict = "accepted"
+			}
+			end := cursor.Add(t)
+			ptrc.Span(cursor, end, "planner", fmt.Sprintf("iteration %d", iter),
+				trace.I("frac_pct", int64(frac*100+0.5)),
+				trace.I("funcs", int64(len(funcs))),
+				trace.I("objs", int64(len(objs))),
+				trace.I("secs", int64(len(cfg.Sections))),
+				trace.I("offloaded", int64(len(offloaded))),
+				trace.I("time_ns", int64(t)),
+				trace.S("result", verdict))
+			cursor = end
+		}
 	}
 	return res, nil
 }
@@ -393,7 +429,7 @@ func largestObjectsIn(prog *ir.Program, col *profile.Collector, funcs []string, 
 	if len(ranked) == 0 {
 		return nil
 	}
-	k := int(frac*float64(len(ranked)) + 0.999999)
+	k := profile.CeilFrac(frac, len(ranked))
 	if k < 1 {
 		k = 1
 	}

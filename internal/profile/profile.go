@@ -8,6 +8,7 @@ package profile
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -40,14 +41,17 @@ func (f *FuncRecord) MissRate() float64 {
 }
 
 // Overhead is the paper's cache performance overhead: time in the Mira
-// runtime over the remaining execution time.
+// runtime over the remaining execution time. A function that spent ALL its
+// time in the runtime has unbounded overhead — +Inf, so it ranks above
+// every finite ratio (a raw nanosecond count here would let one degenerate
+// record outrank real functions by units, not by ratio).
 func (f *FuncRecord) Overhead() float64 {
 	rest := f.Total - f.Runtime
 	if rest <= 0 {
 		if f.Runtime == 0 {
 			return 0
 		}
-		return float64(f.Runtime) // pathological: all time in runtime
+		return math.Inf(1)
 	}
 	return float64(f.Runtime) / float64(rest)
 }
@@ -178,7 +182,7 @@ func (c *Collector) TopFunctions(frac float64) []string {
 	if len(all) == 0 {
 		return nil
 	}
-	k := int(frac*float64(len(all)) + 0.999999)
+	k := CeilFrac(frac, len(all))
 	if k < 1 {
 		k = 1
 	}
@@ -217,7 +221,7 @@ func (c *Collector) LargestObjects(frac float64) []string {
 	if len(all) == 0 {
 		return nil
 	}
-	k := int(frac*float64(len(all)) + 0.999999)
+	k := CeilFrac(frac, len(all))
 	if k < 1 {
 		k = 1
 	}
@@ -229,6 +233,26 @@ func (c *Collector) LargestObjects(frac float64) []string {
 		out = append(out, o.Name)
 	}
 	return out
+}
+
+// CeilFrac returns ceil(frac * n) computed exactly: products that are
+// whole numbers up to floating-point noise (0.3*10, 0.07*100) round to
+// that whole number instead of being bumped up, and true fractional parts
+// of any size round up (the additive-epsilon idiom this replaces silently
+// under-counted whenever the fractional part exceeded the epsilon).
+func CeilFrac(frac float64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := frac * float64(n)
+	if p <= 0 {
+		return 0
+	}
+	fl := math.Floor(p)
+	if p-fl <= p*1e-12 {
+		return int(fl)
+	}
+	return int(fl) + 1
 }
 
 // TotalRuntime sums runtime-internal time across functions.

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -103,6 +104,67 @@ func TestDeterministicOrdering(t *testing.T) {
 	fs := c.Functions()
 	if fs[0].Name != "alpha" || fs[1].Name != "mid" || fs[2].Name != "zeta" {
 		t.Fatalf("tie-break ordering wrong: %v, %v, %v", fs[0].Name, fs[1].Name, fs[2].Name)
+	}
+}
+
+func TestOverheadAllRuntimeIsInf(t *testing.T) {
+	c := NewCollector()
+	// Pathological record: every nanosecond inside the runtime. The old
+	// code returned the raw nanosecond count, so a tiny degenerate record
+	// (e.g. 3ns all-runtime) ranked below a normal function with overhead
+	// 5.0 — or above everything when its Runtime was huge — by units, not
+	// by ratio.
+	c.FuncCall("degenerate", 3)
+	c.RuntimeTime("degenerate", 3)
+	got := c.Func("degenerate").Overhead()
+	if !math.IsInf(got, 1) {
+		t.Fatalf("all-runtime overhead = %v, want +Inf", got)
+	}
+	// And it must outrank any finite overhead, however large.
+	c.FuncCall("busy", 1000*sim.Microsecond)
+	c.RuntimeTime("busy", 999*sim.Microsecond)
+	fs := c.Functions()
+	if fs[0].Name != "degenerate" {
+		t.Fatalf("ranking = [%s %s], want degenerate first", fs[0].Name, fs[1].Name)
+	}
+}
+
+func TestFunctionsOrdersInfTiesByName(t *testing.T) {
+	c := NewCollector()
+	for _, n := range []string{"zed", "apple", "mango"} {
+		c.FuncCall(n, 10)
+		c.RuntimeTime(n, 10) // rest == 0 -> +Inf for all three
+	}
+	fs := c.Functions()
+	want := []string{"apple", "mango", "zed"}
+	for i, w := range want {
+		if fs[i].Name != w {
+			t.Fatalf("Inf tie-break: got %s at %d, want %s", fs[i].Name, i, w)
+		}
+	}
+}
+
+func TestCeilFrac(t *testing.T) {
+	cases := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.1, 10, 1},
+		{0.3, 10, 3},   // 0.3*10 = 2.9999... in FP; must not bump to 4
+		{0.07, 100, 7}, // same FP-noise shape
+		{0.20000001, 10, 3},
+		{0.15, 10, 2},
+		{1.0, 5, 5},
+		{0.5, 7, 4},
+		{0.0, 10, 0},
+		{0.1, 0, 0},
+		{0.1, -3, 0},
+	}
+	for _, tc := range cases {
+		if got := CeilFrac(tc.frac, tc.n); got != tc.want {
+			t.Errorf("CeilFrac(%v, %d) = %d, want %d", tc.frac, tc.n, got, tc.want)
+		}
 	}
 }
 

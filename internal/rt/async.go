@@ -8,6 +8,7 @@ import (
 	"mira/internal/cache"
 	"mira/internal/ir"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 )
 
@@ -52,7 +53,8 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
 		return err
 	}
-	done, err := r.fetchLine(clk.Now(), s, o, l)
+	post := clk.Now()
+	done, err := r.fetchLine(post, s, o, l)
 	if err != nil {
 		if prefetchFailed(err) {
 			s.sec.Drop(tag)
@@ -62,6 +64,9 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 		return err
 	}
 	s.inflight[tag] = done
+	if r.trc != nil {
+		r.trc.Span(post, done, "rt", "prefetch", trace.S("obj", name))
+	}
 	return nil
 }
 
@@ -147,7 +152,8 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 		return nil
 	}
 	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
-	data, done, err := r.tr.GatherOneSided(clk.Now(), addrs, sizes)
+	post := clk.Now()
+	data, done, err := r.tr.GatherOneSided(post, addrs, sizes)
 	if err != nil {
 		if prefetchFailed(err) {
 			for _, p := range pieces {
@@ -180,6 +186,9 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 			p.s.inflight[p.tag] = readies[i]
 		}
 		pos += sizes[i]
+	}
+	if r.trc != nil {
+		r.trc.Span(post, done, "rt", "prefetch.batch", trace.I("lines", int64(len(addrs))))
 	}
 	return nil
 }
@@ -249,6 +258,7 @@ func (r *Runtime) SettleAsync() {
 // which are drained here (a drain failure re-parks them and is surfaced by
 // the next flush, so Fence itself stays infallible).
 func (r *Runtime) Fence(clk *sim.Clock) {
+	start := clk.Now()
 	for _, s := range r.secs {
 		_, _ = r.drainWbq(clk, s)
 	}
@@ -261,6 +271,7 @@ func (r *Runtime) Fence(clk *sim.Clock) {
 		}
 	}
 	clk.AdvanceTo(latest)
+	r.trc.Span(start, clk.Now(), "rt", "fence")
 }
 
 // FlushObject writes back and drops every cached line of the object,
@@ -277,6 +288,7 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 	case PlaceSwap:
 		return r.swapC.FlushAll(clk)
 	}
+	start0 := clk.Now()
 	s := r.secs[o.place.Section]
 	lb := uint64(s.spec.Cache.LineBytes)
 	start := cache.AlignDown(o.farBase, int(lb))
@@ -324,6 +336,9 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 		last = done
 	}
 	clk.AdvanceTo(last)
+	if r.trc != nil {
+		r.trc.Span(start0, clk.Now(), "rt", "flush.obj", trace.S("obj", name))
+	}
 	return nil
 }
 
@@ -370,6 +385,7 @@ func (r *Runtime) Release(clk *sim.Clock, name string) error {
 // FlushAll flushes every section and the swap pool; used at program end so
 // DumpObject sees final data, and by multithreaded barriers.
 func (r *Runtime) FlushAll(clk *sim.Clock) error {
+	flushStart := clk.Now()
 	// Flush in name order: write-back order decides how transfers queue on
 	// the shared link, and map iteration order would make final sim times
 	// run-dependent.
@@ -403,6 +419,7 @@ func (r *Runtime) FlushAll(clk *sim.Clock) error {
 	}
 	clk.AdvanceTo(done)
 	r.Fence(clk)
+	r.trc.Span(flushStart, clk.Now(), "rt", "flush.all")
 	return nil
 }
 
@@ -439,15 +456,42 @@ func (r *Runtime) ReleaseSection(clk *sim.Clock, idx int) error {
 	return nil
 }
 
-// ownerOf finds the section-placed object whose allocation covers a far
-// address.
-func (r *Runtime) ownerOf(far uint64) *objectRT {
+// rebuildOwnerIndex rebuilds the farBase-sorted index of section-placed
+// objects that ownerOf searches. Bind calls it after placement; tests that
+// relocate objects directly must call it again.
+func (r *Runtime) rebuildOwnerIndex() {
+	r.byFar = r.byFar[:0]
 	for _, o := range r.objs {
-		if o.place.Kind != PlaceSection {
-			continue
+		if o.place.Kind == PlaceSection {
+			r.byFar = append(r.byFar, o)
 		}
-		if far >= cache.AlignDown(o.farBase, r.secs[o.place.Section].spec.Cache.LineBytes) &&
-			far < o.farBase+uint64(o.decl.SizeBytes()) {
+	}
+	sort.Slice(r.byFar, func(i, j int) bool {
+		if r.byFar[i].farBase != r.byFar[j].farBase {
+			return r.byFar[i].farBase < r.byFar[j].farBase
+		}
+		return r.byFar[i].decl.Name < r.byFar[j].decl.Name
+	})
+}
+
+// ownerOf finds the section-placed object whose allocation covers a far
+// address. An object owns [farBase, farBase+size), and additionally claims
+// the aligned-down head of its first line when farBase is not line-aligned —
+// its dirty first line carries that tag. When that head overlaps the
+// previous object's tail, exact containment wins: resolution is a binary
+// search over the farBase-sorted index, so the answer never depends on map
+// iteration order.
+func (r *Runtime) ownerOf(far uint64) *objectRT {
+	i := sort.Search(len(r.byFar), func(i int) bool { return r.byFar[i].farBase > far })
+	if i > 0 {
+		o := r.byFar[i-1]
+		if far < o.farBase+uint64(o.decl.SizeBytes()) {
+			return o
+		}
+	}
+	if i < len(r.byFar) {
+		o := r.byFar[i]
+		if far >= cache.AlignDown(o.farBase, r.secs[o.place.Section].spec.Cache.LineBytes) {
 			return o
 		}
 	}

@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"testing"
+
+	"mira/internal/cache"
+	"mira/internal/farmem"
+	"mira/internal/ir"
+)
+
+// TestOwnerOfMidLineBoundary pins down dirty-line owner resolution when two
+// adjacent section-placed objects share a cache line: the boundary between
+// them falls mid-line, so the straddling line's tag (the aligned-down head
+// of the second object) is claimed by both the first object's exact range
+// and the second object's head rule. The old ownerOf ranged over the objs
+// map, so which object won depended on map iteration order; the sorted
+// index must always resolve exact containment first.
+func TestOwnerOfMidLineBoundary(t *testing.T) {
+	b := ir.NewBuilder("ownertest")
+	b.FloatArray("alpha", 80) // 640 bytes: 2.5 lines of 256
+	b.FloatArray("beta", 80)
+	b.Func("main")
+	prog := b.MustProgram()
+
+	cfg := Config{
+		LocalBudget: 1 << 20,
+		Sections: []SectionSpec{{
+			Cache: cache.Config{Name: "s", Structure: cache.Direct, LineBytes: 256, SizeBytes: 4 << 10},
+		}},
+		Placements: map[string]Placement{
+			"alpha": {Kind: PlaceSection, Section: 0},
+			"beta":  {Kind: PlaceSection, Section: 0},
+		},
+	}
+	node := farmem.NewNode(farmem.NodeConfig{Capacity: 1 << 26, CPUSlowdown: 1})
+	r, err := New(cfg, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind line-aligns farBase, so relocate the objects to be exactly
+	// adjacent: beta starts at alpha's end, 640 bytes past a line-aligned
+	// base — mid-way through the third 256-byte line.
+	alpha, beta := r.objs["alpha"], r.objs["beta"]
+	base := farmem.DefaultBase
+	alpha.farBase = base
+	beta.farBase = base + uint64(alpha.decl.SizeBytes())
+	r.rebuildOwnerIndex()
+
+	boundary := beta.farBase
+	sharedTag := cache.AlignDown(boundary, 256) // tag of the straddling line
+
+	cases := []struct {
+		name string
+		far  uint64
+		want *objectRT
+	}{
+		{"alpha interior", base + 100, alpha},
+		{"straddling line tag (alpha's tail)", sharedTag, alpha},
+		{"last byte of alpha", boundary - 1, alpha},
+		{"first byte of beta", boundary, beta},
+		{"beta interior", boundary + 100, beta},
+		{"last byte of beta", boundary + uint64(beta.decl.SizeBytes()) - 1, beta},
+		{"past beta's end", boundary + uint64(beta.decl.SizeBytes()), nil},
+		{"below alpha", base - 1, nil},
+	}
+	for _, tc := range cases {
+		// The old map-order bug was nondeterministic, so probe repeatedly:
+		// every resolution must agree.
+		for i := 0; i < 64; i++ {
+			got := r.ownerOf(tc.far)
+			if got != tc.want {
+				name := "<nil>"
+				if got != nil {
+					name = got.decl.Name
+				}
+				t.Fatalf("%s: ownerOf(%#x) = %s (iteration %d)", tc.name, tc.far, name, i)
+			}
+		}
+	}
+}
+
+// TestOwnerOfUnalignedHead covers the head-claim rule on its own: an object
+// whose farBase is mid-line owns its first line's aligned-down tag even
+// though that address precedes farBase, as its dirty first line carries
+// that tag.
+func TestOwnerOfUnalignedHead(t *testing.T) {
+	b := ir.NewBuilder("headtest")
+	b.FloatArray("solo", 80)
+	b.Func("main")
+	prog := b.MustProgram()
+
+	cfg := Config{
+		LocalBudget: 1 << 20,
+		Sections: []SectionSpec{{
+			Cache: cache.Config{Name: "s", Structure: cache.Direct, LineBytes: 256, SizeBytes: 4 << 10},
+		}},
+		Placements: map[string]Placement{"solo": {Kind: PlaceSection, Section: 0}},
+	}
+	node := farmem.NewNode(farmem.NodeConfig{Capacity: 1 << 26, CPUSlowdown: 1})
+	r, err := New(cfg, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	solo := r.objs["solo"]
+	solo.farBase = farmem.DefaultBase + 128 // mid-line start
+	r.rebuildOwnerIndex()
+
+	tag := cache.AlignDown(solo.farBase, 256)
+	if got := r.ownerOf(tag); got != solo {
+		t.Fatalf("ownerOf(head tag %#x) = %v, want solo", tag, got)
+	}
+	if got := r.ownerOf(tag - 1); got != nil {
+		t.Fatalf("ownerOf below head tag = %v, want nil", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"mira/internal/ir"
 	"mira/internal/sim"
 	"mira/internal/swap"
+	"mira/internal/trace"
 	"mira/internal/transport"
 )
 
@@ -64,6 +65,13 @@ type Runtime struct {
 	localBytes int64 // local-placed object bytes (count against budget)
 	lastFlush  sim.Time
 	wbqStats   WbqStats
+
+	// byFar indexes section-placed objects sorted by farBase, so dirty-line
+	// owner resolution is deterministic (see ownerOf). Rebuilt by Bind.
+	byFar []*objectRT
+
+	// trc is the runtime's trace buffer (nil when tracing is disabled).
+	trc *trace.Buffer
 }
 
 type sectionRT struct {
@@ -72,6 +80,10 @@ type sectionRT struct {
 	sec      cache.Section
 	inflight map[uint64]sim.Time // line tag -> fetch completion
 	wbq      *writebackQueue     // async eviction pipeline (nil when disabled)
+
+	// Per-section metrics (all nil when tracing is disabled).
+	mHit, mMiss, mEvict *trace.Counter
+	mMissLat            *trace.Histogram
 }
 
 type objectRT struct {
@@ -255,6 +267,7 @@ func (r *Runtime) Bind(p *ir.Program) error {
 		return fmt.Errorf("rt: local objects (%d) + cache carve-up exceed budget %d",
 			r.localBytes, r.cfg.LocalBudget)
 	}
+	r.rebuildOwnerIndex()
 	return nil
 }
 
@@ -426,6 +439,7 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 		// (e.g. a mid-loop eviction by another thread).
 		if l, ok := s.sec.Peek(addr); ok {
 			o.hits++
+			s.mHit.Inc()
 			clk.Advance(r.cfg.Cost.NativeAccess)
 			r.waitReady(clk, s, tag)
 			return l, nil
@@ -434,11 +448,13 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	clk.Advance(r.cfg.Cost.Lookup(s.spec.Cache.Structure))
 	if l, ok := s.sec.Lookup(addr); ok {
 		o.hits++
+		s.mHit.Inc()
 		r.waitReady(clk, s, tag)
 		return l, nil
 	}
 	// Miss (§5.2.1 "loading an rmem pointer from far memory").
 	o.misses++
+	s.mMiss.Inc()
 	clk.Advance(r.cfg.Cost.MissHandling)
 	if r.cfg.Profiling {
 		clk.Advance(r.cfg.Cost.ProfileEvent)
@@ -470,11 +486,17 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 		// line need not stall on a fetch that cannot succeed.
 		return l, nil
 	}
-	done, err := r.fetchLine(clk.Now(), s, o, l)
+	fetchStart := clk.Now()
+	done, err := r.fetchLine(fetchStart, s, o, l)
 	if err != nil {
 		return nil, err
 	}
 	clk.AdvanceTo(done)
+	if r.trc != nil {
+		r.trc.Span(fetchStart, done, "rt", "miss",
+			trace.S("section", s.spec.Cache.Name), trace.S("obj", o.decl.Name))
+		s.mMissLat.Observe(int64(done.Sub(fetchStart)))
+	}
 	return l, nil
 }
 
@@ -493,6 +515,7 @@ func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cach
 	if v.Data == nil {
 		return nil
 	}
+	s.mEvict.Inc()
 	delete(s.inflight, v.Tag)
 	if !v.Dirty {
 		return nil

@@ -1,0 +1,39 @@
+package rt
+
+import (
+	"strconv"
+
+	"mira/internal/trace"
+)
+
+// SetTrace attaches the deterministic tracing layer to the runtime and its
+// whole data path: per-section cache metrics, the transport (or the cluster
+// pool's per-node transports), and the swap cache. Call after Bind — the
+// swap cache only exists then. A nil tracer leaves tracing disabled; every
+// instrumentation site is nil-safe, so an un-traced runtime pays only nil
+// checks.
+func (r *Runtime) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	reg := tr.Registry()
+	r.trc = tr.Buffer("rt")
+	for _, s := range r.secs {
+		c := s.spec.Cache
+		lbl := "{section=" + c.Name + ",structure=" + c.Structure.String() +
+			",line=" + strconv.Itoa(c.LineBytes) + "}"
+		s.mHit = reg.Counter("cache.hit" + lbl)
+		s.mMiss = reg.Counter("cache.miss" + lbl)
+		s.mEvict = reg.Counter("cache.evict" + lbl)
+		s.mMissLat = reg.Histogram("cache.miss.latency_ns" + lbl)
+	}
+	if r.trT != nil {
+		r.trT.SetTrace(tr, "net")
+	}
+	if r.pool != nil {
+		r.pool.SetTrace(tr)
+	}
+	if r.swapC != nil {
+		r.swapC.SetTrace(tr)
+	}
+}

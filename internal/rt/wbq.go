@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mira/internal/sim"
+	"mira/internal/trace"
 )
 
 // DefaultWritebackQueueLines is the per-section write-back queue bound used
@@ -99,6 +100,9 @@ func (r *Runtime) wbqEnqueue(clk *sim.Clock, s *sectionRT, o *objectRT, tag uint
 		o = owner
 	}
 	r.wbqStats.Enqueued++
+	if r.trc != nil {
+		r.trc.Instant(clk.Now(), "rt", "wbq.park", trace.S("section", s.spec.Cache.Name))
+	}
 	if s.wbq.add(tag, data, o) {
 		_, err := r.drainWbq(clk, s)
 		return err
@@ -149,7 +153,8 @@ func (r *Runtime) drainWbq(clk *sim.Clock, s *sectionRT) (sim.Time, error) {
 		return clk.Now(), nil
 	}
 	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
-	done, err := r.tr.ScatterWrite(clk.Now(), addrs, pieces)
+	post := clk.Now()
+	done, err := r.tr.ScatterWrite(post, addrs, pieces)
 	if err != nil {
 		// Re-park everything: the queued copies are the only copies.
 		for _, d := range drained {
@@ -160,6 +165,10 @@ func (r *Runtime) drainWbq(clk *sim.Clock, s *sectionRT) (sim.Time, error) {
 	r.wbqStats.Drains++
 	r.wbqStats.Lines += int64(len(drained))
 	r.wbqStats.Pieces += int64(len(addrs))
+	if r.trc != nil {
+		r.trc.Span(post, done, "rt", "wbq.drain",
+			trace.I("lines", int64(len(drained))), trace.I("pieces", int64(len(addrs))))
+	}
 	if done > r.lastFlush {
 		r.lastFlush = done
 	}

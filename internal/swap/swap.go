@@ -18,6 +18,7 @@ import (
 
 	"mira/internal/netmodel"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 )
 
@@ -124,6 +125,12 @@ type Cache struct {
 	// lock, when set, serializes the fault path across simulated
 	// threads (the kernel swap lock).
 	lock *sim.Serializer
+
+	// Tracing (all nil when disabled — every use is nil-safe).
+	trc               *trace.Buffer
+	cMajor, cMinor    *trace.Counter
+	cPrefetch, cEvict *trace.Counter
+	hFaultLat         *trace.Histogram
 }
 
 // New builds a swap cache covering [base, base+length) of far memory.
@@ -228,6 +235,7 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 			// First touch of a prefetched page: minor fault. Wait
 			// for the in-flight fetch if it has not landed yet.
 			c.stats.MinorFaults++
+			c.cMinor.Inc()
 			c.stats.PrefetchUsed++
 			clk.AdvanceTo(p.readyAt)
 			clk.Advance(c.cfg.MinorFaultOverhead)
@@ -238,6 +246,8 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 	}
 	// Major fault.
 	c.stats.MajorFaults++
+	c.cMajor.Inc()
+	faultStart := clk.Now()
 	if c.faultsByPage == nil {
 		c.faultsByPage = make(map[int64]int64)
 	}
@@ -256,6 +266,10 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 		return nil, err
 	}
 	clk.AdvanceTo(p.readyAt)
+	if c.trc != nil {
+		c.trc.Span(faultStart, clk.Now(), "swap", "fault.major", trace.I("page", no))
+		c.hFaultLat.Observe(int64(clk.Now().Sub(faultStart)))
+	}
 	if noFetch {
 		return p, nil // the far node is unreachable; skip prefetch too
 	}
@@ -303,6 +317,7 @@ func (c *Cache) prefetchEach(now sim.Time, cands []int64) error {
 			return err
 		}
 		c.stats.Prefetches++
+		c.cPrefetch.Inc()
 	}
 	return nil
 }
@@ -362,7 +377,11 @@ func (c *Cache) prefetchBatch(now sim.Time, cands []int64) error {
 		p.readyAt = readies[i]
 	}
 	c.stats.Prefetches += int64(len(ps))
+	c.cPrefetch.Add(int64(len(ps)))
 	c.stats.PagesFetched += int64(len(ps))
+	if c.trc != nil {
+		c.trc.Span(now, done, "swap", "prefetch.batch", trace.I("pages", int64(len(ps))))
+	}
 	return nil
 }
 
@@ -469,6 +488,7 @@ func (c *Cache) evictOne(now sim.Time) error {
 	delete(c.pages, p.no)
 	p.resident = false
 	c.stats.Evictions++
+	c.cEvict.Inc()
 	if p.dirty {
 		c.stats.Writebacks++
 		if _, err := c.tr.WriteOneSided(now, c.base+uint64(p.no)*PageBytes, p.data); err != nil {
@@ -530,6 +550,22 @@ func (c *Cache) SettleAsync() {
 	for _, el := range c.pages {
 		el.Value.(*page).readyAt = 0
 	}
+}
+
+// SetTrace attaches the deterministic tracing layer: fault/prefetch/evict
+// counters, a fault-latency histogram, and span events on the major-fault
+// and batched-prefetch paths. A nil tracer leaves tracing disabled.
+func (c *Cache) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	reg := tr.Registry()
+	c.trc = tr.Buffer("swap")
+	c.cMajor = reg.Counter("swap.fault.major")
+	c.cMinor = reg.Counter("swap.fault.minor")
+	c.cPrefetch = reg.Counter("swap.prefetch")
+	c.cEvict = reg.Counter("swap.evict")
+	c.hFaultLat = reg.Histogram("swap.fault.latency_ns")
 }
 
 // SetLock installs a global fault-path serializer shared across simulated

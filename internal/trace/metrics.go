@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync"
+)
+
+// Registry is a typed metrics store: counters, gauges, and power-of-two
+// bucketed histograms, addressed by name. Labels are embedded in the name
+// (e.g. `cache.hit{section=edges,structure=direct,line=256}`) so the
+// serialization is a flat, sorted map — stable across runs. Get-or-create
+// accessors make instrumentation sites one-liners; all metric methods are
+// nil-safe so a disabled registry costs one nil check.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gauge map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gauge: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotone event count.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value reports the last value set (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. exponentially-wider ranges
+// [2^(i-1), 2^i). 64 covers the full int64 range, so no observation is
+// ever dropped.
+const histBuckets = 65
+
+// Histogram accumulates a distribution in power-of-two buckets — enough
+// resolution to tell a 3 µs hit from a 40 µs degraded read without
+// configuring bucket bounds per metric.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// Count reports the number of samples observed (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the total of all samples observed.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.ctrs[name]
+	if c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauge[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histJSON is a histogram's serialized form. Buckets are emitted sparsely
+// as {"2^i": count} with only non-empty buckets, keyed by the bucket's
+// upper bound exponent.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func bucketLabel(i int) string {
+	// Bucket i holds values with bit length i: [2^(i-1), 2^i). Label by
+	// the exclusive upper bound; bucket 0 holds exactly the value 0.
+	if i == 0 {
+		return "0"
+	}
+	return "lt_2e" + strconv.Itoa(i)
+}
+
+// WriteJSON serializes every metric. encoding/json sorts map keys, so the
+// output is byte-stable for a given set of metric values.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}
+	out.Counters = map[string]int64{}
+	out.Gauges = map[string]int64{}
+	out.Histograms = map[string]histJSON{}
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.ctrs {
+			out.Counters[name] = c.Value()
+		}
+		for name, g := range r.gauge {
+			out.Gauges[name] = g.Value()
+		}
+		for name, h := range r.hists {
+			h.mu.Lock()
+			hj := histJSON{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+				Buckets: map[string]int64{}}
+			for i, n := range h.buckets {
+				if n > 0 {
+					hj.Buckets[bucketLabel(i)] = n
+				}
+			}
+			h.mu.Unlock()
+			out.Histograms[name] = hj
+		}
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}

@@ -1,0 +1,262 @@
+// Package trace is Mira's deterministic observability layer: structured
+// events stamped with virtual time (sim.Time, never the wall clock) and a
+// typed metrics registry. Components append events to per-thread Buffers;
+// the writer merges every buffer into one Chrome trace-event JSON stream —
+// loadable in chrome://tracing or Perfetto — sorted by instant and then by
+// a stable per-buffer sequence number, so two runs with identical seeds
+// produce byte-identical files.
+//
+// The disabled state is a nil *Tracer: every method on Tracer, Buffer, and
+// the metric types is nil-safe and returns immediately, so instrumented hot
+// paths pay one nil check when tracing is off. Components therefore hold
+// plain pointers (a nil Buffer, a nil Counter) instead of branching on a
+// separate "enabled" flag.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mira/internal/sim"
+)
+
+// Phase is the Chrome trace-event phase of an event.
+const (
+	// PhaseSpan is a complete event ('X'): a named interval with a
+	// duration, e.g. a demand-miss fetch or a planner iteration.
+	PhaseSpan = 'X'
+	// PhaseInstant is an instant event ('i'): a point occurrence, e.g. a
+	// retry, a breaker trip, a write-back parked in a queue.
+	PhaseInstant = 'i'
+)
+
+// Arg is one key/value annotation on an event. Values are strings or
+// int64s only — floats have no canonical text form and would threaten
+// byte-stable output.
+type Arg struct {
+	Key string
+	Str string
+	Int int64
+	str bool
+}
+
+// S builds a string-valued Arg.
+func S(key, val string) Arg { return Arg{Key: key, Str: val, str: true} }
+
+// I builds an integer-valued Arg.
+func I(key string, val int64) Arg { return Arg{Key: key, Int: val} }
+
+// Event is one trace record. Ts and Dur are virtual time.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	Ts   sim.Time
+	Dur  sim.Duration
+	Tid  int
+	Seq  uint64
+	Args []Arg
+}
+
+// Buffer collects the events of one simulated thread (or one component
+// with its own timeline). Buffers are created via Tracer.Buffer and are
+// safe for concurrent use — tests drive the transport from real
+// goroutines — though simulated threads normally own theirs exclusively.
+type Buffer struct {
+	mu     sync.Mutex
+	tid    int
+	seq    uint64
+	events []Event
+}
+
+// Span records a complete event covering [start, end]. A span whose end
+// precedes its start is clamped to zero duration rather than rejected —
+// callers pass raw clock readings.
+func (b *Buffer) Span(start, end sim.Time, cat, name string, args ...Arg) {
+	if b == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	b.append(Event{Name: name, Cat: cat, Ph: PhaseSpan, Ts: start, Dur: d, Args: args})
+}
+
+// Instant records a point event at ts.
+func (b *Buffer) Instant(ts sim.Time, cat, name string, args ...Arg) {
+	if b == nil {
+		return
+	}
+	b.append(Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: ts, Args: args})
+}
+
+func (b *Buffer) append(e Event) {
+	b.mu.Lock()
+	e.Tid = b.tid
+	e.Seq = b.seq
+	b.seq++
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+func (b *Buffer) snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Tracer owns the run's event buffers and metrics registry. The zero value
+// is not usable; call New. A nil *Tracer is the disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	reg   *Registry
+	bufs  []*Buffer
+	names []string
+}
+
+// New returns an enabled tracer with an empty registry.
+func New() *Tracer {
+	return &Tracer{reg: NewRegistry()}
+}
+
+// Registry returns the tracer's metrics registry (nil when the tracer is
+// disabled — the registry's methods are nil-safe in turn).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Buffer returns the event buffer named name, creating it on first use.
+// Thread ids are assigned in creation order, which is deterministic for a
+// deterministic run; the writer additionally orders output by (ts, tid,
+// seq), so even racy creation order cannot reorder the file's events
+// against virtual time.
+func (t *Tracer) Buffer(name string) *Buffer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, n := range t.names {
+		if n == name {
+			return t.bufs[i]
+		}
+	}
+	b := &Buffer{tid: len(t.bufs)}
+	t.bufs = append(t.bufs, b)
+	t.names = append(t.names, name)
+	return b
+}
+
+// Events merges every buffer's events, sorted by instant, then thread id,
+// then per-buffer sequence — the deterministic total order the writer
+// emits.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	bufs := append([]*Buffer(nil), t.bufs...)
+	t.mu.Unlock()
+	var all []Event
+	for _, b := range bufs {
+		all = append(all, b.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Ts != all[j].Ts {
+			return all[i].Ts < all[j].Ts
+		}
+		if all[i].Tid != all[j].Tid {
+			return all[i].Tid < all[j].Tid
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}
+
+// micros renders a virtual-time nanosecond count as Chrome's microsecond
+// timestamp unit with fixed nanosecond precision — strconv with a fixed
+// format, so output is byte-stable.
+func micros(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1000, 'f', 3, 64)
+}
+
+func quote(s string) string { return strconv.Quote(s) }
+
+func writeArgs(sb *strings.Builder, args []Arg) {
+	sb.WriteString(`,"args":{`)
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(quote(a.Key))
+		sb.WriteByte(':')
+		if a.str {
+			sb.WriteString(quote(a.Str))
+		} else {
+			sb.WriteString(strconv.FormatInt(a.Int, 10))
+		}
+	}
+	sb.WriteByte('}')
+}
+
+// WriteTrace emits the merged event stream as Chrome trace-event JSON
+// (the "JSON object format": {"traceEvents": [...]}). Thread-name
+// metadata events label each buffer, and ordering is fully deterministic.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	names := append([]string(nil), t.names...)
+	t.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	for tid, name := range names {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, `{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			tid, quote(name))
+	}
+	for _, e := range t.Events() {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString("\n")
+		sb.WriteString(`{"name":`)
+		sb.WriteString(quote(e.Name))
+		sb.WriteString(`,"cat":`)
+		sb.WriteString(quote(e.Cat))
+		sb.WriteString(`,"ph":"`)
+		sb.WriteByte(e.Ph)
+		sb.WriteString(`","ts":`)
+		sb.WriteString(micros(int64(e.Ts)))
+		if e.Ph == PhaseSpan {
+			sb.WriteString(`,"dur":`)
+			sb.WriteString(micros(int64(e.Dur)))
+		}
+		if e.Ph == PhaseInstant {
+			sb.WriteString(`,"s":"t"`)
+		}
+		fmt.Fprintf(&sb, `,"pid":0,"tid":%d`, e.Tid)
+		if len(e.Args) > 0 {
+			writeArgs(&sb, e.Args)
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

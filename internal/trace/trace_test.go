@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mira/internal/sim"
+)
+
+// TestNilSafety: every operation on a disabled (nil) tracer, buffer, and
+// metric must be a no-op, never a panic — this is the zero-cost-when-
+// disabled contract the hot paths rely on.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Registry() != nil {
+		t.Fatal("nil tracer should hand out a nil registry")
+	}
+	b := tr.Buffer("rt")
+	if b != nil {
+		t.Fatal("nil tracer should hand out a nil buffer")
+	}
+	b.Instant(5, "rt", "miss")
+	b.Span(0, 10, "rt", "fetch", I("lines", 3), S("section", "edges"))
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events = %v, want nil", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(7)
+	reg.Histogram("z").Observe(42)
+	if reg.Counter("x").Value() != 0 || reg.Histogram("z").Count() != 0 {
+		t.Fatal("nil registry metrics should read zero")
+	}
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestMergeOrder: events from multiple buffers come out sorted by
+// (instant, tid, per-buffer sequence) regardless of append interleaving.
+func TestMergeOrder(t *testing.T) {
+	tr := New()
+	a := tr.Buffer("a")
+	b := tr.Buffer("b")
+	b.Instant(20, "t", "b-late")
+	a.Instant(20, "t", "a-late")
+	a.Instant(10, "t", "a-early")
+	a.Instant(10, "t", "a-early-2")
+	b.Span(5, 30, "t", "b-span")
+	ev := tr.Events()
+	want := []string{"b-span", "a-early", "a-early-2", "a-late", "b-late"}
+	if len(ev) != len(want) {
+		t.Fatalf("got %d events, want %d", len(ev), len(want))
+	}
+	for i, name := range want {
+		if ev[i].Name != name {
+			t.Errorf("event %d = %q, want %q", i, ev[i].Name, name)
+		}
+	}
+	// Same-instant same-buffer events keep append order via Seq.
+	if ev[1].Seq >= ev[2].Seq {
+		t.Errorf("seq order broken: %d then %d", ev[1].Seq, ev[2].Seq)
+	}
+}
+
+// TestBufferReuse: asking for the same buffer name twice returns the same
+// buffer (one tid), not a fresh one.
+func TestBufferReuse(t *testing.T) {
+	tr := New()
+	a1 := tr.Buffer("rt")
+	a2 := tr.Buffer("rt")
+	if a1 != a2 {
+		t.Fatal("same name should return the same buffer")
+	}
+	b := tr.Buffer("net")
+	if b == a1 {
+		t.Fatal("distinct names should return distinct buffers")
+	}
+	if a1.tid == b.tid {
+		t.Fatal("distinct buffers should have distinct tids")
+	}
+}
+
+// TestWriteTraceJSON: output parses as Chrome trace-event JSON with the
+// fields Perfetto requires, and negative-duration spans clamp to zero.
+func TestWriteTraceJSON(t *testing.T) {
+	tr := New()
+	b := tr.Buffer("rt")
+	b.Span(1500, 4500, "rt", "fetch", S("section", "edges"), I("lines", 2))
+	b.Instant(2000, "net", "retry")
+	b.Span(100, 50, "rt", "clamped") // end before start
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 thread_name metadata + 3 events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	for _, e := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Errorf("event missing %q: %v", field, e)
+			}
+		}
+	}
+	// Events sort by instant: clamped (ts 100), fetch (1500), retry (2000).
+	span := doc.TraceEvents[2]
+	if span["ts"].(float64) != 1.5 { // 1500 ns = 1.5 µs
+		t.Errorf("ts = %v µs, want 1.5", span["ts"])
+	}
+	if span["dur"].(float64) != 3.0 {
+		t.Errorf("dur = %v µs, want 3.0", span["dur"])
+	}
+	if args := span["args"].(map[string]any); args["section"] != "edges" || args["lines"].(float64) != 2 {
+		t.Errorf("args = %v", args)
+	}
+	clamped := doc.TraceEvents[1]
+	if clamped["dur"].(float64) != 0 {
+		t.Errorf("clamped span dur = %v, want 0", clamped["dur"])
+	}
+}
+
+// TestWriteTraceByteStable: identical event streams serialize to identical
+// bytes — the property the CI trace-smoke job asserts end to end.
+func TestWriteTraceByteStable(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		rt := tr.Buffer("rt")
+		net := tr.Buffer("net")
+		for i := 0; i < 50; i++ {
+			rt.Span(sim.Time(i*100), sim.Time(i*100+40), "rt", "fetch", I("i", int64(i)))
+			net.Instant(sim.Time(i*100+10), "net", "send")
+		}
+		tr.Registry().Counter("rt.miss").Add(50)
+		tr.Registry().Histogram("lat").Observe(1234)
+		return tr
+	}
+	var t1, t2, m1, m2 bytes.Buffer
+	a, b := build(), build()
+	if err := a.WriteTrace(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteTrace(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("trace output not byte-stable across identical runs")
+	}
+	if err := a.Registry().WriteJSON(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Registry().WriteJSON(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Error("metrics output not byte-stable across identical runs")
+	}
+}
+
+// TestRegistry: get-or-create semantics and histogram bucket accounting.
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("hits").Value() != 5 {
+		t.Errorf("counter = %d, want 5", r.Counter("hits").Value())
+	}
+	r.Gauge("depth").Set(9)
+	r.Gauge("depth").Set(3)
+	if r.Gauge("depth").Value() != 3 {
+		t.Errorf("gauge = %d, want 3", r.Gauge("depth").Value())
+	}
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("hist count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1010 {
+		t.Errorf("hist sum = %d, want 1010", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     int64            `json:"sum"`
+			Min     int64            `json:"min"`
+			Max     int64            `json:"max"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["hits"] != 5 || doc.Gauges["depth"] != 3 {
+		t.Errorf("serialized values wrong: %+v", doc)
+	}
+	hj := doc.Histograms["lat"]
+	if hj.Count != 7 || hj.Min != 0 || hj.Max != 1000 {
+		t.Errorf("hist summary wrong: %+v", hj)
+	}
+	// 0 and -7 (clamped) land in bucket "0"; 1 in lt_2e1; 2,3 in lt_2e2;
+	// 4 in lt_2e3; 1000 in lt_2e10.
+	wantBuckets := map[string]int64{"0": 2, "lt_2e1": 1, "lt_2e2": 2, "lt_2e3": 1, "lt_2e10": 1}
+	for k, n := range wantBuckets {
+		if hj.Buckets[k] != n {
+			t.Errorf("bucket %q = %d, want %d (all: %v)", k, hj.Buckets[k], n, hj.Buckets)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/netmodel"
 	"mira/internal/sim"
+	"mira/internal/trace"
 )
 
 // Policy tunes the transport's failure handling. The zero value disables
@@ -177,6 +178,15 @@ type T struct {
 	// never rebuild and re-sort the key set.
 	queuedAddrs []uint64
 	stats       Stats
+
+	// Tracing (all nil when disabled — every use is nil-safe).
+	trc       *trace.Buffer
+	cOps      *trace.Counter
+	cRetries  *trace.Counter
+	cTimeouts *trace.Counter
+	cTrips    *trace.Counter
+	cDegraded *trace.Counter
+	hBatch    *trace.Histogram
 }
 
 // New builds a transport over node with the given cost model and the
@@ -223,6 +233,28 @@ func (t *T) SetPolicy(pol Policy) {
 
 // Policy returns the active resilience policy.
 func (t *T) Policy() Policy { return t.pol }
+
+// SetTrace attaches this link to a tracer: op spans, retry and breaker
+// events go to the buffer named buf ("net" for the single link, "net.nodeI"
+// per cluster member), counters and the batch-size histogram to the
+// registry. The histogram carries the same distribution as Stats.BatchHist
+// but with the registry's full bucket range. A nil tracer disables tracing.
+func (t *T) SetTrace(tr *trace.Tracer, buf string) {
+	if tr == nil {
+		return
+	}
+	reg := tr.Registry()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trc = tr.Buffer(buf)
+	lbl := "{link=" + buf + "}"
+	t.cOps = reg.Counter("net.ops" + lbl)
+	t.cRetries = reg.Counter("net.retries" + lbl)
+	t.cTimeouts = reg.Counter("net.timeouts" + lbl)
+	t.cTrips = reg.Counter("net.breaker.trips" + lbl)
+	t.cDegraded = reg.Counter("net.degraded.reads" + lbl)
+	t.hBatch = reg.Histogram("net.batch.pieces")
+}
 
 // Stats returns a snapshot of the resilience counters.
 func (t *T) Stats() Stats {
@@ -300,6 +332,7 @@ func (t *T) timedOut(base, extra sim.Duration) bool {
 	}
 	if base+extra > d {
 		t.bump(&t.stats.Timeouts)
+		t.cTimeouts.Inc()
 		return true
 	}
 	return false
@@ -312,17 +345,19 @@ func (t *T) bump(field *int64) {
 }
 
 // resilient runs one operation under the retry/backoff/breaker policy.
-// attempt must charge bandwidth only on success; rtt is the op class's
-// NACK-detection latency; base its fault-free cost (deadline basis).
-// degraded, when non-nil, is consulted while the breaker is open (writes
-// queue locally through it); returning ok=true completes the op without the
-// network. Permanent errors return immediately with the caller's own `now`
-// — a refused operation charges neither time nor bandwidth.
-func (t *T) resilient(now sim.Time, rtt, base sim.Duration,
+// op names the operation class for tracing. attempt must charge bandwidth
+// only on success; rtt is the op class's NACK-detection latency; base its
+// fault-free cost (deadline basis). degraded, when non-nil, is consulted
+// while the breaker is open (writes queue locally through it); returning
+// ok=true completes the op without the network. Permanent errors return
+// immediately with the caller's own `now` — a refused operation charges
+// neither time nor bandwidth.
+func (t *T) resilient(op string, now sim.Time, rtt, base sim.Duration,
 	attempt func(at sim.Time) (sim.Time, error),
 	degraded func(at sim.Time) (sim.Time, bool)) (sim.Time, error) {
 
 	t.bump(&t.stats.Ops)
+	t.cOps.Inc()
 	attempts := t.pol.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -332,6 +367,7 @@ func (t *T) resilient(now sim.Time, rtt, base sim.Duration,
 	for a := 0; a < attempts; a++ {
 		if degraded != nil && t.BreakerOpen(at) {
 			if end, ok := degraded(at); ok {
+				t.trc.Span(now, end, "net", op, trace.S("mode", "degraded"))
 				return end, nil
 			}
 		}
@@ -339,16 +375,26 @@ func (t *T) resilient(now sim.Time, rtt, base sim.Duration,
 		end, err := attempt(at)
 		if err == nil {
 			t.noteSuccess(at)
+			if a == 0 {
+				t.trc.Span(now, end, "net", op)
+			} else {
+				t.trc.Span(now, end, "net", op, trace.I("retries", int64(a)))
+			}
 			return end, nil
 		}
 		if !IsTransient(err) {
 			return now, err
 		}
 		lastErr = err
-		if a < attempts-1 {
+		retrying := a < attempts-1
+		if retrying {
 			t.bump(&t.stats.Retries)
+			t.cRetries.Inc()
 		}
 		at = t.noteFailure(at, a, rtt, base, err)
+		if retrying {
+			t.trc.Instant(at, "net", op+".retry", trace.I("attempt", int64(a+1)))
+		}
 	}
 	t.bump(&t.stats.GaveUp)
 	return at, fmt.Errorf("%w after %d attempts (last: %v)", ErrFarUnavailable, attempts, lastErr)
@@ -411,6 +457,9 @@ func (t *T) noteFailure(at sim.Time, a int, rtt, base sim.Duration, err error) s
 		t.open = true
 		t.openUntil = at.Add(t.pol.BreakerCooldown)
 		t.stats.BreakerTrips++
+		t.cTrips.Inc()
+		t.trc.Instant(at, "net", "breaker.open",
+			trace.I("until_ns", int64(t.openUntil)))
 	}
 	return at
 }
@@ -418,10 +467,14 @@ func (t *T) noteFailure(at sim.Time, a int, rtt, base sim.Duration, err error) s
 // noteSuccess closes the breaker and drains any queued write-backs.
 func (t *T) noteSuccess(at sim.Time) {
 	t.mu.Lock()
+	wasOpen := t.open
 	t.consecFails = 0
 	t.open = false
 	n := len(t.queued)
 	t.mu.Unlock()
+	if wasOpen {
+		t.trc.Instant(at, "net", "breaker.close")
+	}
 	if n > 0 {
 		t.drainOnce(at)
 	}
@@ -487,6 +540,7 @@ func (t *T) serveQueued(addr uint64, buf []byte) bool {
 	if base, data, ok := t.coveringQueuedLocked(addr, len(buf)); ok {
 		copy(buf, data[addr-base:])
 		t.stats.DegradedReads++
+		t.cDegraded.Inc()
 		return true
 	}
 	return false
@@ -554,7 +608,7 @@ func (t *T) Flush(now sim.Time) (sim.Time, error) {
 			continue
 		}
 		base := t.Cfg.OneSidedCost(len(data))
-		end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+		end, err := t.resilient("flush.writeback", now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 			extra, err := t.be.Write(at, addr, data)
 			if err != nil {
 				return 0, err
@@ -587,7 +641,7 @@ func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error
 		return now, nil
 	}
 	base := t.Cfg.OneSidedCost(len(buf))
-	return t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	return t.resilient("read", now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		sum, extra, err := t.be.Read(at, addr, buf)
 		if err != nil {
 			return 0, err
@@ -610,7 +664,7 @@ func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error
 // the degraded-mode write-back queue.
 func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error) {
 	base := t.Cfg.OneSidedCost(len(buf))
-	return t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	return t.resilient("write", now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		extra, err := t.be.Write(at, addr, buf)
 		if err != nil {
 			return 0, err
@@ -641,7 +695,7 @@ func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 	}
 	base := t.Cfg.BatchedCost(sizes)
 	var data []byte
-	end, err := t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	end, err := t.resilient("gather2s", now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		d, sum, extra, err := t.be.Gather(at, addrs, sizes)
 		if err != nil {
 			return 0, err
@@ -687,6 +741,7 @@ func (t *T) gatherQueued(addrs []uint64, sizes []int) ([]byte, bool) {
 		off += sizes[i]
 	}
 	t.stats.DegradedReads++
+	t.cDegraded.Inc()
 	return out, true
 }
 
@@ -716,7 +771,7 @@ func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.
 		total += len(p)
 	}
 	base := t.Cfg.BatchedCost(sizes)
-	return t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	return t.resilient("scatter2s", now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		extra, err := t.be.Scatter(at, addrs, pieces)
 		if err != nil {
 			return 0, err
@@ -734,13 +789,15 @@ func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.
 	})
 }
 
-// noteBatch records a vectored op of n pieces in the batch-size histogram.
+// noteBatch records a vectored op of n pieces in the batch-size histogram
+// (and its registry twin when tracing is on).
 func (t *T) noteBatch(n int) {
 	t.mu.Lock()
 	t.stats.Batches++
 	t.stats.BatchedPieces += int64(n)
 	t.stats.BatchHist[batchBucket(n)]++
 	t.mu.Unlock()
+	t.hBatch.Observe(int64(n))
 }
 
 // GatherOneSided fetches several pieces with one doorbell-batched chain of
@@ -762,7 +819,7 @@ func (t *T) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 	}
 	base := t.Cfg.VectoredOneSidedCost(sizes)
 	var data []byte
-	end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	end, err := t.resilient("gather1s", now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		d, sum, extra, err := t.be.Gather(at, addrs, sizes)
 		if err != nil {
 			return 0, err
@@ -799,7 +856,7 @@ func (t *T) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Tim
 		total += len(p)
 	}
 	base := t.Cfg.VectoredOneSidedCost(sizes)
-	end, err := t.resilient(now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	end, err := t.resilient("scatter.write", now, t.Cfg.OneSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		extra, err := t.be.Scatter(at, addrs, pieces)
 		if err != nil {
 			return 0, err
@@ -829,7 +886,7 @@ func (t *T) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Tim
 func (t *T) Call(now sim.Time, name string, args []byte) ([]byte, sim.Time, error) {
 	base := t.Cfg.TwoSidedCost(len(args))
 	var res []byte
-	end, err := t.resilient(now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
+	end, err := t.resilient("call", now, t.Cfg.TwoSidedRTT, base, func(at sim.Time) (sim.Time, error) {
 		r, farCPU, extra, err := t.be.Call(at, name, args)
 		if err != nil {
 			return 0, err

@@ -44,6 +44,7 @@ import (
 	"mira/internal/mtrun"
 	"mira/internal/planner"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/transport"
 	"mira/internal/workload"
 )
@@ -82,6 +83,15 @@ const (
 
 // RunOptions configures a single system run.
 type RunOptions = harness.Options
+
+// Tracer collects deterministic trace events and metrics from a run (set
+// RunOptions.Trace). Write the results with its WriteTrace (Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto) and
+// Registry().WriteJSON (metrics) methods.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty tracer ready to attach to a run.
+func NewTracer() *Tracer { return trace.New() }
 
 // RunResult is one run's outcome.
 type RunResult = harness.Result
