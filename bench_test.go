@@ -317,3 +317,79 @@ func TestBenchBatching(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---- Multithreaded scaling trajectory (BENCH_mt.json) ----
+
+// mtRunRecord is one (mode, thread count) point of the Fig. 24 driver.
+type mtRunRecord struct {
+	SimTimeNs     int64   `json:"sim_time_ns"`
+	SimTime       string  `json:"sim_time"`
+	Messages      int64   `json:"messages"`
+	BytesMoved    int64   `json:"bytes_moved"`
+	SpeedupOver1T float64 `json:"speedup_over_1t"`
+}
+
+// TestBenchMT runs the Fig. 24 read-only scaling driver (fixed GPT-2 batch
+// divided across interleaved threads) for Mira, Mira-unopt, and FastSwap at
+// 1..8 threads, emits BENCH_mt.json for future PRs to diff, and gates the
+// paper's shape: Mira must out-scale FastSwap, and Mira-unopt's shared
+// conservative sections must cost it measurable time against Mira's private
+// sections at 4+ threads (emergent cross-thread eviction interference).
+func TestBenchMT(t *testing.T) {
+	w := NewGPT2Workload(GPT2Config{Layers: 6, DModel: 64, DFF: 256, SeqLen: 16, Seed: 117})
+	budget := w.FullMemoryBytes()
+	threadCounts := []int{1, 2, 4, 8}
+
+	out := map[string]map[string]mtRunRecord{}
+	timeAt := map[string]map[int]int64{}
+	for _, mode := range []MTMode{MTMiraPrivate, MTMiraShared, MTFastSwapShared} {
+		perN := map[string]mtRunRecord{}
+		timeAt[string(mode)] = map[int]int64{}
+		var t1 int64
+		for _, n := range threadCounts {
+			res, err := ReadOnlyScaling(mode, w, budget, n)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", mode, n, err)
+			}
+			if n == 1 {
+				t1 = int64(res.Time)
+			}
+			rec := mtRunRecord{
+				SimTimeNs:  int64(res.Time),
+				SimTime:    res.Time.String(),
+				Messages:   res.Messages,
+				BytesMoved: res.BytesMoved,
+			}
+			if res.Time > 0 {
+				rec.SpeedupOver1T = float64(t1) / float64(res.Time)
+			}
+			perN[fmt.Sprintf("%d", n)] = rec
+			timeAt[string(mode)][n] = int64(res.Time)
+			t.Logf("%s x%d: %s (%.2fx over 1T), %d messages, %d bytes",
+				mode, n, rec.SimTime, rec.SpeedupOver1T, rec.Messages, rec.BytesMoved)
+		}
+		out[string(mode)] = perN
+	}
+
+	miraS := out[string(MTMiraPrivate)]["4"].SpeedupOver1T
+	fsS := out[string(MTFastSwapShared)]["4"].SpeedupOver1T
+	if miraS <= fsS {
+		t.Errorf("mira 4-thread speedup %.2fx not above fastswap %.2fx", miraS, fsS)
+	}
+	if p, u := timeAt[string(MTMiraPrivate)][4], timeAt[string(MTMiraShared)][4]; u <= p {
+		t.Errorf("mira-unopt at 4 threads (%d ns) not slower than mira (%d ns)", u, p)
+	}
+
+	doc := map[string]any{
+		"description": "Fig. 24 read-only scaling on the deterministic interleaved scheduler: fixed GPT-2 batch divided across threads, full-footprint budget. Regenerate with: go test -run TestBenchMT .",
+		"threads":     threadCounts,
+		"modes":       out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_mt.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,14 @@
 //	mira-run -app mcf -system fastswap -mem 0.5
 //	mira-run -app graph -system fastswap -mem 0.25 -faults crash
 //	mira-run -app graph -system fastswap -mem 0.25 -nodes 4 -replicas 2
+//	mira-run -app gpt2 -system mira -mem 1.0 -threads 4
+//
+// With -threads N, a fixed read-only batch is divided across N simulated
+// threads interleaved on the deterministic virtual-time scheduler (§4.6,
+// Fig. 24). The default shares one conservative section set across threads
+// (the paper's Mira-unopt); -private-sections gives each thread its own
+// budget/N sections. Identical invocations produce byte-identical -trace
+// output.
 //
 // With -faults, the run first executes fault-free to measure its length,
 // then re-executes under the named fault schedule (crash/partition windows
@@ -62,6 +70,57 @@ func buildWorkload(app string) (mira.Workload, error) {
 	}
 }
 
+// runMultithreaded drives the Fig. 24 read-only scaling experiment from
+// the command line: a fixed batch of executions divided across interleaved
+// simulated threads. Two runs with identical flags produce byte-identical
+// traces — the interleaving is fully determined by (virtual time, tid).
+func runMultithreaded(w mira.Workload, budget int64, app, system string, mem float64,
+	threads int, privateSections bool, traceOut, metricsOut string, withFaults, withNodes bool) {
+	if withFaults || withNodes {
+		fmt.Fprintln(os.Stderr, "mira-run: -threads cannot combine with -faults or -nodes")
+		os.Exit(2)
+	}
+	var mode mira.MTMode
+	switch system {
+	case "mira":
+		mode = mira.MTMiraShared
+		if privateSections {
+			mode = mira.MTMiraPrivate
+		}
+	case "fastswap":
+		mode = mira.MTFastSwapShared
+	default:
+		fmt.Fprintf(os.Stderr, "mira-run: system %q has no multithreaded driver (mira, fastswap)\n", system)
+		os.Exit(2)
+	}
+	var tracer *mira.Tracer
+	if traceOut != "" || metricsOut != "" {
+		tracer = mira.NewTracer()
+	}
+	res, err := mira.ReadOnlyScalingTraced(mode, w, budget, threads, tracer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
+		os.Exit(1)
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, tracer.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, tracer.Registry().WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%s on %s (%s) with %d threads at %.0f%% local memory (%d bytes): %v fork-join\n",
+		app, system, res.Mode, threads, mem*100, budget, res.Time)
+	for i, t := range res.PerThread {
+		fmt.Printf("  thread %d: %v\n", i, t)
+	}
+}
+
 func main() {
 	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan")
 	system := flag.String("system", "mira", "system: native, mira, mira-swap, fastswap, leap, aifm")
@@ -79,6 +138,8 @@ func main() {
 	faultNode := flag.Int("fault-node", 0, "which cluster node receives the -faults schedule")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the run's metrics registry as JSON to this file")
+	threads := flag.Int("threads", 1, "interleave this many simulated threads on the deterministic scheduler, dividing a fixed read-only batch (systems: mira, fastswap)")
+	privateSections := flag.Bool("private-sections", false, "with -threads: give each thread private cache sections (default: one shared conservative section set, the paper's Mira-unopt)")
 	flag.Parse()
 
 	w, err := buildWorkload(*app)
@@ -87,6 +148,16 @@ func main() {
 		os.Exit(2)
 	}
 	budget := int64(float64(w.FullMemoryBytes()) * *mem)
+	// An explicit -threads 1 still runs the multithreaded driver (a
+	// one-thread group on the scheduler), so thread sweeps compare one
+	// driver with itself; without the flag, 1 means the classic run path.
+	threadsSet := false
+	flag.Visit(func(f *flag.Flag) { threadsSet = threadsSet || f.Name == "threads" })
+	if *threads > 1 || (threadsSet && *threads == 1) {
+		runMultithreaded(w, budget, *app, *system, *mem, *threads, *privateSections,
+			*traceOut, *metricsOut, *faultsName != "", *nodes > 0)
+		return
+	}
 	opts := mira.RunOptions{Budget: budget, Verify: *verify}
 	opts.NoBatching = !*batch
 	opts.WritebackQueueLines = *wbq

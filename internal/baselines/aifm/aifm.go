@@ -92,6 +92,15 @@ type Runtime struct {
 	lru     *list.List // front = most recent
 	meta    int64
 
+	// lock serializes dereferences across simulated threads: the object
+	// cache's shared state (LRU list, entry map, capacity accounting) is
+	// guarded by one runtime lock, so a hit holds it for the dereference
+	// bookkeeping and a miss holds it through eviction and fetch. This is
+	// the synchronization that keeps AIFM's shared cache from scaling
+	// with threads (Fig. 25); single-threaded runs never contend on it
+	// and see identical timings.
+	lock sim.Serializer
+
 	// stats
 	derefs, hits, misses, evictions, writebacks int64
 }
@@ -217,6 +226,10 @@ func (r *Runtime) Access(clk *sim.Clock, name string, elem int64, field ir.Field
 		return fmt.Errorf("aifm: %q[%d] out of range", name, elem)
 	}
 	r.derefs++
+	// Take the shared cache lock for the dereference; a concurrent
+	// thread's dereference (or in-progress miss) pushes the acquisition
+	// instant forward.
+	clk.AdvanceTo(r.lock.Acquire(clk.Now(), r.opts.DerefCost))
 	clk.Advance(r.opts.DerefCost)
 	e, err := r.deref(clk, o, elem/o.chunkElems)
 	if err != nil {
@@ -270,6 +283,10 @@ func (r *Runtime) deref(clk *sim.Clock, o *objState, chunk int64) (*entry, error
 	}
 	copy(e.data, data)
 	clk.AdvanceTo(done)
+	// The miss extended the critical section past the dereference hold:
+	// keep the cache lock busy until the fetch completed, so concurrent
+	// dereferences queue behind it.
+	r.lock.Acquire(done, 0)
 	r.entries[key] = r.lru.PushFront(e)
 	r.used += size
 	return e, nil

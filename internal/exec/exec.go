@@ -29,6 +29,13 @@ type Options struct {
 	Collector *profile.Collector
 	// Params binds the entry function's parameters.
 	Params map[string]Value
+	// Yield, when set, is called immediately before every backend memory
+	// operation (access, prefetch, eviction hint, fence, release, bulk
+	// transfer). The multithreaded drivers install sim.Thread.Yield here
+	// so the deterministic scheduler can interleave threads at every
+	// memory-op boundary; single-threaded runs leave it nil and pay one
+	// nil check per operation.
+	Yield func()
 }
 
 // DefaultOptions matches rt.DefaultCostModel's compute costs.
@@ -277,6 +284,7 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 			if err != nil {
 				return Value{}, false, err
 			}
+			e.yield()
 			t0 := clk.Now()
 			if err := e.be.Prefetch(clk, st.Obj, idx.AsInt(), f); err != nil {
 				return Value{}, false, err
@@ -299,6 +307,7 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 				}
 				entries = append(entries, rt.BatchEntry{Obj: pe.Obj, Elem: idx.AsInt(), Field: f})
 			}
+			e.yield()
 			t0 := clk.Now()
 			if err := e.be.PrefetchBatch(clk, entries); err != nil {
 				return Value{}, false, err
@@ -313,6 +322,7 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 			if err != nil {
 				return Value{}, false, err
 			}
+			e.yield()
 			t0 := clk.Now()
 			if err := e.be.EvictHint(clk, st.Obj, idx.AsInt()); err != nil {
 				return Value{}, false, err
@@ -323,6 +333,7 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 			if e.remote != nil {
 				break
 			}
+			e.yield()
 			t0 := clk.Now()
 			e.be.Fence(clk)
 			e.chargeRuntime(fr, clk.Now().Sub(t0))
@@ -331,6 +342,7 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 			if e.remote != nil {
 				break
 			}
+			e.yield()
 			t0 := clk.Now()
 			if err := e.be.Release(clk, st.Obj); err != nil {
 				return Value{}, false, err
@@ -356,6 +368,7 @@ func (e *Executor) access(clk *sim.Clock, fr *frame, obj string, elem int64, f i
 		clk.Advance(e.opt.ComputeOp) // native far-node access
 		return e.remote.RemoteAccess(obj, elem, f, buf, write)
 	}
+	e.yield()
 	t0 := clk.Now()
 	var m0 int64
 	if e.misses != nil {
@@ -367,6 +380,14 @@ func (e *Executor) access(clk *sim.Clock, fr *frame, obj string, elem int64, f i
 		e.opt.Collector.AccessEvent(fr.fn.Name, e.misses.MissCount() > m0)
 	}
 	return err
+}
+
+// yield hands control to the interleaving scheduler, if one is installed
+// (see Options.Yield).
+func (e *Executor) yield() {
+	if e.opt.Yield != nil {
+		e.opt.Yield()
+	}
 }
 
 // chargeRuntime attributes backend-internal time to the current function.

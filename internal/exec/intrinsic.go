@@ -217,6 +217,7 @@ func (e *Executor) bulk(clk *sim.Clock, fr *frame, obj string, elem int64, buf [
 		clk.Advance(e.opt.ComputeOp * sim.Duration(len(buf)/64+1))
 		return e.remote.RemoteBulk(obj, elem, buf, write)
 	}
+	e.yield()
 	t0 := clk.Now()
 	var err error
 	if write {

@@ -46,8 +46,8 @@ func fig24(scale Scale) (*Figure, error) {
 		fig.Series = append(fig.Series, s)
 	}
 	fig.Notes = append(fig.Notes,
-		"contention model: fair-share bandwidth (1/n per thread) and kernel-lock-scaled swap faults",
-		"sequential simulation cannot reproduce cross-thread eviction interference, so mira-unopt tracks mira more closely than the paper's Fig. 24")
+		"threads interleave on the deterministic virtual-time scheduler: link occupancy, swap-lock queueing, and shared-section eviction interference are emergent from event order",
+		"mira-unopt binds every thread's replica to one conservative shared section set, so its gap below mira is cross-thread eviction interference, not a closed-form model")
 	return fig, nil
 }
 
@@ -74,6 +74,7 @@ func fig25(scale Scale) (*Figure, error) {
 		fig.Series = append(fig.Series, s)
 	}
 	fig.Notes = append(fig.Notes,
-		"threads filter disjoint row partitions into one shared result vector (Mira: shared fully-associative section, §4.6)")
+		"threads filter disjoint row partitions into one shared result vector (Mira: shared fully-associative section, §4.6)",
+		"interleaved threads contend on shared state in event order: FastSwap queues on the kernel fault lock, AIFM on its object cache's runtime lock")
 	return fig, nil
 }

@@ -1,28 +1,27 @@
-// Package mtrun drives the multithreaded experiments (§4.6, Figs. 24-25).
-// Contention is modeled deterministically and fair-share: each of n
-// simulated threads sees 1/n of the link bandwidth, and swap-based systems
-// see kernel-lock-scaled fault-path costs. One caveat this model cannot
-// reproduce: cross-thread *eviction interference* in shared sections (the
-// gap between Mira and Mira-unopt in the paper's Fig. 24) — sequential
-// simulation of read-only threads over shared data shows reinforcement, not
-// interference, so the Mira-unopt curve here tracks Mira more closely than
-// the paper's.
+// Package mtrun drives the multithreaded experiments (§4.6, Figs. 24-25)
+// on the deterministic interleaved scheduler (sim.Scheduler): every
+// simulated thread yields at each memory-operation boundary, the thread
+// with the lowest (virtual time, id) runs next, and all threads mutate the
+// shared runtime state in that event order. Cross-thread contention —
+// eviction interference in shared sections, link occupancy, swap-lock
+// serialization, write-back queue pressure — is therefore emergent from
+// the shared cache/NIC/swap state rather than modeled in closed form, and
+// the whole interleaving is byte-reproducible.
 //
 // Two drivers mirror the paper's two experiments:
 //
-//   - ReadOnlyScaling (Fig. 24): n threads each run a full read-only
-//     workload instance (GPT-2 inference). Mira gives each thread private
-//     cache sections (budget/n each); Mira-unopt shares one section set;
-//     FastSwap shares the page pool behind the global fault lock. Since
-//     only one symmetric thread is simulated, shared pools and shared
-//     sections are modeled as their fair share, budget/n, per thread —
-//     the reinforcement a thread would get from lines another thread
-//     already fetched is not modeled, in the same way eviction
-//     interference is not.
+//   - ReadOnlyScaling (Fig. 24): n threads divide a fixed batch of
+//     independent read-only workload instances (GPT-2 inference). Mira
+//     gives each thread private cache sections (budget/n each) over a
+//     shared link; Mira-unopt binds n renamed program replicas to ONE
+//     runtime whose conservative shared sections (fully-associative, no
+//     eviction hints, no native loads) all threads pressure concurrently;
+//     FastSwap shares one page pool behind the serialized kernel fault
+//     lock.
 //   - SharedWriteFilter (Fig. 25): n threads filter disjoint row ranges of
 //     one table into a shared result vector. Mira uses a shared
-//     fully-associative section for the written vector (§4.6) and private
-//     sequential sections for the scanned columns.
+//     fully-associative section for the written vector (§4.6) and a shared
+//     sequential section for the scanned columns.
 package mtrun
 
 import (
@@ -43,6 +42,7 @@ import (
 	"mira/internal/planner"
 	"mira/internal/rt"
 	"mira/internal/sim"
+	"mira/internal/trace"
 	"mira/internal/workload"
 )
 
@@ -71,64 +71,147 @@ type Result struct {
 	Time sim.Duration
 	// PerThread are the individual completion times.
 	PerThread []sim.Duration
+	// Messages and BytesMoved count link-level transfers across the whole
+	// thread group (the group shares one physical link).
+	Messages   int64
+	BytesMoved int64
 }
 
 // DefaultReps is the fixed total work of the read-only scaling experiment:
 // the batch of independent inferences the threads divide among themselves.
 const DefaultReps = 8
 
-// fairShareNet divides the link bandwidth across n contending threads.
-func fairShareNet(n int) netmodel.Config {
-	net := netmodel.DefaultConfig()
-	net.BytesPerSecond /= int64(n)
-	if net.BytesPerSecond < 1 {
-		net.BytesPerSecond = 1
-	}
-	return net
+// threadCtx is one simulated thread's execution context: the program (with
+// the thread's entry), the backend it runs against, and the runtime to
+// notify of scheduler resumes (nil for non-rt backends like AIFM).
+type threadCtx struct {
+	prog   *ir.Program
+	be     exec.Backend
+	rt     *rt.Runtime
+	params map[string]exec.Value
+	reps   int
 }
 
-// faultContention scales the swap fault path for n threads contending on
-// the kernel lock: under saturation each fault waits behind (n-1)/2 others
-// on average.
-func faultContention(n int) sim.Duration {
-	return sim.Duration(4500 * (1 + float64(n-1)/2) * float64(sim.Nanosecond))
+// runInterleaved executes every thread context on the deterministic
+// scheduler and reports the fork-join time plus per-thread times.
+func runInterleaved(ctxs []threadCtx) (sim.Duration, []sim.Duration, error) {
+	g := sim.NewThreadGroup(len(ctxs), 0)
+	sch := sim.NewScheduler(g)
+	for i := range ctxs {
+		c := ctxs[i]
+		sch.Spawn(func(th *sim.Thread) error {
+			// Re-assert the thread's identity after every resume: the
+			// runtime attributes cache events to the active tid, and
+			// another thread ran between our yield and this resume.
+			yield := func() {
+				th.Yield()
+				if c.rt != nil {
+					c.rt.SetActiveTid(th.ID())
+				}
+			}
+			for rep := 0; rep < c.reps; rep++ {
+				ex, err := exec.New(c.prog, c.be, exec.Options{Params: c.params, Yield: yield})
+				if err != nil {
+					return err
+				}
+				if _, err := ex.Run(th.Clock()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := sch.Run(); err != nil {
+		return 0, nil, err
+	}
+	per := make([]sim.Duration, len(ctxs))
+	for i := range per {
+		per[i] = g.Clock(i).Now().Sub(0)
+	}
+	return g.Elapsed(), per, nil
 }
 
-// ReadOnlyScaling divides DefaultReps independent executions of w across
-// threads (Fig. 24). Contention is modeled fair-share deterministically:
-// each thread sees 1/threads of the link bandwidth, and swap systems see
-// kernel-lock-scaled fault costs. Threads are symmetric, so one thread's
-// simulated time stands for all.
-func ReadOnlyScaling(mode Mode, w workload.Workload, budget int64, threads int) (Result, error) {
-	if threads < 1 {
-		return Result{}, fmt.Errorf("mtrun: threads = %d", threads)
-	}
-	res := Result{Mode: mode, Threads: threads}
+// repsFor divides the fixed DefaultReps batch across threads.
+func repsFor(threads int) int {
 	reps := DefaultReps / threads
 	if reps < 1 {
 		reps = 1
 	}
-	net := fairShareNet(threads)
+	return reps
+}
 
-	runReps := func(prog *ir.Program, r *rt.Runtime) error {
-		clk := sim.NewClock(0)
-		for rep := 0; rep < reps; rep++ {
-			ex, err := exec.New(prog, r, exec.Options{Params: w.Params()})
-			if err != nil {
-				return err
-			}
-			if _, err := ex.Run(clk); err != nil {
-				return err
+// localBytesOf sums the sizes of the objects a config would place in local
+// memory (per-thread stacks and pinned state).
+func localBytesOf(p *ir.Program, placements map[string]rt.Placement) int64 {
+	var total int64
+	for _, o := range p.Objects {
+		pl, ok := placements[o.Name]
+		if !ok {
+			if o.Local {
+				pl = rt.Placement{Kind: rt.PlaceLocal}
+			} else {
+				pl = rt.Placement{Kind: rt.PlaceSwap}
 			}
 		}
-		res.PerThread = append(res.PerThread, clk.Now().Sub(0))
-		return nil
+		if pl.Kind == rt.PlaceLocal {
+			total += o.SizeBytes()
+		}
 	}
+	return total
+}
+
+// replicaIniter redirects a workload's object initialization to one
+// replica's renamed objects in a merged program.
+type replicaIniter struct {
+	ini workload.ObjectIniter
+	i   int
+}
+
+func (ri replicaIniter) InitObject(name string, data []byte) error {
+	return ri.ini.InitObject(ir.ReplicaName(name, ri.i), data)
+}
+
+// mergedWorkload wraps a workload as its n-replica merged program: Init
+// loads every replica's copy of the data.
+type mergedWorkload struct {
+	workload.Workload
+	prog *ir.Program
+	n    int
+}
+
+func (m mergedWorkload) Program() *ir.Program { return m.prog }
+
+func (m mergedWorkload) Init(ini workload.ObjectIniter) error {
+	for i := 0; i < m.n; i++ {
+		if err := m.Workload.Init(replicaIniter{ini: ini, i: i}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOnlyScaling divides DefaultReps independent executions of w across
+// threads (Fig. 24), interleaving them on the deterministic scheduler.
+func ReadOnlyScaling(mode Mode, w workload.Workload, budget int64, threads int) (Result, error) {
+	return ReadOnlyScalingTraced(mode, w, budget, threads, nil)
+}
+
+// ReadOnlyScalingTraced is ReadOnlyScaling with a tracer attached to every
+// runtime in the group (nil disables tracing).
+func ReadOnlyScalingTraced(mode Mode, w workload.Workload, budget int64, threads int, tr *trace.Tracer) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("mtrun: threads = %d", threads)
+	}
+	res := Result{Mode: mode, Threads: threads}
+	reps := repsFor(threads)
+	net := netmodel.DefaultConfig()
+	ctxs := make([]threadCtx, threads)
 
 	switch mode {
 	case MiraPrivate:
-		// Private per-thread sections (§4.6): each thread plans and
-		// owns budget/threads of local memory.
+		// Private per-thread sections (§4.6): each thread plans and owns
+		// budget/threads of local memory; all runtimes share one physical
+		// link, arbitrated by event order.
 		plan, err := planner.Plan(w, planner.Options{
 			LocalBudget:   budget / int64(threads),
 			Net:           net,
@@ -137,32 +220,35 @@ func ReadOnlyScaling(mode Mode, w workload.Workload, budget int64, threads int) 
 		if err != nil {
 			return Result{}, err
 		}
-		node := farmem.NewNode(farmem.DefaultNodeConfig())
-		r, err := rt.New(plan.Config, node)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := r.Bind(plan.Program); err != nil {
-			return Result{}, err
-		}
-		if err := w.Init(r); err != nil {
-			return Result{}, err
-		}
-		if err := runReps(plan.Program, r); err != nil {
-			return Result{}, err
+		bw := netmodel.NewBandwidth(net)
+		for i := range ctxs {
+			node := farmem.NewNode(farmem.DefaultNodeConfig())
+			r, err := rt.New(plan.Config, node)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := r.Bind(plan.Program); err != nil {
+				return Result{}, err
+			}
+			if err := w.Init(r); err != nil {
+				return Result{}, err
+			}
+			r.ShareBandwidth(bw)
+			r.SetTrace(tr)
+			ctxs[i] = threadCtx{prog: plan.Program, be: r, rt: r, params: w.Params(), reps: reps}
 		}
 
 	case MiraShared:
 		// One section set shared by all threads: §4.6's conservative
 		// configuration — fully-associative, no eviction hints, no
-		// native-load conversion (another thread may evict any line).
-		// The simulated thread sees its fair share of the contended
-		// sections: with n symmetric threads pressuring one section
-		// set, each effectively owns budget/n of it (cross-thread
-		// reinforcement of truly shared lines is not modeled — see the
-		// package comment).
+		// native-load conversion (another thread may evict any line). The
+		// planned program is replicated per thread (renamed copies of its
+		// objects and functions) and bound to ONE runtime, so all threads'
+		// working sets fight for the same full-budget sections: eviction
+		// interference, in-flight stealing, and write-back contention are
+		// emergent from the interleaving.
 		plan, err := planner.Plan(w, planner.Options{
-			LocalBudget:   budget / int64(threads),
+			LocalBudget:   budget,
 			Net:           net,
 			MaxIterations: 6,
 			Techniques: planner.TechniqueMask{
@@ -174,46 +260,89 @@ func ReadOnlyScaling(mode Mode, w workload.Workload, budget int64, threads int) 
 		if err != nil {
 			return Result{}, err
 		}
+		merged := ir.MergeReplicas(plan.Program, threads)
+		cfg := plan.Config
+		placements := make(map[string]rt.Placement, threads*len(plan.Program.Objects))
+		for _, o := range plan.Program.Objects {
+			pl, ok := cfg.Placements[o.Name]
+			if !ok {
+				if o.Local {
+					pl = rt.Placement{Kind: rt.PlaceLocal}
+				} else {
+					pl = rt.Placement{Kind: rt.PlaceSwap}
+				}
+			}
+			for i := 0; i < threads; i++ {
+				placements[ir.ReplicaName(o.Name, i)] = pl
+			}
+		}
+		cfg.Placements = placements
+		// Per-thread local objects (stacks, pinned state) live outside the
+		// contended far-memory budget; widen the accounting for the extra
+		// replicas so the shared sections keep their planned full size.
+		cfg.LocalBudget += int64(threads-1) * localBytesOf(plan.Program, plan.Config.Placements)
 		node := farmem.NewNode(farmem.DefaultNodeConfig())
-		r, err := rt.New(plan.Config, node)
+		r, err := rt.New(cfg, node)
 		if err != nil {
 			return Result{}, err
 		}
-		if err := r.Bind(plan.Program); err != nil {
+		if err := r.Bind(merged); err != nil {
 			return Result{}, err
 		}
-		if err := w.Init(r); err != nil {
+		mw := mergedWorkload{Workload: w, prog: merged, n: threads}
+		if err := mw.Init(r); err != nil {
 			return Result{}, err
 		}
-		if err := runReps(plan.Program, r); err != nil {
-			return Result{}, err
+		r.SetTrace(tr)
+		for i := range ctxs {
+			entry := ir.CloneForEntry(merged, ir.ReplicaName(plan.Program.Entry, i))
+			ctxs[i] = threadCtx{prog: entry, be: r, rt: r, params: w.Params(), reps: reps}
 		}
 
 	case FastSwapShared:
-		// The shared page pool under n symmetric threads: each thread
-		// effectively owns budget/n of it, and every major fault waits
-		// behind the kernel lock.
-		r, err := fastswap.New(w, fastswap.Options{
-			LocalBudget:        budget / int64(threads),
-			Net:                net,
-			MajorFaultOverhead: faultContention(threads),
+		// One page pool shared by all threads' replicas; every major fault
+		// serializes on the kernel swap lock, so fault-path queueing grows
+		// with the number of concurrently faulting threads.
+		prog := w.Program()
+		mw := mergedWorkload{Workload: w, prog: ir.MergeReplicas(prog, threads), n: threads}
+		r, err := fastswap.New(mw, fastswap.Options{
+			// Keep the shared pool at `budget` like the single-thread
+			// baseline: replica locals are per-thread stacks outside it.
+			LocalBudget: budget + int64(threads-1)*localBytesOf(prog, nil),
+			Net:         net,
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		if err := runReps(w.Program(), r); err != nil {
-			return Result{}, err
+		r.SwapLock(&sim.Serializer{})
+		r.SetTrace(tr)
+		for i := range ctxs {
+			entry := ir.CloneForEntry(mw.prog, ir.ReplicaName(prog.Entry, i))
+			ctxs[i] = threadCtx{prog: entry, be: r, rt: r, params: w.Params(), reps: reps}
 		}
 
 	default:
 		return Result{}, fmt.Errorf("mtrun: mode %q not supported for read-only scaling", mode)
 	}
-	res.Time = res.PerThread[0]
+
+	var err error
+	res.Time, res.PerThread, err = runInterleaved(ctxs)
+	if err != nil {
+		return Result{}, err
+	}
+	// Every mode shares one link (private runtimes share one Bandwidth),
+	// so any runtime's link counters are the group totals.
+	if r := ctxs[0].rt; r != nil {
+		res.Messages = r.Link().Messages()
+		res.BytesMoved = r.Link().BytesMoved()
+	}
 	return res, nil
 }
 
 // SharedWriteFilter partitions a dataframe filter across threads writing a
-// shared result vector (Fig. 25).
+// shared result vector (Fig. 25). All threads run interleaved against one
+// runtime: the scanned columns and the shared result section carry every
+// thread's traffic in virtual-time event order.
 func SharedWriteFilter(mode Mode, cfg dataframe.Config, budget int64, threads int) (Result, error) {
 	if threads < 1 {
 		return Result{}, fmt.Errorf("mtrun: threads = %d", threads)
@@ -221,90 +350,48 @@ func SharedWriteFilter(mode Mode, cfg dataframe.Config, budget int64, threads in
 	cfg.FilterOnly = true
 	w := dataframe.New(cfg)
 	rows := w.Config().Rows
-	net := fairShareNet(threads)
+	net := netmodel.DefaultConfig()
 	res := Result{Mode: mode, Threads: threads}
-
-	// Threads share one runtime; each simulated thread gets its own clock
-	// starting at zero, so the shared link's queue and the async completion
-	// horizon are reset between them (contention is already modeled by the
-	// fair-share bandwidth, and cross-frame completion instants are
-	// meaningless).
-	var sharedBW *netmodel.Bandwidth
-	var settle func()
-	runThreads := func(run func(i int, clk *sim.Clock, params map[string]exec.Value) error) error {
-		for i := 0; i < threads; i++ {
-			if sharedBW != nil {
-				sharedBW.ResetQueue()
-			}
-			if settle != nil {
-				settle()
-			}
-			lo := rows * int64(i) / int64(threads)
-			hi := rows * int64(i+1) / int64(threads)
-			params := map[string]exec.Value{
-				"start":   exec.IntV(lo),
-				"end":     exec.IntV(hi),
-				"outbase": exec.IntV(lo), // disjoint output slots
-			}
-			clk := sim.NewClock(0)
-			if err := run(i, clk, params); err != nil {
-				return err
-			}
-			res.PerThread = append(res.PerThread, clk.Now().Sub(0))
-		}
-		return nil
-	}
 
 	prog := w.Program()
 	progMT := ir.CloneForEntry(prog, "filterPart")
+	paramsFor := func(i int) map[string]exec.Value {
+		lo := rows * int64(i) / int64(threads)
+		hi := rows * int64(i+1) / int64(threads)
+		return map[string]exec.Value{
+			"start":   exec.IntV(lo),
+			"end":     exec.IntV(hi),
+			"outbase": exec.IntV(lo), // disjoint output slots
+		}
+	}
 
+	ctxs := make([]threadCtx, threads)
 	switch mode {
 	case MiraPrivate:
-		// Writable-shared threads share one runtime; the written
-		// vector lives in a shared fully-associative section with
-		// conservative configuration (§4.6); the scanned columns get
-		// a sequential direct section with prefetch.
+		// Writable-shared threads share one runtime; the written vector
+		// lives in a shared fully-associative section with conservative
+		// configuration (§4.6); the scanned columns get a sequential
+		// direct section with prefetch.
 		compiled, r, err := miraSharedFilterRuntime(progMT, budget, net)
 		if err != nil {
 			return Result{}, err
 		}
-		sharedBW = r.Transport().BW
-		settle = r.SettleAsync
 		if err := w.Init(r); err != nil {
 			return Result{}, err
 		}
-		if err := runThreads(func(i int, clk *sim.Clock, params map[string]exec.Value) error {
-			ex, err := exec.New(compiled, r, exec.Options{Params: params})
-			if err != nil {
-				return err
-			}
-			_, err = ex.Run(clk)
-			return err
-		}); err != nil {
-			return Result{}, err
+		for i := range ctxs {
+			ctxs[i] = threadCtx{prog: compiled, be: r, rt: r, params: paramsFor(i), reps: 1}
 		}
 
 	case FastSwapShared:
 		fw := filterWorkload{Workload: w, prog: progMT}
-		r, err := fastswap.New(fw, fastswap.Options{
-			LocalBudget:        budget,
-			Net:                net,
-			MajorFaultOverhead: faultContention(threads),
-		})
+		r, err := fastswap.New(fw, fastswap.Options{LocalBudget: budget, Net: net})
 		if err != nil {
 			return Result{}, err
 		}
-		sharedBW = r.Transport().BW
-		settle = r.SettleAsync
-		if err := runThreads(func(i int, clk *sim.Clock, params map[string]exec.Value) error {
-			ex, err := exec.New(progMT, r, exec.Options{Params: params})
-			if err != nil {
-				return err
-			}
-			_, err = ex.Run(clk)
-			return err
-		}); err != nil {
-			return Result{}, err
+		r.SwapLock(&sim.Serializer{})
+		for i := range ctxs {
+			ctxs[i] = threadCtx{prog: progMT, be: r, rt: r, params: paramsFor(i), reps: 1}
 		}
 
 	case AIFMShared:
@@ -313,24 +400,22 @@ func SharedWriteFilter(mode Mode, cfg dataframe.Config, budget int64, threads in
 		if err != nil {
 			return Result{}, err
 		}
-		if err := runThreads(func(i int, clk *sim.Clock, params map[string]exec.Value) error {
-			ex, err := exec.New(progMT, r, exec.Options{Params: params})
-			if err != nil {
-				return err
-			}
-			_, err = ex.Run(clk)
-			return err
-		}); err != nil {
-			return Result{}, err
+		for i := range ctxs {
+			ctxs[i] = threadCtx{prog: progMT, be: r, params: paramsFor(i), reps: 1}
 		}
 
 	default:
 		return Result{}, fmt.Errorf("mtrun: mode %q not supported for shared-write filter", mode)
 	}
-	for _, t := range res.PerThread {
-		if t > res.Time {
-			res.Time = t
-		}
+
+	var err error
+	res.Time, res.PerThread, err = runInterleaved(ctxs)
+	if err != nil {
+		return Result{}, err
+	}
+	if r := ctxs[0].rt; r != nil {
+		res.Messages = r.Link().Messages()
+		res.BytesMoved = r.Link().BytesMoved()
 	}
 	return res, nil
 }
@@ -345,16 +430,21 @@ type filterWorkload struct {
 func (f filterWorkload) Program() *ir.Program { return f.prog }
 
 // miraSharedFilterRuntime builds the §4.6 writable-shared configuration:
-// payment+fare in sequential direct sections, the shared result vector in a
+// payment+fare in a shared streaming section, the shared result vector in a
 // fully-associative section (largest access granularity, no eviction
-// hints), and applies codegen with prefetch on the scanned columns.
+// hints), and applies codegen with prefetch on the scanned columns. Both
+// sections are fully associative: with n threads interleaving, the column
+// section carries 2n concurrent lockstep streams, and direct-mapped
+// indexing would let aliasing streams conflict-evict each other's lines on
+// every access — the §4.6 conservative rule (assume any other thread may
+// touch the section) applies to the scanned columns too.
 func miraSharedFilterRuntime(prog *ir.Program, budget int64, net netmodel.Config) (*ir.Program, *rt.Runtime, error) {
 	seqBytes := budget / 4
 	cfg := rt.Config{
 		LocalBudget: budget,
 		SwapPool:    budget / 8,
 		Sections: []rt.SectionSpec{
-			{Cache: cache.Config{Name: "cols", Structure: cache.Direct, LineBytes: 2048, SizeBytes: seqBytes}},
+			{Cache: cache.Config{Name: "cols", Structure: cache.FullAssoc, LineBytes: 2048, SizeBytes: seqBytes}},
 			{Cache: cache.Config{Name: "shared-result", Structure: cache.FullAssoc, LineBytes: 64, SizeBytes: budget - seqBytes - budget/8}},
 		},
 		Placements: map[string]rt.Placement{

@@ -248,17 +248,6 @@ func (b *Bandwidth) Transfers() int64 {
 	return b.transfers
 }
 
-// ResetQueue clears only the link-busy horizon, keeping byte counters. The
-// multithreaded drivers call it between sequentially-simulated threads
-// whose clocks all start at zero: carrying the previous thread's queue into
-// the next would double-count contention already modeled by fair-share
-// bandwidth division.
-func (b *Bandwidth) ResetQueue() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextFree = 0
-}
-
 // Reset clears the accountant between runs.
 func (b *Bandwidth) Reset() {
 	b.mu.Lock()

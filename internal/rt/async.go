@@ -235,12 +235,10 @@ func (r *Runtime) Pin(name string, elem int64, delta int) {
 }
 
 // SettleAsync marks all in-flight prefetches and write-backs complete
-// without advancing any clock. The multithreaded drivers call it at
-// simulated-thread boundaries: each simulated thread has its own virtual
-// clock starting at zero, so completion instants recorded under another
-// thread's clock frame are meaningless (physically, the previous thread's
-// asynchronous work has long finished by the time the next thread's
-// timeline is measured).
+// without advancing any clock — a harness utility for tests that reuse a
+// runtime across independent timing frames. (The multithreaded drivers no
+// longer need it: interleaved threads share one virtual-time frame, so
+// asynchronous completion instants remain meaningful across threads.)
 func (r *Runtime) SettleAsync() {
 	for _, s := range r.secs {
 		for tag := range s.inflight {

@@ -70,8 +70,14 @@ type Runtime struct {
 	// owner resolution is deterministic (see ownerOf). Rebuilt by Bind.
 	byFar []*objectRT
 
-	// trc is the runtime's trace buffer (nil when tracing is disabled).
+	// trc is the runtime's trace buffer (nil when tracing is disabled);
+	// reg is the metrics registry backing lazily-created per-tid counters.
 	trc *trace.Buffer
+	reg *trace.Registry
+
+	// activeTid is the simulated thread currently driving the runtime
+	// (SetActiveTid); cache events are attributed to it.
+	activeTid int
 }
 
 type sectionRT struct {
@@ -84,6 +90,15 @@ type sectionRT struct {
 	// Per-section metrics (all nil when tracing is disabled).
 	mHit, mMiss, mEvict *trace.Counter
 	mMissLat            *trace.Histogram
+
+	// Per-tid attribution, indexed by simulated thread id and grown on
+	// demand: interleaved threads sharing this section each see their own
+	// hit/miss/evict counts (eviction interference shows up here). The
+	// parallel trace counters are created lazily per tid; lblOpen is the
+	// section's label prefix without the closing brace.
+	tidHits, tidMisses, tidEvicts []int64
+	mTidHit, mTidMiss, mTidEvict  []*trace.Counter
+	lblOpen                       string
 }
 
 type objectRT struct {
@@ -440,6 +455,7 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 		if l, ok := s.sec.Peek(addr); ok {
 			o.hits++
 			s.mHit.Inc()
+			r.bumpTid(s, &s.tidHits, &s.mTidHit, "hit")
 			clk.Advance(r.cfg.Cost.NativeAccess)
 			r.waitReady(clk, s, tag)
 			return l, nil
@@ -449,12 +465,14 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	if l, ok := s.sec.Lookup(addr); ok {
 		o.hits++
 		s.mHit.Inc()
+		r.bumpTid(s, &s.tidHits, &s.mTidHit, "hit")
 		r.waitReady(clk, s, tag)
 		return l, nil
 	}
 	// Miss (§5.2.1 "loading an rmem pointer from far memory").
 	o.misses++
 	s.mMiss.Inc()
+	r.bumpTid(s, &s.tidMisses, &s.mTidMiss, "miss")
 	clk.Advance(r.cfg.Cost.MissHandling)
 	if r.cfg.Profiling {
 		clk.Advance(r.cfg.Cost.ProfileEvent)
@@ -516,6 +534,7 @@ func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cach
 		return nil
 	}
 	s.mEvict.Inc()
+	r.bumpTid(s, &s.tidEvicts, &s.mTidEvict, "evict")
 	delete(s.inflight, v.Tag)
 	if !v.Dirty {
 		return nil

@@ -145,6 +145,27 @@ func (r *Runtime) SwapLock(l *sim.Serializer) {
 	}
 }
 
+// SetActiveTid selects the simulated thread to which subsequent cache
+// events are attributed (per-tid hit/miss/evict counters; see TidStats).
+// The multithreaded drivers call it on every scheduler resume;
+// single-threaded runs leave it at 0.
+func (r *Runtime) SetActiveTid(tid int) { r.activeTid = tid }
+
+// TidStats reports section idx's counters attributed to simulated thread
+// tid (zeros for a tid the section never saw). Under interleaved execution
+// over a shared section these expose cross-thread eviction interference:
+// a thread's evict count includes victims another thread fetched.
+func (r *Runtime) TidStats(idx, tid int) (hits, misses, evicts int64) {
+	s := r.secs[idx]
+	at := func(v []int64) int64 {
+		if tid < len(v) {
+			return v[tid]
+		}
+		return 0
+	}
+	return at(s.tidHits), at(s.tidMisses), at(s.tidEvicts)
+}
+
 // ResetStats clears every section's and the swap pool's counters (between
 // profiling rounds).
 func (r *Runtime) ResetStats() {

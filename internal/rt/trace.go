@@ -18,10 +18,13 @@ func (r *Runtime) SetTrace(tr *trace.Tracer) {
 	}
 	reg := tr.Registry()
 	r.trc = tr.Buffer("rt")
+	r.reg = reg
 	for _, s := range r.secs {
 		c := s.spec.Cache
-		lbl := "{section=" + c.Name + ",structure=" + c.Structure.String() +
-			",line=" + strconv.Itoa(c.LineBytes) + "}"
+		open := "{section=" + c.Name + ",structure=" + c.Structure.String() +
+			",line=" + strconv.Itoa(c.LineBytes)
+		lbl := open + "}"
+		s.lblOpen = open
 		s.mHit = reg.Counter("cache.hit" + lbl)
 		s.mMiss = reg.Counter("cache.miss" + lbl)
 		s.mEvict = reg.Counter("cache.evict" + lbl)
@@ -36,4 +39,26 @@ func (r *Runtime) SetTrace(tr *trace.Tracer) {
 	if r.swapC != nil {
 		r.swapC.SetTrace(tr)
 	}
+}
+
+// bumpTid attributes one cache event (kind "hit"/"miss"/"evict") of
+// section s to the active simulated thread: the plain per-tid slot always
+// counts; the labeled trace counter (cache.<kind>{...,tid=N}) is created
+// lazily on a tid's first event so untraced runs register nothing.
+func (r *Runtime) bumpTid(s *sectionRT, counts *[]int64, metrics *[]*trace.Counter, kind string) {
+	tid := r.activeTid
+	for len(*counts) <= tid {
+		*counts = append(*counts, 0)
+	}
+	(*counts)[tid]++
+	if r.reg == nil {
+		return
+	}
+	for len(*metrics) <= tid {
+		*metrics = append(*metrics, nil)
+	}
+	if (*metrics)[tid] == nil {
+		(*metrics)[tid] = r.reg.Counter("cache." + kind + s.lblOpen + ",tid=" + strconv.Itoa(tid) + "}")
+	}
+	(*metrics)[tid].Inc()
 }

@@ -1,0 +1,126 @@
+package sim
+
+import "fmt"
+
+// Scheduler interleaves simulated threads deterministically on virtual
+// time: it always resumes the not-yet-finished thread whose clock shows the
+// lowest instant, breaking ties by thread id (lowest wins). Threads hand
+// control back at every memory-operation boundary via Thread.Yield, so
+// shared-resource state (cache sections, the link's busy horizon, the swap
+// lock) is mutated in virtual-time event order — contention is emergent
+// rather than modeled in closed form.
+//
+// Exactly one thread body runs at any real instant: the scheduler and each
+// thread goroutine alternate through an unbuffered channel handoff, so the
+// interleaving carries no Go-scheduler or wall-clock nondeterminism and the
+// same bodies over the same clocks replay byte-identically.
+type Scheduler struct {
+	g       *ThreadGroup
+	threads []*Thread
+	running bool
+}
+
+// Thread is one simulated thread registered with a Scheduler. Its body
+// receives the Thread and must call Yield at every point where another
+// thread could observe or contend with its next shared-state operation.
+type Thread struct {
+	id     int
+	clk    *Clock
+	body   func(*Thread) error
+	resume chan struct{}
+	paused chan struct{}
+	done   bool
+	err    error
+}
+
+// ID reports the thread's scheduler-assigned id (registration order).
+func (t *Thread) ID() int { return t.id }
+
+// Clock returns the thread's private virtual clock.
+func (t *Thread) Clock() *Clock { return t.clk }
+
+// Yield hands control back to the scheduler. The calling thread blocks
+// until it is again the runnable thread with the lowest (time, id).
+func (t *Thread) Yield() {
+	t.paused <- struct{}{}
+	<-t.resume
+}
+
+// NewScheduler creates a scheduler over the group's clocks: thread i of
+// the schedule owns g.Clock(i). Register exactly g.N() bodies with Spawn,
+// then call Run.
+func NewScheduler(g *ThreadGroup) *Scheduler {
+	return &Scheduler{g: g}
+}
+
+// Spawn registers the next thread body; ids are assigned in call order.
+func (s *Scheduler) Spawn(body func(*Thread) error) *Thread {
+	id := len(s.threads)
+	t := &Thread{
+		id:     id,
+		clk:    s.g.Clock(id),
+		body:   body,
+		resume: make(chan struct{}),
+		paused: make(chan struct{}),
+	}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Run drives every registered thread to completion and returns the
+// lowest-id thread's error, if any. Each body runs on its own goroutine but
+// only between a resume handoff and its next Yield (or return), so the
+// channel synchronization serializes all bodies: no locks are needed on the
+// simulated shared state they touch.
+func (s *Scheduler) Run() error {
+	if s.running {
+		return fmt.Errorf("sim: Scheduler.Run reentered")
+	}
+	if len(s.threads) != s.g.N() {
+		return fmt.Errorf("sim: %d threads spawned for a group of %d", len(s.threads), s.g.N())
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for _, t := range s.threads {
+		go func(t *Thread) {
+			<-t.resume
+			defer func() {
+				if r := recover(); r != nil {
+					t.err = fmt.Errorf("sim: thread %d panicked: %v", t.id, r)
+				}
+				t.done = true
+				t.paused <- struct{}{}
+			}()
+			t.err = t.body(t)
+		}(t)
+	}
+	for {
+		pick := s.next()
+		if pick == nil {
+			break
+		}
+		pick.resume <- struct{}{}
+		<-pick.paused
+	}
+	for _, t := range s.threads {
+		if t.err != nil {
+			return t.err
+		}
+	}
+	return nil
+}
+
+// next selects the runnable thread with the lowest (clock, id); the strict
+// < over an id-ordered scan makes the tie-break rule explicit.
+func (s *Scheduler) next() *Thread {
+	var pick *Thread
+	for _, t := range s.threads {
+		if t.done {
+			continue
+		}
+		if pick == nil || t.clk.Now() < pick.clk.Now() {
+			pick = t
+		}
+	}
+	return pick
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// traceRun records one interleaving as a string of (tid, time) steps: each
+// thread performs its steps, yielding before every one, the way the
+// executor yields before every memory operation.
+func traceRun(t *testing.T, steps [][]Duration) string {
+	t.Helper()
+	g := NewThreadGroup(len(steps), 0)
+	s := NewScheduler(g)
+	var b strings.Builder
+	for i := range steps {
+		mine := steps[i]
+		s.Spawn(func(th *Thread) error {
+			for _, d := range mine {
+				th.Yield()
+				fmt.Fprintf(&b, "%d@%d ", th.ID(), th.Clock().Now())
+				th.Clock().Advance(d)
+			}
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestSchedulerLowestTimeFirst(t *testing.T) {
+	// Thread 0 takes long steps, thread 1 short ones: thread 1 must run
+	// several steps while thread 0's clock is ahead.
+	got := traceRun(t, [][]Duration{{10, 10}, {3, 3, 3, 3}})
+	want := "0@0 1@0 1@3 1@6 1@9 0@10 "
+	if got != want {
+		t.Fatalf("interleaving %q, want %q", got, want)
+	}
+}
+
+func TestSchedulerTieBreakByID(t *testing.T) {
+	// All clocks equal at every step: the lowest id must always win.
+	got := traceRun(t, [][]Duration{{5, 5}, {5, 5}, {5, 5}})
+	want := "0@0 1@0 2@0 0@5 1@5 2@5 "
+	if got != want {
+		t.Fatalf("interleaving %q, want %q", got, want)
+	}
+}
+
+// TestSchedulerDeterminism: the same bodies over the same clocks must
+// produce byte-identical interleavings across runs.
+func TestSchedulerDeterminism(t *testing.T) {
+	steps := [][]Duration{{7, 2, 9}, {1, 1, 1, 20}, {4, 4}, {13}}
+	first := traceRun(t, steps)
+	for i := 0; i < 10; i++ {
+		if got := traceRun(t, steps); got != first {
+			t.Fatalf("run %d: interleaving %q differs from %q", i, got, first)
+		}
+	}
+}
+
+// TestSchedulerSymmetricThreadsTidInvariant: for symmetric threads the
+// total virtual time must not depend on how tids are numbered. Each
+// rotation assigns the same per-thread workloads to different tids.
+func TestSchedulerSymmetricThreadsTidInvariant(t *testing.T) {
+	work := []Duration{3, 1, 4, 1, 5, 9, 2, 6}
+	n := 4
+	var elapsed []Duration
+	for rot := 0; rot < n; rot++ {
+		g := NewThreadGroup(n, 0)
+		s := NewScheduler(g)
+		for i := 0; i < n; i++ {
+			_ = rot // every thread gets the identical step list
+			s.Spawn(func(th *Thread) error {
+				for _, d := range work {
+					th.Yield()
+					th.Clock().Advance(d)
+				}
+				return nil
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = append(elapsed, g.Elapsed())
+	}
+	for i := 1; i < len(elapsed); i++ {
+		if elapsed[i] != elapsed[0] {
+			t.Fatalf("rotation %d: elapsed %v != %v", i, elapsed[i], elapsed[0])
+		}
+	}
+}
+
+func TestSchedulerErrorLowestID(t *testing.T) {
+	g := NewThreadGroup(3, 0)
+	s := NewScheduler(g)
+	errs := []error{nil, errors.New("thread 1 failed"), errors.New("thread 2 failed")}
+	for i := 0; i < 3; i++ {
+		e := errs[i]
+		s.Spawn(func(th *Thread) error {
+			th.Yield()
+			th.Clock().Advance(Duration(th.ID()+1) * Microsecond)
+			return e
+		})
+	}
+	// All threads run to completion; the lowest-id error is reported.
+	if err := s.Run(); err == nil || err.Error() != "thread 1 failed" {
+		t.Fatalf("err = %v, want thread 1 failed", err)
+	}
+}
+
+func TestSchedulerSpawnCountMismatch(t *testing.T) {
+	g := NewThreadGroup(2, 0)
+	s := NewScheduler(g)
+	s.Spawn(func(*Thread) error { return nil })
+	if err := s.Run(); err == nil {
+		t.Fatal("mismatched spawn count accepted")
+	}
+}
+
+func TestSchedulerPanicBecomesError(t *testing.T) {
+	g := NewThreadGroup(2, 0)
+	s := NewScheduler(g)
+	s.Spawn(func(th *Thread) error { th.Yield(); return nil })
+	s.Spawn(func(*Thread) error { panic("boom") })
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+}

@@ -229,9 +229,19 @@ const (
 type MTResult = mtrun.Result
 
 // ReadOnlyScaling divides a fixed batch of read-only executions of w
-// across threads and returns the fork-join completion time (Fig. 24).
+// across threads and returns the fork-join completion time (Fig. 24). The
+// threads interleave deterministically on the virtual-time scheduler: the
+// runnable thread with the lowest (virtual time, id) executes each next
+// memory operation, so contention is emergent and byte-reproducible.
 func ReadOnlyScaling(mode MTMode, w Workload, budget int64, threads int) (MTResult, error) {
 	return mtrun.ReadOnlyScaling(mode, w, budget, threads)
+}
+
+// ReadOnlyScalingTraced is ReadOnlyScaling with a tracer attached to every
+// runtime in the thread group (nil disables tracing); per-tid cache
+// counters (cache.hit{...,tid=N} etc.) land in the tracer's registry.
+func ReadOnlyScalingTraced(mode MTMode, w Workload, budget int64, threads int, tr *Tracer) (MTResult, error) {
+	return mtrun.ReadOnlyScalingTraced(mode, w, budget, threads, tr)
 }
 
 // SharedWriteFilter partitions a DataFrame filter across threads writing
