@@ -393,3 +393,136 @@ func TestBenchMT(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---- Multi-tenant serving trajectory (BENCH_tenants.json) ----
+
+// tenantRunRecord is one tenant's outcome in one serving scenario.
+type tenantRunRecord struct {
+	Requests int            `json:"requests"`
+	Admitted int            `json:"admitted"`
+	Rejected map[string]int `json:"rejected"`
+	P50Ns    int64          `json:"p50_ns"`
+	P95Ns    int64          `json:"p95_ns"`
+	P99Ns    int64          `json:"p99_ns"`
+	P50      string         `json:"p50"`
+	P95      string         `json:"p95"`
+	P99      string         `json:"p99"`
+}
+
+// serveScenario runs the default mix under one (admission, faults) setting.
+func serveScenario(t *testing.T, seed uint64, admission bool, faultsName string) (*ServeResult, []TenantSpec) {
+	t.Helper()
+	mix := DefaultTenantMix()
+	res, err := Serve(mix, ServeOptions{
+		Seed:      seed,
+		Admission: admission,
+		Elastic:   true,
+		Faults:    faultsName,
+	})
+	if err != nil {
+		t.Fatalf("serve (admission=%v faults=%q): %v", admission, faultsName, err)
+	}
+	return res, mix
+}
+
+// TestBenchTenants measures the multi-tenant serving layer: the canonical
+// three-tenant mix (Poisson and bursty arrivals) under {admission on, off}
+// x {healthy, chaos}, emitting per-tenant exact p50/p95/p99 latencies and
+// rejected-request counts as BENCH_tenants.json for future PRs to diff.
+// Gates: under chaos, admission control must shed load (rejections > 0) and
+// cut some tenant's admitted-p99 below the admit-everything run; and no
+// scenario may lose data — every tenant's far memory must equal a
+// fault-free native replay of exactly its admitted request count.
+func TestBenchTenants(t *testing.T) {
+	const seed = 5
+	out := map[string]map[string]tenantRunRecord{}
+	scenarios := []struct {
+		key       string
+		admission bool
+		faults    string
+	}{
+		{"healthy_admission", true, ""},
+		{"healthy_noadmission", false, ""},
+		{"chaos_admission", true, "chaos"},
+		{"chaos_noadmission", false, "chaos"},
+	}
+	p99 := map[string]map[string]int64{} // scenario -> tenant -> p99
+	for _, sc := range scenarios {
+		res, mix := serveScenario(t, seed, sc.admission, sc.faults)
+		perTenant := map[string]tenantRunRecord{}
+		p99[sc.key] = map[string]int64{}
+		for i, tr := range res.Tenants {
+			perTenant[tr.Name] = tenantRunRecord{
+				Requests: tr.Requests,
+				Admitted: tr.Admitted,
+				Rejected: tr.Rejected,
+				P50Ns:    int64(tr.P50),
+				P95Ns:    int64(tr.P95),
+				P99Ns:    int64(tr.P99),
+				P50:      tr.P50.String(),
+				P95:      tr.P95.String(),
+				P99:      tr.P99.String(),
+			}
+			p99[sc.key][tr.Name] = int64(tr.P99)
+			t.Logf("%s %s: admitted %d/%d rejected %d p50=%v p95=%v p99=%v",
+				sc.key, tr.Name, tr.Admitted, tr.Requests, tr.RejectedTotal(), tr.P50, tr.P95, tr.P99)
+
+			// No data loss in any scenario: far memory must equal a native
+			// replay of the admitted count.
+			want, err := NativeTenantReplay(mix[i], tr.Admitted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, d := range tr.Dumps {
+				if !bytesEqual(d, want[name]) {
+					t.Errorf("%s %s: object %q diverges from native replay of %d requests",
+						sc.key, tr.Name, name, tr.Admitted)
+				}
+			}
+		}
+		out[sc.key] = perTenant
+	}
+
+	rejected := 0
+	tailCut := false
+	for name, rec := range out["chaos_admission"] {
+		for _, n := range rec.Rejected {
+			rejected += n
+		}
+		if rec.Admitted > 0 && p99["chaos_admission"][name] < p99["chaos_noadmission"][name] {
+			tailCut = true
+		}
+	}
+	if rejected == 0 {
+		t.Error("admission control rejected nothing under chaos")
+	}
+	if !tailCut {
+		t.Error("admission control did not cut any tenant's p99 under chaos")
+	}
+
+	doc := map[string]any{
+		"description": "Multi-tenant serving: default 3-tenant mix (Poisson + bursty arrivals) under {admission on, off} x {healthy, chaos}, exact per-tenant percentiles over admitted requests. Regenerate with: go test -run TestBenchTenants .",
+		"seed":        seed,
+		"scenarios":   out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_tenants.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bytesEqual avoids importing bytes just for the dump comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -83,6 +83,21 @@ func (c Config) Lines() int {
 	return n
 }
 
+// Scaled returns the configuration resized to scale × SizeBytes, rounded
+// down to a whole number of lines and clamped to at least one line — the
+// elastic-reclaim primitive: a tenant's section shrinks when its DRAM is
+// lent out and regrows on reactivation, always remaining a valid section.
+func (c Config) Scaled(scale float64) Config {
+	out := c
+	sz := int64(float64(c.SizeBytes) * scale)
+	sz = sz / int64(c.LineBytes) * int64(c.LineBytes)
+	if sz < int64(c.LineBytes) {
+		sz = int64(c.LineBytes)
+	}
+	out.SizeBytes = sz
+	return out
+}
+
 // Line is one resident cache line.
 type Line struct {
 	// Tag is the far-memory address of the line's first byte (aligned to

@@ -416,6 +416,15 @@ func (p *Pool) Backend(i int) transport.Backend { return p.nodes[i].tr.Backend()
 // Injector exposes node i's fault injector (nil when fault-free).
 func (p *Pool) Injector(i int) *faults.Injector { return p.nodes[i].inj }
 
+// ShareBandwidth replaces every node link's bandwidth accountant with bw,
+// so pools owned by different tenants contend for one compute-side NIC —
+// the serving bottleneck — instead of each enjoying private links.
+func (p *Pool) ShareBandwidth(bw *netmodel.Bandwidth) {
+	for _, n := range p.nodes {
+		n.tr.BW = bw
+	}
+}
+
 // NodeStats snapshots the per-node counters, ordered by node ID.
 func (p *Pool) NodeStats() []NodeStats {
 	p.mu.Lock()

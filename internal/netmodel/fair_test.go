@@ -1,0 +1,95 @@
+package netmodel
+
+import (
+	"testing"
+
+	"mira/internal/sim"
+)
+
+// With no tenants registered, Acquire must be the pure FIFO accountant:
+// registration is the only switch, so every pre-serving trace stays
+// byte-identical.
+func TestBandwidthLegacyFIFOUnchanged(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBandwidth(cfg)
+	end1 := b.Acquire(0, 1024)
+	want1 := sim.Time(0).Add(cfg.wireTime(1024) + cfg.PerMessageOverhead)
+	if end1 != want1 {
+		t.Fatalf("first acquire ends at %v, want %v", end1, want1)
+	}
+	// Issued before the link frees: queues behind the first transfer.
+	end2 := b.Acquire(0, 1024)
+	if want2 := end1.Add(cfg.wireTime(1024) + cfg.PerMessageOverhead); end2 != want2 {
+		t.Fatalf("second acquire ends at %v, want %v", end2, want2)
+	}
+	if b.Acquire(end2, 0) != end2 {
+		t.Fatal("zero-byte acquire is not free")
+	}
+}
+
+// A sole active tenant must pay no pacing: share 1, work-conserving.
+func TestBandwidthSoleTenantUnpaced(t *testing.T) {
+	cfg := DefaultConfig()
+	fifo := NewBandwidth(cfg)
+	fair := NewBandwidth(cfg)
+	fair.SetTenantWeight("a", 1)
+	fair.SetTenantWeight("b", 1) // registered but never transfers
+	fair.SetActiveTenant("a")
+	var now sim.Time
+	for i := 0; i < 32; i++ {
+		e1 := fifo.Acquire(now, 2048)
+		e2 := fair.Acquire(now, 2048)
+		if e1 != e2 {
+			t.Fatalf("transfer %d: sole tenant paced (%v vs %v)", i, e2, e1)
+		}
+		now = e1
+	}
+}
+
+// Two saturating tenants at weights 3:1 should split the link roughly 3:1.
+func TestBandwidthWeightedShares(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBandwidth(cfg)
+	b.SetTenantWeight("heavy", 3)
+	b.SetTenantWeight("light", 1)
+	// Interleave back-to-back transfers: each tenant re-issues as soon as
+	// its previous transfer lands (open-loop saturation).
+	nextA, nextB := sim.Time(0), sim.Time(0)
+	horizon := sim.Time(5 * sim.Millisecond)
+	for nextA < horizon || nextB < horizon {
+		if nextA <= nextB {
+			b.SetActiveTenant("heavy")
+			nextA = b.Acquire(nextA, 2048)
+		} else {
+			b.SetActiveTenant("light")
+			nextB = b.Acquire(nextB, 2048)
+		}
+	}
+	hb, lb := b.TenantBytes("heavy"), b.TenantBytes("light")
+	if hb == 0 || lb == 0 {
+		t.Fatalf("missing traffic: heavy=%d light=%d", hb, lb)
+	}
+	ratio := float64(hb) / float64(lb)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Errorf("weighted 3:1 tenants moved bytes at ratio %.2f (heavy=%d light=%d)", ratio, hb, lb)
+	}
+}
+
+// After a tenant goes idle past the fair window, the survivor's share must
+// recover to 1 (no pacing against ghosts).
+func TestBandwidthIdleShareRedistributed(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBandwidth(cfg)
+	b.SetTenantWeight("a", 1)
+	b.SetTenantWeight("b", 1)
+	b.SetActiveTenant("b")
+	end := b.Acquire(0, 2048) // b was active once
+	// Far past the window, a should run unpaced.
+	later := end.Add(10 * DefaultFairWindow)
+	b.SetActiveTenant("a")
+	e1 := b.Acquire(later, 2048)
+	e2 := b.Acquire(e1, 2048)
+	if e2.Sub(e1) != cfg.wireTime(2048)+cfg.PerMessageOverhead {
+		t.Errorf("survivor still paced after peer idled: gap %v", e2.Sub(e1))
+	}
+}

@@ -17,6 +17,7 @@ package netmodel
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"mira/internal/sim"
@@ -202,11 +203,142 @@ type Bandwidth struct {
 	// totals for reporting
 	bytesMoved int64
 	transfers  int64
+
+	// Weighted-fair arbitration (serving mode). With no tenants registered
+	// the accountant is the pure FIFO above — byte-identical to the
+	// pre-tenant behavior. With tenants, a transfer's wire occupancy is
+	// unchanged but its *returned completion* is inflated by the pacing
+	// surcharge busy·(1/share − 1): the issuing thread advances its clock
+	// to the returned instant before touching the link again, so a
+	// saturating tenant self-limits to its weight share while the wire
+	// stays free for its peers during the surcharge — the link remains
+	// work-conserving. (Start-time deferral would instead reserve future
+	// wire slots and serialize everyone behind the paced tenant, because
+	// the synchronous Acquire contract commits completions immediately.)
+	// Shares are weight over the total weight of tenants active within
+	// fairWindow, so a sole active tenant has share 1 and pays nothing.
+	tenants    map[string]*tenantBW
+	order      []string // sorted tenant names: deterministic share scans
+	active     string   // tenant charged for subsequent Acquires
+	fairWindow sim.Duration
 }
+
+// tenantBW is one tenant's pacing state and traffic totals.
+type tenantBW struct {
+	weight    float64
+	lastSeen  sim.Time // completion of the tenant's latest transfer
+	bytes     int64
+	transfers int64
+	paced     sim.Duration // cumulative pacing surcharge (reporting)
+}
+
+// DefaultFairWindow is the activity window of the weighted-fair arbiter: a
+// tenant whose last transfer completed within the window counts toward the
+// active share total. Long enough to span a request's think gaps, short
+// enough that an idle tenant's share is redistributed promptly.
+const DefaultFairWindow = 200 * sim.Microsecond
 
 // NewBandwidth returns a contention accountant over cfg's link.
 func NewBandwidth(cfg Config) *Bandwidth {
-	return &Bandwidth{cfg: cfg}
+	return &Bandwidth{cfg: cfg, fairWindow: DefaultFairWindow}
+}
+
+// SetTenantWeight registers a tenant with the weighted-fair arbiter (or
+// updates its weight; non-positive weights clamp to 1). Registering any
+// tenant switches Acquire from pure FIFO to tenant pacing for attributed
+// transfers.
+func (b *Bandwidth) SetTenantWeight(name string, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tenants == nil {
+		b.tenants = make(map[string]*tenantBW)
+	}
+	t := b.tenants[name]
+	if t == nil {
+		t = &tenantBW{}
+		b.tenants[name] = t
+		i := sort.SearchStrings(b.order, name)
+		b.order = append(b.order, "")
+		copy(b.order[i+1:], b.order[i:])
+		b.order[i] = name
+	}
+	t.weight = w
+}
+
+// SetActiveTenant attributes subsequent Acquires to the named tenant (the
+// serving layer calls it on every scheduler resume, like rt.SetActiveTid).
+// An empty name or an unregistered tenant reverts to unattributed FIFO.
+func (b *Bandwidth) SetActiveTenant(name string) {
+	b.mu.Lock()
+	b.active = name
+	b.mu.Unlock()
+}
+
+// SetFairWindow overrides the arbiter's activity window (0 restores the
+// default).
+func (b *Bandwidth) SetFairWindow(d sim.Duration) {
+	b.mu.Lock()
+	if d <= 0 {
+		d = DefaultFairWindow
+	}
+	b.fairWindow = d
+	b.mu.Unlock()
+}
+
+// TenantBytes reports the bytes moved by transfers attributed to name.
+func (b *Bandwidth) TenantBytes(name string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.tenants[name]; t != nil {
+		return t.bytes
+	}
+	return 0
+}
+
+// TenantTransfers reports the link acquisitions attributed to name.
+func (b *Bandwidth) TenantTransfers(name string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.tenants[name]; t != nil {
+		return t.transfers
+	}
+	return 0
+}
+
+// TenantPaced reports the cumulative pacing surcharge charged to name — the
+// virtual time the fair arbiter delayed the tenant's completions beyond raw
+// link contention.
+func (b *Bandwidth) TenantPaced(name string) sim.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.tenants[name]; t != nil {
+		return t.paced
+	}
+	return 0
+}
+
+// shareLocked computes the active tenant's weight share among tenants seen
+// within the fair window of `at` (the requester always counts). Scanning
+// the sorted order keeps the result independent of map iteration.
+func (b *Bandwidth) shareLocked(name string, at sim.Time) float64 {
+	cutoff := at.Add(-b.fairWindow)
+	var total, mine float64
+	for _, tn := range b.order {
+		t := b.tenants[tn]
+		if tn == name || (t.lastSeen > 0 && t.lastSeen >= cutoff) {
+			total += t.weight
+			if tn == name {
+				mine = t.weight
+			}
+		}
+	}
+	if total <= 0 || mine <= 0 {
+		return 1
+	}
+	return mine / total
 }
 
 // Acquire reserves the link for n bytes starting no earlier than now and
@@ -231,6 +363,19 @@ func (b *Bandwidth) Acquire(now sim.Time, n int) sim.Time {
 	b.nextFree = end
 	b.bytesMoved += int64(n)
 	b.transfers++
+	if b.active != "" {
+		if t := b.tenants[b.active]; t != nil {
+			t.bytes += int64(n)
+			t.transfers++
+			share := b.shareLocked(b.active, start)
+			t.lastSeen = end
+			if share < 1 && busy > 0 {
+				surcharge := sim.Duration(float64(busy) * (1/share - 1))
+				t.paced += surcharge
+				end = end.Add(surcharge)
+			}
+		}
+	}
 	return end
 }
 
@@ -248,11 +393,19 @@ func (b *Bandwidth) Transfers() int64 {
 	return b.transfers
 }
 
-// Reset clears the accountant between runs.
+// Reset clears the accountant between runs. Tenant registrations survive;
+// their pacing state and traffic totals are cleared.
 func (b *Bandwidth) Reset() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.nextFree = 0
 	b.bytesMoved = 0
 	b.transfers = 0
+	b.active = ""
+	for _, t := range b.tenants {
+		t.lastSeen = 0
+		t.bytes = 0
+		t.transfers = 0
+		t.paced = 0
+	}
 }

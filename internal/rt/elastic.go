@@ -1,0 +1,90 @@
+package rt
+
+import (
+	"fmt"
+
+	"mira/internal/cache"
+	"mira/internal/sim"
+	"mira/internal/trace"
+)
+
+// SetSectionScale resizes every cache section to scale × its bound size —
+// the elastic-reclaim primitive behind multi-tenant serving: an idle
+// tenant's runtime is shrunk so its local DRAM can back a loaded tenant's
+// sections, and regrown (cold) when the tenant reactivates. Dirty resident
+// lines are flushed through the write-back queue first, then every line is
+// dropped and each section is rebuilt at the scaled size, so no data is
+// lost and the reactivation penalty — refilling the cache over the link —
+// is charged to whoever triggers the resize via clk. Scales are absolute
+// (of the bound size), not cumulative. A no-op at the current scale.
+func (r *Runtime) SetSectionScale(clk *sim.Clock, scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("rt: SetSectionScale(%g)", scale)
+	}
+	if scale == r.SectionScale() {
+		return nil
+	}
+	start := clk.Now()
+	for _, s := range r.secs {
+		var tags []uint64
+		s.sec.ForEachResident(func(l *cache.Line) { tags = append(tags, l.Tag) })
+		for _, tag := range tags {
+			v, ok := s.sec.Drop(tag)
+			if !ok {
+				continue
+			}
+			delete(s.inflight, tag)
+			if !v.Dirty {
+				continue
+			}
+			o := r.ownerOf(v.Tag)
+			if o == nil {
+				return fmt.Errorf("rt: resize: dirty line %#x has no owning object", v.Tag)
+			}
+			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
+				return err
+			}
+		}
+		done, err := r.drainWbq(clk, s)
+		if err != nil {
+			return err
+		}
+		clk.AdvanceTo(done)
+		// Any straggler in-flight prefetches target dropped lines; forget them.
+		for tag := range s.inflight {
+			delete(s.inflight, tag)
+		}
+		sec, err := cache.New(s.spec.Cache.Scaled(scale))
+		if err != nil {
+			return err
+		}
+		s.sec = sec
+	}
+	r.secScale = scale
+	if r.trc != nil {
+		r.trc.Span(start, clk.Now(), "rt", "elastic.resize",
+			trace.I("pct", int64(scale*100)))
+		r.reg.Counter("rt.elastic.resizes").Inc()
+	}
+	return nil
+}
+
+// SectionScale reports the current elastic scale (1 = the bound size).
+func (r *Runtime) SectionScale() float64 {
+	if r.secScale == 0 {
+		return 1
+	}
+	return r.secScale
+}
+
+// SectionLiveBytes reports the sections' current local-memory footprint at
+// the live elastic scale — what a serving-layer reclaimer balances across
+// tenants.
+func (r *Runtime) SectionLiveBytes() int64 {
+	var t int64
+	scale := r.SectionScale()
+	for _, s := range r.secs {
+		t += s.spec.Cache.Scaled(scale).SizeBytes
+	}
+	return t
+}

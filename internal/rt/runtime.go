@@ -78,6 +78,10 @@ type Runtime struct {
 	// activeTid is the simulated thread currently driving the runtime
 	// (SetActiveTid); cache events are attributed to it.
 	activeTid int
+
+	// secScale is the live elastic scale of the cache sections (0 or 1 =
+	// the bound size; see SetSectionScale).
+	secScale float64
 }
 
 type sectionRT struct {

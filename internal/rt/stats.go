@@ -129,11 +129,17 @@ func (r *Runtime) ClusterStats() []cluster.NodeStats {
 
 // ShareBandwidth makes this runtime contend for bw with other runtimes —
 // simulated threads with private cache sections share the physical link
-// (§4.6 multithreading). Single-node only: a cluster owns one independent
-// link per node, so the call is a no-op there.
+// (§4.6 multithreading), and co-located tenants share the compute node's
+// NIC in serving mode. In cluster mode every far node's link is replaced
+// by bw: the shared bottleneck is the compute side, which all remote
+// traffic crosses regardless of which far node serves it.
 func (r *Runtime) ShareBandwidth(bw *netmodel.Bandwidth) {
 	if r.trT != nil {
 		r.trT.BW = bw
+		return
+	}
+	if r.pool != nil {
+		r.pool.ShareBandwidth(bw)
 	}
 }
 

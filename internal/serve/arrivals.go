@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"math"
+
+	"mira/internal/sim"
+)
+
+// Process selects a tenant's arrival process.
+type Process string
+
+// The arrival processes.
+const (
+	// Poisson draws exponential interarrivals at a fixed rate — the
+	// classic open-loop serving assumption.
+	Poisson Process = "poisson"
+	// Bursty alternates on/off phases: during a burst the rate is Burst×
+	// the mean, between bursts it is 1/Burst× — the adversarial load that
+	// makes admission control earn its keep.
+	Bursty Process = "bursty"
+)
+
+// burstPhase is the length of one on- or off-phase, in mean interarrivals.
+const burstPhase = 16
+
+// genArrivals pre-generates an open-loop arrival schedule: n absolute
+// arrival instants starting at virtual time zero. The schedule depends only
+// on (rng stream, n, mean, process, burst), so identical seeds reproduce
+// identical workloads byte for byte.
+func genArrivals(rng *sim.RNG, p Process, n int, mean sim.Duration, burst float64) []sim.Time {
+	if burst < 1 {
+		burst = 4
+	}
+	out := make([]sim.Time, n)
+	var t sim.Time
+	phase := sim.Duration(burstPhase * int64(mean))
+	for i := 0; i < n; i++ {
+		m := float64(mean)
+		if p == Bursty {
+			// Phase index at the current instant decides the local rate.
+			if (int64(t)/int64(phase))%2 == 0 {
+				m /= burst // on-phase: burst× the mean rate
+			} else {
+				m *= burst // off-phase: trickle
+			}
+		}
+		// Exponential interarrival via inverse transform; U in [0,1) so
+		// 1-U never hits zero.
+		dt := sim.Duration(-math.Log(1-rng.Float64()) * m)
+		if dt < 1 {
+			dt = 1
+		}
+		t = t.Add(dt)
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"mira/internal/apps/arraysum"
+	"mira/internal/apps/seqscan"
+	"mira/internal/apps/stridescan"
+	"mira/internal/sim"
+)
+
+// DefaultTenantMix is the canonical three-tenant serving mix used by the
+// benchmarks, CI, and mira-serve: a read-only scan tenant with two workers
+// and a high weight (the latency-sensitive service), a mutating sequential
+// scan on Poisson arrivals, and a mutating strided scan on bursty arrivals
+// (the tenant admission control has to tame).
+func DefaultTenantMix() []TenantSpec {
+	as := arraysum.New(arraysum.Config{N: 1 << 12, Seed: 1})
+	sq := seqscan.New(seqscan.Config{N: 1 << 11, Seed: 1})
+	st := stridescan.New(stridescan.Config{N: 1 << 11, Seed: 1})
+	return []TenantSpec{
+		{
+			Name:     "sum",
+			Workload: as,
+			Weight:   3,
+			Budget:   as.FullMemoryBytes() / 2,
+			Workers:  2,
+			Requests: 24,
+			Mean:     60 * sim.Microsecond,
+			Arrivals: Poisson,
+			SLO:      2 * sim.Millisecond,
+			QueueCap: 6,
+		},
+		{
+			Name:     "scan",
+			Workload: sq,
+			Mutating: true,
+			Weight:   1,
+			Budget:   sq.FullMemoryBytes() / 2,
+			Workers:  1,
+			Requests: 16,
+			Mean:     120 * sim.Microsecond,
+			Arrivals: Poisson,
+			SLO:      4 * sim.Millisecond,
+			QueueCap: 4,
+		},
+		{
+			Name:     "stride",
+			Workload: st,
+			Mutating: true,
+			Weight:   1,
+			Budget:   st.FullMemoryBytes() / 2,
+			Workers:  1,
+			Requests: 16,
+			Mean:     150 * sim.Microsecond,
+			Arrivals: Bursty,
+			Burst:    4,
+			SLO:      4 * sim.Millisecond,
+			QueueCap: 4,
+		},
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/sim"
+	"mira/internal/trace"
+)
+
+func healthyOpts(seed uint64) Options {
+	return Options{Seed: seed, Admission: true, Elastic: true}
+}
+
+func chaosOpts(seed uint64) Options {
+	o := healthyOpts(seed)
+	o.Faults = "chaos"
+	return o
+}
+
+func TestServeHealthyMixCompletes(t *testing.T) {
+	res, err := Run(DefaultTenantMix(), healthyOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 3 {
+		t.Fatalf("tenants = %d", len(res.Tenants))
+	}
+	for _, tr := range res.Tenants {
+		if tr.Admitted+tr.RejectedTotal() != tr.Requests {
+			t.Errorf("tenant %q: admitted %d + rejected %d != requests %d",
+				tr.Name, tr.Admitted, tr.RejectedTotal(), tr.Requests)
+		}
+		if tr.Completed != tr.Admitted {
+			t.Errorf("tenant %q: completed %d != admitted %d", tr.Name, tr.Completed, tr.Admitted)
+		}
+		if tr.Admitted == 0 {
+			t.Errorf("tenant %q admitted nothing", tr.Name)
+		}
+		if tr.Admitted > 0 && (tr.P50 <= 0 || tr.P99 < tr.P50) {
+			t.Errorf("tenant %q: implausible percentiles p50=%v p99=%v", tr.Name, tr.P50, tr.P99)
+		}
+	}
+}
+
+// Identical seeds must reproduce the whole serving run byte for byte:
+// trace, metrics, admission decisions, and far-memory contents.
+func TestServeDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte, *Result) {
+		tr := trace.New()
+		o := chaosOpts(7)
+		o.Trace = tr
+		res, err := Run(DefaultTenantMix(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb, mb bytes.Buffer
+		if err := tr.WriteTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Registry().WriteJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes(), res
+	}
+	t1, m1, r1 := run()
+	t2, m2, r2 := run()
+	if !bytes.Equal(t1, t2) {
+		t.Error("traces diverge across identical seeds")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics diverge across identical seeds")
+	}
+	if r1.Elapsed != r2.Elapsed {
+		t.Errorf("elapsed %v vs %v", r1.Elapsed, r2.Elapsed)
+	}
+	for i := range r1.Tenants {
+		a, b := r1.Tenants[i], r2.Tenants[i]
+		if a.Admitted != b.Admitted || a.RejectedTotal() != b.RejectedTotal() {
+			t.Errorf("tenant %q: admission decisions diverge (%d/%d vs %d/%d)",
+				a.Name, a.Admitted, a.RejectedTotal(), b.Admitted, b.RejectedTotal())
+		}
+		for name, d1 := range a.Dumps {
+			if !bytes.Equal(d1, b.Dumps[name]) {
+				t.Errorf("tenant %q object %q: far memory diverges", a.Name, name)
+			}
+		}
+	}
+	// A different seed must actually change the schedule.
+	_, _, r3 := func() ([]byte, []byte, *Result) {
+		res, err := Run(DefaultTenantMix(), chaosOpts(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nil, nil, res
+	}()
+	if r3.Elapsed == r1.Elapsed {
+		t.Error("different seeds produced identical elapsed time (suspicious)")
+	}
+}
+
+// Chaos serving must lose no data: after crash-wipe + partition on node 0
+// of every tenant's pool, each tenant's far memory must equal a fault-free
+// native replay of exactly its admitted request count.
+func TestServeChaosIntegrity(t *testing.T) {
+	mix := DefaultTenantMix()
+	res, err := Run(mix, chaosOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Tenants {
+		want, err := NativeReplay(mix[i], tr.Admitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, d := range tr.Dumps {
+			if !bytes.Equal(d, want[name]) {
+				t.Errorf("tenant %q object %q: chaos run diverges from native replay of %d requests",
+					tr.Name, name, tr.Admitted)
+			}
+		}
+	}
+}
+
+// Under chaos, admission control must shed load and cut the admitted-tail:
+// p99 of admitted requests strictly below the admit-everything run.
+func TestServeAdmissionCutsTailUnderChaos(t *testing.T) {
+	on, err := Run(DefaultTenantMix(), chaosOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offOpts := chaosOpts(5)
+	offOpts.Admission = false
+	off, err := Run(DefaultTenantMix(), offOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected int
+	worseSomewhere := false
+	for i := range on.Tenants {
+		rejected += on.Tenants[i].RejectedTotal()
+		if on.Tenants[i].P99 < off.Tenants[i].P99 {
+			worseSomewhere = true
+		}
+	}
+	if rejected == 0 {
+		t.Error("admission control rejected nothing under chaos")
+	}
+	if !worseSomewhere {
+		t.Error("admission control did not improve any tenant's p99 under chaos")
+	}
+	for _, tr := range off.Tenants {
+		if tr.RejectedTotal() != 0 {
+			t.Errorf("tenant %q rejected %d requests with admission off", tr.Name, tr.RejectedTotal())
+		}
+		if tr.Admitted != tr.Requests {
+			t.Errorf("tenant %q: admission off admitted %d/%d", tr.Name, tr.Admitted, tr.Requests)
+		}
+	}
+}
+
+// The elastic reclaimer must take at least one lease when one tenant idles
+// while another is backlogged, and data must survive the lend/return cycle
+// (integrity is covered by the replay test; here we check the lease fires
+// and bookkeeping balances).
+func TestServeElasticLeases(t *testing.T) {
+	mix := DefaultTenantMix()
+	// Make "sum" burst early then idle: all arrivals packed tight, then
+	// nothing — while "scan" trickles on, it can borrow sum's DRAM.
+	mix[0].Requests = 8
+	mix[0].Mean = 10 * sim.Microsecond
+	mix[1].Requests = 24
+	mix[1].Mean = 400 * sim.Microsecond
+	mix[2].Requests = 24
+	mix[2].Mean = 400 * sim.Microsecond
+	o := healthyOpts(11)
+	o.IdleAfter = 200 * sim.Microsecond
+	o.ReclaimInterval = 100 * sim.Microsecond
+	res, err := Run(mix, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leases == 0 {
+		t.Error("no elastic-reclaim lease despite an idle tenant and a loaded one")
+	}
+	for i, tr := range res.Tenants {
+		want, err := NativeReplay(mix[i], tr.Admitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, d := range tr.Dumps {
+			if !bytes.Equal(d, want[name]) {
+				t.Errorf("tenant %q object %q diverges after elastic reclaim", tr.Name, name)
+			}
+		}
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	mix := DefaultTenantMix()
+	mix[1].Workers = 2 // mutating tenant
+	if _, err := Run(mix, Options{Seed: 1}); err == nil {
+		t.Error("multi-worker mutating tenant accepted")
+	}
+	mix = DefaultTenantMix()
+	mix[2].Name = mix[0].Name
+	if _, err := Run(mix, Options{Seed: 1}); err == nil {
+		t.Error("duplicate tenant name accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package sim
+
+// SplitSeed derives a subsystem seed from one root seed and a label — the
+// arrival generator, each tenant's fault schedule, and placement jitter all
+// draw from one -seed flag without colliding or correlating. The label is
+// folded with an FNV-1a hash and the pair is finished with two SplitMix64
+// steps (full avalanche), so "faults/0" and "faults/1" are as uncorrelated
+// as two unrelated roots. Same (root, label), same seed, on every platform.
+func SplitSeed(root uint64, label string) uint64 {
+	// FNV-1a over the label bytes.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	z := root ^ h
+	for i := 0; i < 2; i++ {
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}

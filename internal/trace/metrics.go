@@ -19,6 +19,7 @@ type Registry struct {
 	ctrs  map[string]*Counter
 	gauge map[string]*Gauge
 	hists map[string]*Histogram
+	res   map[string]*Reservoir
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -27,6 +28,7 @@ func NewRegistry() *Registry {
 		ctrs:  make(map[string]*Counter),
 		gauge: make(map[string]*Gauge),
 		hists: make(map[string]*Histogram),
+		res:   make(map[string]*Reservoir),
 	}
 }
 
@@ -214,13 +216,15 @@ func bucketLabel(i int) string {
 // output is byte-stable for a given set of metric values.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	var out struct {
-		Counters   map[string]int64    `json:"counters"`
-		Gauges     map[string]int64    `json:"gauges"`
-		Histograms map[string]histJSON `json:"histograms"`
+		Counters    map[string]int64    `json:"counters"`
+		Gauges      map[string]int64    `json:"gauges"`
+		Histograms  map[string]histJSON `json:"histograms"`
+		Percentiles map[string]resJSON  `json:"percentiles"`
 	}
 	out.Counters = map[string]int64{}
 	out.Gauges = map[string]int64{}
 	out.Histograms = map[string]histJSON{}
+	out.Percentiles = map[string]resJSON{}
 	if r != nil {
 		r.mu.Lock()
 		for name, c := range r.ctrs {
@@ -240,6 +244,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 			h.mu.Unlock()
 			out.Histograms[name] = hj
+		}
+		for name, p := range r.res {
+			out.Percentiles[name] = p.snapshotJSON()
 		}
 		r.mu.Unlock()
 	}

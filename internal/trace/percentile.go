@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultReservoirCap bounds a Reservoir's retained samples. Serving runs
+// record one latency per admitted request, so the default comfortably holds
+// every sample of a bench-scale run and percentiles stay exact.
+const DefaultReservoirCap = 8192
+
+// Reservoir is a bounded recorder emitting exact percentiles: pow-2
+// histogram buckets are factor-of-two wide, far too coarse to tell a p95
+// from a p99 under tail amplification. Below its cap the reservoir keeps
+// every sample and percentiles are exact. At the cap it decimates
+// deterministically — every second retained sample is dropped and the
+// recording stride doubles, so the kept set stays a uniform systematic
+// sample of the stream and two identical runs decimate identically (no RNG
+// involved). Count, sum, min, and max always cover every observation.
+type Reservoir struct {
+	mu      sync.Mutex
+	cap_    int
+	stride  int64 // record every stride-th observation
+	tick    int64 // observations since the last recorded one
+	samples []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one sample. Negative samples clamp to zero (latencies).
+func (p *Reservoir) Observe(v int64) {
+	if p == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.count == 0 || v < p.min {
+		p.min = v
+	}
+	if v > p.max {
+		p.max = v
+	}
+	p.count++
+	p.sum += v
+	if p.stride == 0 {
+		p.stride = 1
+	}
+	p.tick++
+	if p.tick < p.stride {
+		return
+	}
+	p.tick = 0
+	p.samples = append(p.samples, v)
+	if p.cap_ > 0 && len(p.samples) >= p.cap_ {
+		// Systematic decimation: keep every second sample, double the
+		// stride. Deterministic, order-preserving, uniform over the stream.
+		kept := p.samples[:0]
+		for i := 1; i < len(p.samples); i += 2 {
+			kept = append(kept, p.samples[i])
+		}
+		p.samples = kept
+		p.stride *= 2
+	}
+}
+
+// Count reports the number of observations (0 for a nil reservoir).
+func (p *Reservoir) Count() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Sum reports the total of all observations.
+func (p *Reservoir) Sum() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sum
+}
+
+// Max reports the largest observation (0 when empty).
+func (p *Reservoir) Max() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained samples by
+// the nearest-rank method on the sorted sample set: exact while the
+// reservoir is below its cap, a systematic-sample estimate after
+// decimation. Returns 0 when empty.
+func (p *Reservoir) Quantile(q float64) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return quantileLocked(p.samples, q)
+}
+
+// quantileLocked computes the nearest-rank quantile over a copy of samples.
+func quantileLocked(samples []int64, q float64) int64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(q*float64(n)+0.999999) - 1 // ceil(q*n) - 1, nearest-rank
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// P50 is Quantile(0.50).
+func (p *Reservoir) P50() int64 { return p.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (p *Reservoir) P95() int64 { return p.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (p *Reservoir) P99() int64 { return p.Quantile(0.99) }
+
+// Reservoir returns the named reservoir, creating it on first use with
+// DefaultReservoirCap. A nil registry returns a nil (no-op) reservoir.
+func (r *Registry) Reservoir(name string) *Reservoir {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.res[name]
+	if p == nil {
+		p = &Reservoir{cap_: DefaultReservoirCap}
+		r.res[name] = p
+	}
+	return p
+}
+
+// resJSON is a reservoir's serialized form: exact nearest-rank percentiles
+// from the retained sample set plus whole-stream count/sum/min/max.
+type resJSON struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// snapshotJSON renders the reservoir for WriteJSON. Called with the
+// registry lock held; takes the reservoir's own lock like Histogram does.
+func (p *Reservoir) snapshotJSON() resJSON {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return resJSON{
+		Count: p.count, Sum: p.sum, Min: p.min, Max: p.max,
+		P50: quantileLocked(p.samples, 0.50),
+		P95: quantileLocked(p.samples, 0.95),
+		P99: quantileLocked(p.samples, 0.99),
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReservoirExactPercentiles(t *testing.T) {
+	var p Reservoir
+	p.cap_ = DefaultReservoirCap
+	// 1..1000 in a scrambled but deterministic order.
+	for i := 0; i < 1000; i++ {
+		p.Observe(int64(i*617%1000) + 1)
+	}
+	if got := p.Count(); got != 1000 {
+		t.Fatalf("count = %d", got)
+	}
+	// Nearest-rank over 1..1000: p50 = 500, p95 = 950, p99 = 990.
+	if got := p.P50(); got != 500 {
+		t.Errorf("p50 = %d, want 500", got)
+	}
+	if got := p.P95(); got != 950 {
+		t.Errorf("p95 = %d, want 950", got)
+	}
+	if got := p.P99(); got != 990 {
+		t.Errorf("p99 = %d, want 990", got)
+	}
+	if p.Quantile(1) != 1000 || p.Max() != 1000 {
+		t.Errorf("max quantile = %d, max = %d, want 1000", p.Quantile(1), p.Max())
+	}
+	if p.Quantile(0) != 1 {
+		t.Errorf("min quantile = %d, want 1", p.Quantile(0))
+	}
+}
+
+// Past the cap the reservoir decimates instead of dropping the tail: the
+// retained set must remain a uniform sample (percentile estimates stay in
+// range) and the whole-stream count/min/max must remain exact.
+func TestReservoirDecimation(t *testing.T) {
+	p := &Reservoir{cap_: 64}
+	n := int64(10_000)
+	for i := int64(1); i <= n; i++ {
+		p.Observe(i)
+	}
+	if p.Count() != n || p.Max() != n {
+		t.Fatalf("count=%d max=%d", p.Count(), p.Max())
+	}
+	if got := p.P50(); got < n*4/10 || got > n*6/10 {
+		t.Errorf("decimated p50 = %d, want near %d", got, n/2)
+	}
+	if got := p.P99(); got < n*95/100 {
+		t.Errorf("decimated p99 = %d, want >= %d", got, n*95/100)
+	}
+	// Two identical streams decimate identically.
+	q := &Reservoir{cap_: 64}
+	for i := int64(1); i <= n; i++ {
+		q.Observe(i)
+	}
+	for _, quant := range []float64{0.5, 0.95, 0.99} {
+		if p.Quantile(quant) != q.Quantile(quant) {
+			t.Errorf("q%.2f diverges across identical streams", quant)
+		}
+	}
+}
+
+func TestReservoirNilSafe(t *testing.T) {
+	var p *Reservoir
+	p.Observe(5)
+	if p.Count() != 0 || p.P99() != 0 || p.Sum() != 0 {
+		t.Fatal("nil reservoir not inert")
+	}
+	var r *Registry
+	r.Reservoir("x").Observe(1) // must not panic
+}
+
+func TestRegistryWritesPercentiles(t *testing.T) {
+	r := NewRegistry()
+	lat := r.Reservoir("serve.latency{tenant=a}")
+	for i := 1; i <= 100; i++ {
+		lat.Observe(int64(i))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"percentiles"`) || !strings.Contains(out, `"p99": 99`) {
+		t.Fatalf("percentiles missing from metrics JSON:\n%s", out)
+	}
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("metrics JSON not byte-stable")
+	}
+}

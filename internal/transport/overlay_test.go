@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/sim"
+)
+
+// rep returns n copies of b.
+func rep(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// A newer queued write must win over an older queued entry it overlaps,
+// even when the two were enqueued at different addresses and granularities
+// (a single read-repair line vs a coalesced multi-line write-back). Before
+// the overlay kept non-overlapping entries, the drain replayed entries in
+// address order and the older line at the higher address clobbered the tail
+// of the newer piece.
+func TestOverlayNewerQueuedWriteWinsAcrossGranularities(t *testing.T) {
+	tr, f := newFlakyT(testPolicy())
+	f.failures = 1 << 20 // node down: everything queues
+
+	// Older entry: a 2 KB "repair snapshot" at offset 2048.
+	if _, err := tr.WriteOneSided(0, 2048, rep(0xAA, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	// Newer entry: a 4 KB coalesced write-back covering it.
+	if _, err := tr.WriteOneSided(0, 0, rep(0xBB, 4096)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The overlay must already serve the newer bytes.
+	buf := make([]byte, 4096)
+	if _, err := tr.ReadOneSided(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, rep(0xBB, 4096)) {
+		t.Fatalf("overlay read returned stale bytes at %d", bytes.IndexByte(buf, 0xAA))
+	}
+
+	f.failures = 0
+	if _, err := tr.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	// Drained fragments: the gap [0,2048) plus the patched entry at 2048.
+	if !bytes.Equal(f.store[0], rep(0xBB, 2048)) {
+		t.Fatalf("drained gap fragment = %x…", f.store[0][:4])
+	}
+	if !bytes.Equal(f.store[2048], rep(0xBB, 2048)) {
+		t.Fatalf("older queued entry drained stale bytes over the newer write")
+	}
+}
+
+// The mirror case: a newer small write over an older large queued entry
+// must patch the entry in place, not shadow or truncate it.
+func TestOverlayNewerSmallWritePatchesLargerEntry(t *testing.T) {
+	tr, f := newFlakyT(testPolicy())
+	f.failures = 1 << 20
+
+	if _, err := tr.WriteOneSided(0, 0, rep(0xAA, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteOneSided(0, 2048, rep(0xBB, 2048)); err != nil {
+		t.Fatal(err)
+	}
+
+	f.failures = 0
+	if _, err := tr.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	want := append(rep(0xAA, 2048), rep(0xBB, 2048)...)
+	if !bytes.Equal(f.store[0], want) {
+		t.Fatalf("patched entry drained wrong bytes")
+	}
+	if tr.PendingWritebacks() != 0 {
+		t.Fatalf("%d writebacks left queued", tr.PendingWritebacks())
+	}
+}
+
+// A direct write that lands after the node heals supersedes the overlapped
+// part of a still-queued older entry: the drain that follows must not roll
+// the node back to the queued snapshot.
+func TestOverlayDirectWriteSupersedesQueuedRange(t *testing.T) {
+	pol := testPolicy()
+	tr, f := newFlakyT(pol)
+	f.failures = 1 << 20
+
+	if _, err := tr.WriteOneSided(0, 0, rep(0xAA, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	f.failures = 0
+	at := sim.Time(0).Add(2 * pol.BreakerCooldown)
+	// Direct write inside the queued range; its success drains the queue.
+	if _, err := tr.WriteOneSided(at, 1024, rep(0xBB, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PendingWritebacks() != 0 {
+		t.Fatalf("%d writebacks left queued after healed write", tr.PendingWritebacks())
+	}
+	drained := f.store[0]
+	if !bytes.Equal(drained[1024:2048], rep(0xBB, 1024)) {
+		t.Fatalf("drain replayed the stale snapshot over the direct write")
+	}
+	if !bytes.Equal(drained[:1024], rep(0xAA, 1024)) || !bytes.Equal(drained[2048:], rep(0xAA, 2048)) {
+		t.Fatalf("drain corrupted bytes outside the superseded range")
+	}
+}
+
+// A network read whose range is only partially covered by the overlay must
+// still reflect the queued bytes — and must do so even though its own
+// success drains the queue.
+func TestOverlayPartialCoverageReadPatched(t *testing.T) {
+	pol := testPolicy()
+	tr, f := newFlakyT(pol)
+	f.store[0] = rep(0x11, 2048)
+	f.failures = 1 << 20
+
+	if _, err := tr.WriteOneSided(0, 1024, rep(0xCC, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.failures = 0
+	at := sim.Time(0).Add(2 * pol.BreakerCooldown)
+	buf := make([]byte, 2048)
+	if _, err := tr.ReadOneSided(at, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := rep(0x11, 2048)
+	copy(want[1024:], rep(0xCC, 512))
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("partially covered read missed queued bytes")
+	}
+	if tr.PendingWritebacks() != 0 {
+		t.Fatalf("successful read did not drain the queue")
+	}
+}

@@ -299,6 +299,50 @@ func (t *T) DropQueued() int {
 	return n
 }
 
+// supersedeRange reconciles the overlay with a direct write that just
+// landed on the node: queued entries fully inside [addr, addr+len(data))
+// are dropped and partially overlapping ones are patched with the fresher
+// bytes. Queued entries are always older than a direct write that lands
+// later (degraded-mode writes replace per address), and the next successful
+// op drains the queue — without this a stale queued line would be replayed
+// over the fresher bytes. Entries can differ in granularity from the
+// superseding write (a queued read-repair line vs a coalesced multi-line
+// write-back piece), hence range reconciliation, not address matching.
+func (t *T) supersedeRange(addr uint64, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.queued) == 0 {
+		return
+	}
+	end := addr + uint64(len(data))
+	var drop []uint64
+	for _, k := range t.queuedAddrs {
+		if k >= end {
+			break
+		}
+		d := t.queued[k]
+		ke := k + uint64(len(d))
+		if ke <= addr {
+			continue
+		}
+		if k >= addr && ke <= end {
+			drop = append(drop, k)
+			continue
+		}
+		lo, hi := k, ke
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		copy(d[lo-k:hi-k], data[lo-addr:hi-addr])
+	}
+	for _, k := range drop {
+		t.dequeueLocked(k)
+	}
+}
+
 // latencyOneSided is OneSidedCost minus the wire time, which the bandwidth
 // accountant charges separately (so concurrent threads contend for the wire
 // but not for latency).
@@ -482,14 +526,58 @@ func (t *T) noteSuccess(at sim.Time) {
 
 // enqueueWrite queues a degraded-mode write locally. The queue is an
 // overlay over far memory: reads consult it first, so queued data stays
-// visible. Keyed by address — write-back granularity per address is stable
-// (a line or page is always written whole, a selective field always as the
-// same range), so latest-wins replacement is exact.
+// visible. Entries never overlap: a new write patches the overlapping bytes
+// of existing entries in place (it is fresher) and inserts only the
+// uncovered gaps. Writers mix granularities at the same addresses — a
+// coalesced multi-line write-back vs a single read-repair line — so
+// anything keyed purely by address would let an older entry shadow part of
+// a newer one at drain time.
 func (t *T) enqueueWrite(addr uint64, data []byte) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.stats.QueuedWritebacks++
+	end := addr + uint64(len(data))
+	cur := addr
+	type gap struct{ lo, hi uint64 }
+	var gaps []gap
+	for _, k := range t.queuedAddrs {
+		if k >= end {
+			break
+		}
+		d := t.queued[k]
+		ke := k + uint64(len(d))
+		if ke <= addr {
+			continue
+		}
+		lo, hi := k, ke
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		copy(d[lo-k:hi-k], data[lo-addr:hi-addr])
+		if lo > cur {
+			gaps = append(gaps, gap{cur, lo})
+		}
+		if hi > cur {
+			cur = hi
+		}
+	}
+	if cur < end {
+		gaps = append(gaps, gap{cur, end})
+	}
+	for _, g := range gaps {
+		cp := make([]byte, g.hi-g.lo)
+		copy(cp, data[g.lo-addr:g.hi-addr])
+		t.insertQueuedLocked(g.lo, cp)
+	}
+}
+
+// insertQueuedLocked adds a fresh entry to the overlay map and its sorted
+// key mirror. Callers guarantee the range does not overlap any existing
+// entry.
+func (t *T) insertQueuedLocked(addr uint64, cp []byte) {
 	if _, exists := t.queued[addr]; !exists {
 		i := sort.Search(len(t.queuedAddrs), func(i int) bool { return t.queuedAddrs[i] >= addr })
 		t.queuedAddrs = append(t.queuedAddrs, 0)
@@ -497,7 +585,6 @@ func (t *T) enqueueWrite(addr uint64, data []byte) {
 		t.queuedAddrs[i] = addr
 	}
 	t.queued[addr] = cp
-	t.stats.QueuedWritebacks++
 }
 
 // dequeueLocked removes addr from the overlay map and its sorted key mirror.
@@ -512,33 +599,53 @@ func (t *T) dequeueLocked(addr uint64) {
 	}
 }
 
-// coveringQueuedLocked finds the queued entry covering [addr, addr+n), if
-// any. Iteration is over the sorted key mirror: map order must never decide
+// overlayReadLocked copies every queued byte overlapping [addr,
+// addr+len(buf)) into buf and reports whether the whole range was covered.
+// Iteration is over the sorted key mirror: map order must never decide
 // which entry serves a read, or degraded-mode replays stop being
 // byte-stable.
-func (t *T) coveringQueuedLocked(addr uint64, n int) (base uint64, data []byte, ok bool) {
+func (t *T) overlayReadLocked(addr uint64, buf []byte) (covered bool) {
+	end := addr + uint64(len(buf))
+	cur := addr
+	full := len(t.queuedAddrs) > 0
 	for _, k := range t.queuedAddrs {
-		if k > addr {
+		if k >= end {
 			break
 		}
 		d := t.queued[k]
-		if addr >= k && addr+uint64(n) <= k+uint64(len(d)) {
-			return k, d, true
+		ke := k + uint64(len(d))
+		if ke <= addr {
+			continue
+		}
+		lo, hi := k, ke
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		copy(buf[lo-addr:hi-addr], d[lo-k:hi-k])
+		if lo > cur {
+			full = false
+		}
+		if hi > cur {
+			cur = hi
 		}
 	}
-	return 0, nil, false
+	return full && cur >= end
 }
 
-// serveQueued serves [addr, addr+len(buf)) from the write-back overlay if a
-// single queued entry covers it.
+// serveQueued serves [addr, addr+len(buf)) from the write-back overlay if
+// queued entries cover all of it. Partially covering entries leave their
+// bytes in buf; callers that fall through to the network overwrite buf
+// wholesale and must re-patch afterwards.
 func (t *T) serveQueued(addr uint64, buf []byte) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.queued) == 0 {
 		return false
 	}
-	if base, data, ok := t.coveringQueuedLocked(addr, len(buf)); ok {
-		copy(buf, data[addr-base:])
+	if t.overlayReadLocked(addr, buf) {
 		t.stats.DegradedReads++
 		t.cDegraded.Inc()
 		return true
@@ -653,6 +760,12 @@ func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
+		// Queued writes the node hasn't seen yet are newer than its reply;
+		// patch any partial overlap (full coverage was served above). Must
+		// happen here, before this success drains the queue into the node.
+		t.mu.Lock()
+		t.overlayReadLocked(addr, buf)
+		t.mu.Unlock()
 		wireEnd := t.BW.Acquire(at, len(buf))
 		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra), nil
 	}, nil)
@@ -669,6 +782,7 @@ func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, erro
 		if err != nil {
 			return 0, err
 		}
+		t.supersedeRange(addr, buf)
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
@@ -707,6 +821,9 @@ func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
+		// Patch before returning success: success drains the queue, and the
+		// reply must reflect queued writes the node hasn't seen yet.
+		t.patchFromQueue(addrs, sizes, d)
 		data = d
 		wireEnd := t.BW.Acquire(at, len(d))
 		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra), nil
@@ -714,7 +831,6 @@ func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 	if err != nil {
 		return nil, end, err
 	}
-	t.patchFromQueue(addrs, sizes, data)
 	return data, end, nil
 }
 
@@ -733,11 +849,9 @@ func (t *T) gatherQueued(addrs []uint64, sizes []int) ([]byte, bool) {
 	out := make([]byte, total)
 	off := 0
 	for i, a := range addrs {
-		base, data, ok := t.coveringQueuedLocked(a, sizes[i])
-		if !ok {
+		if !t.overlayReadLocked(a, out[off:off+sizes[i]]) {
 			return nil, false
 		}
-		copy(out[off:off+sizes[i]], data[a-base:])
 		off += sizes[i]
 	}
 	t.stats.DegradedReads++
@@ -745,7 +859,8 @@ func (t *T) gatherQueued(addrs []uint64, sizes []int) ([]byte, bool) {
 	return out, true
 }
 
-// patchFromQueue overwrites gather-reply segments with newer queued data.
+// patchFromQueue overwrites gather-reply segments with newer queued data,
+// including partial overlaps.
 func (t *T) patchFromQueue(addrs []uint64, sizes []int, data []byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -754,9 +869,7 @@ func (t *T) patchFromQueue(addrs []uint64, sizes []int, data []byte) {
 	}
 	off := 0
 	for i, a := range addrs {
-		if base, q, ok := t.coveringQueuedLocked(a, sizes[i]); ok {
-			copy(data[off:off+sizes[i]], q[a-base:])
-		}
+		t.overlayReadLocked(a, data[off:off+sizes[i]])
 		off += sizes[i]
 	}
 }
@@ -775,6 +888,9 @@ func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.
 		extra, err := t.be.Scatter(at, addrs, pieces)
 		if err != nil {
 			return 0, err
+		}
+		for i := range addrs {
+			t.supersedeRange(addrs[i], pieces[i])
 		}
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
@@ -831,6 +947,9 @@ func (t *T) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
+		// Patch before returning success: success drains the queue, and the
+		// reply must reflect queued writes the node hasn't seen yet.
+		t.patchFromQueue(addrs, sizes, d)
 		data = d
 		wireEnd := t.BW.Acquire(at, len(d))
 		t.noteBatch(len(addrs))
@@ -839,7 +958,6 @@ func (t *T) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 	if err != nil {
 		return nil, end, err
 	}
-	t.patchFromQueue(addrs, sizes, data)
 	return data, end, nil
 }
 
@@ -860,6 +978,9 @@ func (t *T) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Tim
 		extra, err := t.be.Scatter(at, addrs, pieces)
 		if err != nil {
 			return 0, err
+		}
+		for i := range addrs {
+			t.supersedeRange(addrs[i], pieces[i])
 		}
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout

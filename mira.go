@@ -43,6 +43,7 @@ import (
 	"mira/internal/ir"
 	"mira/internal/mtrun"
 	"mira/internal/planner"
+	"mira/internal/serve"
 	"mira/internal/sim"
 	"mira/internal/trace"
 	"mira/internal/transport"
@@ -248,6 +249,55 @@ func ReadOnlyScalingTraced(mode MTMode, w Workload, budget int64, threads int, t
 // one shared result vector (Fig. 25).
 func SharedWriteFilter(mode MTMode, cfg DataFrameConfig, budget int64, threads int) (MTResult, error) {
 	return mtrun.SharedWriteFilter(mode, cfg, budget, threads)
+}
+
+// TenantSpec describes one tenant of a multi-tenant serving mix: its
+// workload, arrival process, SLO, queue bound, link weight, and DRAM budget.
+type TenantSpec = serve.TenantSpec
+
+// ServeOptions configures a multi-tenant serving run: admission control,
+// elastic reclaim, the chaos schedule, and the seed every derived stream
+// (arrivals, placement, faults) splits from.
+type ServeOptions = serve.Options
+
+// ServeResult reports a serving run: elapsed virtual time, per-tenant
+// outcomes, and elastic-reclaim leases.
+type ServeResult = serve.Result
+
+// TenantResult is one tenant's outcome: admitted/rejected counts and exact
+// p50/p95/p99 latency percentiles over admitted requests.
+type TenantResult = serve.TenantResult
+
+// ArrivalProcess selects a tenant's open-loop arrival process.
+type ArrivalProcess = serve.Process
+
+// The arrival processes.
+const (
+	// ArrivalsPoisson draws exponential interarrivals at a fixed rate.
+	ArrivalsPoisson = serve.Poisson
+	// ArrivalsBursty alternates on/off phases of Burst× / 1/Burst× the
+	// mean rate.
+	ArrivalsBursty = serve.Bursty
+)
+
+// Serve runs a multi-tenant serving mix to completion on the deterministic
+// scheduler: open-loop arrivals, per-request execution, weighted-fair link
+// arbitration, admission control, and elastic reclaim. Identical seeds
+// produce byte-identical traces, metrics, and far-memory contents, chaos
+// schedule included.
+func Serve(specs []TenantSpec, opts ServeOptions) (*ServeResult, error) {
+	return serve.Run(specs, opts)
+}
+
+// DefaultTenantMix is the canonical three-tenant mix (read-only sum, two
+// mutating scans) used by mira-serve, the benchmarks, and CI.
+func DefaultTenantMix() []TenantSpec { return serve.DefaultTenantMix() }
+
+// NativeTenantReplay executes a tenant's workload reps times on a
+// fault-free single-node runtime and returns its far-object dumps — the
+// integrity reference for chaos serving runs.
+func NativeTenantReplay(spec TenantSpec, reps int) (map[string][]byte, error) {
+	return serve.NativeReplay(spec, reps)
 }
 
 // Workload constructors for the paper's applications.
