@@ -514,6 +514,146 @@ func TestBenchTenants(t *testing.T) {
 	}
 }
 
+// ---- Prefetcher zoo race (BENCH_prefetch.json) ----
+
+// prefetchCellRecord is one (app, plane, policy) cell of the race.
+type prefetchCellRecord struct {
+	SimTimeNs    int64   `json:"sim_time_ns"`
+	SimTime      string  `json:"sim_time"`
+	Messages     int64   `json:"messages"`
+	BytesMoved   int64   `json:"bytes_moved"`
+	Issued       int64   `json:"issued"`
+	Useful       int64   `json:"useful"`
+	Useless      int64   `json:"useless"`
+	Dropped      int64   `json:"dropped"`
+	DemandMisses int64   `json:"demand_misses"`
+	Accuracy     float64 `json:"accuracy"`
+	Coverage     float64 `json:"coverage"`
+	Timeliness   float64 `json:"timeliness"`
+}
+
+func prefetchCell(res RunResult) prefetchCellRecord {
+	return prefetchCellRecord{
+		SimTimeNs:    int64(res.Time),
+		SimTime:      res.Time.String(),
+		Messages:     res.Messages,
+		BytesMoved:   res.BytesMoved,
+		Issued:       res.Prefetch.Issued,
+		Useful:       res.Prefetch.Useful,
+		Useless:      res.Prefetch.Useless,
+		Dropped:      res.Prefetch.Dropped,
+		DemandMisses: res.DemandMisses,
+		Accuracy:     res.Prefetch.Accuracy(),
+		Coverage:     res.Prefetch.Coverage(res.DemandMisses),
+		Timeliness:   res.Prefetch.Timeliness(),
+	}
+}
+
+// TestBenchPrefetch races every registered prefetch policy against every
+// app on both data planes — the page plane (uniform swap, policy as page
+// prefetcher) and the line plane (the planner's accepted sections, policy
+// on each section's miss stream, with the compiled prefetch stream as the
+// reference arm) — and emits BENCH_prefetch.json for future PRs to diff.
+// Gates, per the policy taxonomy (DESIGN.md §13): the programmed runner
+// must beat no-prefetch on the sequential scan's page plane and the
+// compiled stream on at least one scan app's line plane; the online
+// history prefetcher must beat both no-prefetch and readahead on the
+// pointer-heavy graph traversal's page plane. CI runs this twice and
+// byte-compares the JSON (prefetch-smoke).
+func TestBenchPrefetch(t *testing.T) {
+	apps := []Workload{
+		NewSeqScanWorkload(SeqScanConfig{}),
+		NewStrideScanWorkload(StrideScanConfig{}),
+		NewGraphWorkload(GraphConfig{Edges: 8192, Nodes: 1024, Passes: 3, Seed: 7}),
+		NewDataFrameWorkload(DataFrameConfig{}),
+		NewGPT2Workload(GPT2Config{Layers: 2, DModel: 32, DFF: 128, SeqLen: 8, Seed: 11}),
+	}
+	var pagePolicies []PrefetchSpec
+	for _, name := range PrefetchPolicyNames() {
+		pagePolicies = append(pagePolicies, PrefetchSpec{Policy: name})
+	}
+	linePolicies := append([]PrefetchSpec{{Policy: PrefetchCompiled}}, pagePolicies...)
+
+	out := map[string]map[string]map[string]prefetchCellRecord{}
+	for _, w := range apps {
+		opts := RunOptions{
+			Budget: int64(float64(w.FullMemoryBytes()) * 0.25),
+			Verify: true,
+		}
+		page := map[string]prefetchCellRecord{}
+		for _, spec := range pagePolicies {
+			res, err := RunPagePrefetch(w, opts, spec)
+			if err != nil {
+				t.Fatalf("%s page/%s: %v", w.Name(), spec.Policy, err)
+			}
+			page[spec.Policy] = prefetchCell(res)
+			t.Logf("%s page/%s: %s, %d misses, acc %.2f cov %.2f",
+				w.Name(), spec.Policy, res.Time, res.DemandMisses,
+				res.Prefetch.Accuracy(), res.Prefetch.Coverage(res.DemandMisses))
+		}
+		lres, err := RunLinePrefetchRace(w, opts, linePolicies)
+		if err != nil {
+			t.Fatalf("%s line race: %v", w.Name(), err)
+		}
+		line := map[string]prefetchCellRecord{}
+		for i, spec := range linePolicies {
+			line[spec.Policy] = prefetchCell(lres[i])
+			t.Logf("%s line/%s: %s, %d misses, acc %.2f cov %.2f",
+				w.Name(), spec.Policy, lres[i].Time, lres[i].DemandMisses,
+				lres[i].Prefetch.Accuracy(), lres[i].Prefetch.Coverage(lres[i].DemandMisses))
+		}
+		out[w.Name()] = map[string]map[string]prefetchCellRecord{
+			"page": page, "line": line,
+		}
+	}
+
+	// Gate: the programmed runner's exact future knowledge must beat the
+	// pattern-blind arms on the sequential scan's page plane.
+	if p, n := out["seqscan"]["page"]["programmed"], out["seqscan"]["page"]["none"]; p.SimTimeNs >= n.SimTimeNs {
+		t.Errorf("seqscan page: programmed (%s) not under no-prefetch (%s)", p.SimTime, n.SimTime)
+	}
+	// Gate: shedding the compiled stream's per-iteration guard arithmetic
+	// must pay on at least one scan app's line plane.
+	progWins := false
+	for _, app := range []string{"seqscan", "stridescan"} {
+		if out[app]["line"]["programmed"].SimTimeNs < out[app]["line"][PrefetchCompiled].SimTimeNs {
+			progWins = true
+		}
+	}
+	if !progWins {
+		t.Errorf("line plane: programmed (%s seqscan, %s stridescan) never under compiled (%s, %s)",
+			out["seqscan"]["line"]["programmed"].SimTime,
+			out["stridescan"]["line"]["programmed"].SimTime,
+			out["seqscan"]["line"][PrefetchCompiled].SimTime,
+			out["stridescan"]["line"][PrefetchCompiled].SimTime)
+	}
+	// Gate: the history prefetcher's learned miss deltas must beat the
+	// pattern-blind arms on the repeated graph traversal's page plane.
+	g := out["graphtraverse"]["page"]
+	if g["history"].SimTimeNs >= g["none"].SimTimeNs {
+		t.Errorf("graphtraverse page: history (%s) not under no-prefetch (%s)",
+			g["history"].SimTime, g["none"].SimTime)
+	}
+	if g["history"].SimTimeNs >= g["readahead"].SimTimeNs {
+		t.Errorf("graphtraverse page: history (%s) not under readahead (%s)",
+			g["history"].SimTime, g["readahead"].SimTime)
+	}
+
+	doc := map[string]any{
+		"description":  "Prefetcher zoo race: every registered policy x every app on both data planes (page = uniform swap, line = planner's accepted sections; 'compiled' = the planner's emitted prefetch stream) at 25% local memory. Regenerate with: go test -run TestBenchPrefetch .",
+		"mem_fraction": 0.25,
+		"policies":     append([]string{PrefetchCompiled}, PrefetchPolicyNames()...),
+		"apps":         out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_prefetch.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // bytesEqual avoids importing bytes just for the dump comparison.
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

@@ -138,6 +138,8 @@ func main() {
 	faultNode := flag.Int("fault-node", 0, "which cluster node receives the -faults schedule")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the run's metrics registry as JSON to this file")
+	prefetchPol := flag.String("prefetch", "", fmt.Sprintf("zoo prefetch policy %v replacing the system's stock prefetching (systems: mira = line plane, mira-swap/fastswap/leap = page plane); empty = stock", mira.PrefetchPolicyNames()))
+	prefetchWin := flag.Int("prefetch-window", 0, "programmed prefetch in-flight window in units (0 = default, clamped to half the plane's capacity)")
 	threads := flag.Int("threads", 1, "interleave this many simulated threads on the deterministic scheduler, dividing a fixed read-only batch (systems: mira, fastswap)")
 	privateSections := flag.Bool("private-sections", false, "with -threads: give each thread private cache sections (default: one shared conservative section set, the paper's Mira-unopt)")
 	flag.Parse()
@@ -154,11 +156,18 @@ func main() {
 	threadsSet := false
 	flag.Visit(func(f *flag.Flag) { threadsSet = threadsSet || f.Name == "threads" })
 	if *threads > 1 || (threadsSet && *threads == 1) {
+		if *prefetchPol != "" {
+			fmt.Fprintln(os.Stderr, "mira-run: -prefetch does not combine with -threads")
+			os.Exit(2)
+		}
 		runMultithreaded(w, budget, *app, *system, *mem, *threads, *privateSections,
 			*traceOut, *metricsOut, *faultsName != "", *nodes > 0)
 		return
 	}
 	opts := mira.RunOptions{Budget: budget, Verify: *verify}
+	if *prefetchPol != "" {
+		opts.Prefetch = &mira.PrefetchSpec{Policy: *prefetchPol, Window: *prefetchWin}
+	}
 	opts.NoBatching = !*batch
 	opts.WritebackQueueLines = *wbq
 	opts.AIFM.ChunkBytes = *aifmChunk
@@ -232,6 +241,12 @@ func main() {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
 			len(res.PlanResult.Iterations), len(res.PlanResult.Config.Sections))
+	}
+	if opts.Prefetch != nil {
+		pf := res.Prefetch
+		fmt.Printf("  prefetch %s: %d issued, %d useful (%d late), %d useless, %d dropped; accuracy %.2f, coverage %.2f of %d demand misses\n",
+			opts.Prefetch.Policy, pf.Issued, pf.Useful, pf.Late, pf.Useless, pf.Dropped,
+			pf.Accuracy(), pf.Coverage(res.DemandMisses), res.DemandMisses)
 	}
 	if n := res.Net; opts.Faults != nil {
 		fmt.Printf("  faults (%s, seed %d): %d retries, %d timeouts, %d corruptions, %d breaker trips, %d queued writebacks, %d degraded reads, %v degraded, %v backoff\n",

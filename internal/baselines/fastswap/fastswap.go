@@ -13,6 +13,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
+	"mira/internal/prefetch"
 	"mira/internal/rt"
 	"mira/internal/sim"
 	"mira/internal/swap"
@@ -46,21 +47,21 @@ type Options struct {
 }
 
 // Readahead prefetches the pages following each fault — profitable for
-// sequential access, wasted bandwidth otherwise.
+// sequential access, wasted bandwidth otherwise. It is the zoo's
+// prefetch.Readahead policy adapted to the swap plane (kept as a named type
+// here for the baseline's public API).
 type Readahead struct{ N int64 }
 
 // OnFault returns the next N pages.
 func (r Readahead) OnFault(page int64) []int64 {
-	out := make([]int64, 0, r.N)
-	for i := int64(1); i <= r.N; i++ {
-		out = append(out, page+i)
-	}
-	return out
+	return prefetch.Readahead{N: r.N}.OnMiss(page)
 }
 
 // PerFaultOverhead is zero: FastSwap's datapath is the fast one the other
 // baselines are measured against.
-func (Readahead) PerFaultOverhead() sim.Duration { return 0 }
+func (Readahead) PerFaultOverhead() sim.Duration {
+	return prefetch.Readahead{}.PerMissOverhead()
+}
 
 // New builds a FastSwap runtime for w: everything in the swap section.
 func New(w workload.Workload, opts Options) (*rt.Runtime, error) {

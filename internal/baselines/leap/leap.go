@@ -14,6 +14,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
+	"mira/internal/prefetch"
 	"mira/internal/rt"
 	"mira/internal/sim"
 	"mira/internal/swap"
@@ -47,69 +48,22 @@ type Options struct {
 	NoBatching bool
 }
 
-// Prefetcher implements Leap's majority-trend detection: if one fault-delta
-// wins a Boyer-Moore majority vote over the recent window, prefetch Depth
-// pages along it; otherwise do nothing.
-type Prefetcher struct {
-	window   int
-	depth    int64
-	history  []int64 // recent fault deltas
-	last     int64
-	haveLast bool
-}
+// Prefetcher is the zoo's prefetch.Leap majority-trend policy adapted to the
+// swap plane (kept as a named type here for the baseline's public API; the
+// algorithm itself now lives in internal/prefetch so both planes can race
+// it).
+type Prefetcher struct{ p *prefetch.Leap }
 
 // NewPrefetcher builds the trend detector.
 func NewPrefetcher(window int, depth int64) *Prefetcher {
-	return &Prefetcher{window: window, depth: depth}
+	return &Prefetcher{p: prefetch.NewLeap(window, depth)}
 }
 
 // OnFault records the fault and prefetches along the majority trend.
-func (p *Prefetcher) OnFault(page int64) []int64 {
-	if p.haveLast {
-		delta := page - p.last
-		p.history = append(p.history, delta)
-		if len(p.history) > p.window {
-			p.history = p.history[1:]
-		}
-	}
-	p.last = page
-	p.haveLast = true
-	if len(p.history) < p.window/2 {
-		return nil
-	}
-	// Boyer-Moore majority vote over the window (the algorithm Leap
-	// uses).
-	var cand int64
-	count := 0
-	for _, d := range p.history {
-		if count == 0 {
-			cand = d
-			count = 1
-		} else if d == cand {
-			count++
-		} else {
-			count--
-		}
-	}
-	// Verify it is a true majority.
-	occurrences := 0
-	for _, d := range p.history {
-		if d == cand {
-			occurrences++
-		}
-	}
-	if occurrences*2 <= len(p.history) || cand == 0 {
-		return nil
-	}
-	out := make([]int64, 0, p.depth)
-	for i := int64(1); i <= p.depth; i++ {
-		out = append(out, page+cand*i)
-	}
-	return out
-}
+func (p *Prefetcher) OnFault(page int64) []int64 { return p.p.OnMiss(page) }
 
 // PerFaultOverhead is the trend-detection cost on every fault.
-func (p *Prefetcher) PerFaultOverhead() sim.Duration { return 300 * sim.Nanosecond }
+func (p *Prefetcher) PerFaultOverhead() sim.Duration { return p.p.PerMissOverhead() }
 
 // New builds a Leap runtime for w: everything in the swap section with the
 // majority-trend prefetcher.

@@ -57,6 +57,13 @@ type Plan struct {
 	// BatchFusedPrefetch replaces the per-object prefetches of a fused
 	// loop with one scatter-gather BatchPrefetch per line boundary.
 	BatchFusedPrefetch bool
+	// SuppressPrefetchStmts skips emitting Prefetch/BatchPrefetch
+	// statements (and their guards and priming doorbells) while keeping
+	// every other decision — Native conversion, NoFetch stores, eviction
+	// hints. Used by the programmed-prefetch arm: an access-program runner
+	// provides the residency coverage the statements would have, without
+	// their per-iteration guard arithmetic.
+	SuppressPrefetchStmts bool
 	// Offload marks calls to these functions as far-node executions.
 	Offload map[string]bool
 	// ReleaseAfter appends rmem.release operations at the end of each
@@ -263,9 +270,11 @@ func (g *gen) instrumentLoop(l *ir.Loop) {
 
 	// Sequential prefetches (possibly batched across fused objects).
 	var seqPF []*loopAccess
-	for _, a := range accesses {
-		if a.plan.PrefetchDistance > 0 && isSeqLike(a.plan.Pattern) {
-			seqPF = append(seqPF, a)
+	if !g.plan.SuppressPrefetchStmts {
+		for _, a := range accesses {
+			if a.plan.PrefetchDistance > 0 && isSeqLike(a.plan.Pattern) {
+				seqPF = append(seqPF, a)
+			}
 		}
 	}
 	if len(seqPF) >= 2 && g.plan.BatchFusedPrefetch && sameLineElems(seqPF) {
@@ -306,6 +315,9 @@ func (g *gen) instrumentLoop(l *ir.Loop) {
 
 	// Chained prefetches: load src[i+D], prefetch target[that value].
 	for _, a := range accesses {
+		if g.plan.SuppressPrefetchStmts {
+			break
+		}
 		for _, ch := range a.chains {
 			tplan := g.plan.Objects[ch.target]
 			if tplan == nil || tplan.PrefetchDistance <= 0 || tplan.ChainedFrom != a.obj {

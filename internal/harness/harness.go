@@ -18,6 +18,7 @@ import (
 	"mira/internal/ir"
 	"mira/internal/netmodel"
 	"mira/internal/planner"
+	"mira/internal/prefetch"
 	"mira/internal/rt"
 	"mira/internal/sim"
 	"mira/internal/trace"
@@ -95,6 +96,11 @@ type Options struct {
 	// re-run of the accepted configuration (and to the planner's
 	// iteration timeline), never to the planner's internal sampling runs.
 	Trace *trace.Tracer
+	// Prefetch, when non-nil, replaces the system's stock prefetching with
+	// the named zoo policy: Mira runs it on the line plane (one instance
+	// per cache section, via RunLinePolicy); the swap systems (mira-swap,
+	// fastswap, leap) run it on the page plane (via RunPagePolicy).
+	Prefetch *prefetch.Spec
 }
 
 // wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
@@ -167,6 +173,12 @@ type Result struct {
 	Messages int64
 	// BytesMoved counts the bytes that crossed the interconnect.
 	BytesMoved int64
+	// Prefetch aggregates the run's prefetch efficacy counters across both
+	// planes (cache sections + swap pool).
+	Prefetch prefetch.Efficacy
+	// DemandMisses counts the demand misses the run still paid (section
+	// misses + swap major faults) — the denominator of prefetch coverage.
+	DemandMisses int64
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +194,16 @@ func (o Options) withDefaults() Options {
 // Run executes w on sys.
 func Run(sys System, w workload.Workload, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.Prefetch != nil {
+		switch sys {
+		case Mira:
+			return RunLinePolicy(w, opts, *opts.Prefetch)
+		case MiraSwap, FastSwap, Leap:
+			return RunPagePolicy(w, opts, *opts.Prefetch)
+		default:
+			return Result{}, fmt.Errorf("harness: -prefetch is not supported for %s", sys)
+		}
+	}
 	switch sys {
 	case Native:
 		return runNative(w, opts)
@@ -217,12 +239,14 @@ func runRT(sys System, w workload.Workload, prog *ir.Program, r *rt.Runtime, opt
 		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
 	}
 	return Result{
-		System:     sys,
-		Time:       clk.Now().Sub(0),
-		Net:        r.NetStats(),
-		Cluster:    r.ClusterStats(),
-		Messages:   r.Link().Messages(),
-		BytesMoved: r.Link().BytesMoved(),
+		System:       sys,
+		Time:         clk.Now().Sub(0),
+		Net:          r.NetStats(),
+		Cluster:      r.ClusterStats(),
+		Messages:     r.Link().Messages(),
+		BytesMoved:   r.Link().BytesMoved(),
+		Prefetch:     r.PrefetchStats(),
+		DemandMisses: r.MissCount(),
 	}, nil
 }
 

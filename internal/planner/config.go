@@ -499,9 +499,10 @@ const maxBatchLines = 16
 // buildPlan assembles the codegen plan from the drafts.
 func buildPlan(prog *ir.Program, merged map[string]*analysis.ObjectAccess, drafts []*sectionDraft, dElems int64, tech TechniqueMask, net netmodel.Config) *codegen.Plan {
 	plan := &codegen.Plan{
-		Objects:            map[string]*codegen.ObjectPlan{},
-		FuseLoops:          !tech.NoBatching,
-		BatchFusedPrefetch: !tech.NoBatching,
+		Objects:               map[string]*codegen.ObjectPlan{},
+		FuseLoops:             !tech.NoBatching,
+		BatchFusedPrefetch:    !tech.NoBatching,
+		SuppressPrefetchStmts: tech.Programmed,
 	}
 	for _, d := range drafts {
 		for _, name := range d.members {

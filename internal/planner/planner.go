@@ -74,13 +74,19 @@ type Options struct {
 
 // TechniqueMask disables individual Mira techniques (all false = all on).
 type TechniqueMask struct {
-	NoPrefetch     bool
-	NoEvictHints   bool
-	NoBatching     bool
-	NoNative       bool
-	NoSelective    bool
-	NoRWOpt        bool // read/write-only optimizations (no-fetch stores)
-	ForceStructure int  // -1 = planner's choice; else cache.Structure value
+	NoPrefetch   bool
+	NoEvictHints bool
+	NoBatching   bool
+	NoNative     bool
+	NoSelective  bool
+	NoRWOpt      bool // read/write-only optimizations (no-fetch stores)
+	// Programmed keeps every planning decision (prefetch distances, Native,
+	// batching math) but suppresses the emitted Prefetch/BatchPrefetch
+	// statements: an access-program runner (prefetch zoo, 3PO-style) covers
+	// residency instead, so the program sheds the per-iteration guard
+	// arithmetic the compiled stream pays.
+	Programmed     bool
+	ForceStructure int // -1 = planner's choice; else cache.Structure value
 }
 
 // DefaultTechniques enables everything.

@@ -1,0 +1,282 @@
+// Package prefetch is the pluggable prefetcher zoo: one policy interface
+// serving both data planes — the page-granular swap cache (internal/swap,
+// units are 4 KB page numbers) and the line-granular cache sections
+// (internal/rt, units are line indices within a section's address space).
+// A policy observes the plane's demand-miss stream and proposes units to
+// fetch speculatively; the plane filters residency, charges the policy's
+// lookup cost to simulated time, and issues the survivors through its
+// existing batch/doorbell machinery. Prefetch is always advisory: a
+// proposal the plane cannot honor (out of range, no evictable slot, far
+// node unreachable) is dropped, never an error.
+//
+// Policies must be deterministic: same miss stream in, same proposals out,
+// with no wall-clock or map-iteration dependence. That is what makes traces
+// byte-reproducible across identical runs and policy races bisectable.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/sim"
+)
+
+// Policy is the one interface both planes consume. OnMiss observes a
+// demand miss on a unit (page number on the page plane, line index on the
+// line plane) and returns unit numbers to fetch ahead; the plane filters
+// out-of-range/resident/in-flight units. PerMissOverhead is the policy's
+// metadata cost charged to the faulting thread on every miss (trend
+// detection, table lookups); it models the latency prefetcher state adds
+// to the fault path itself.
+type Policy interface {
+	Name() string
+	OnMiss(unit int64) []int64
+	PerMissOverhead() sim.Duration
+}
+
+// Efficacy is the per-plane prefetch accounting both planes maintain:
+//
+//	Issued  — speculative fetches handed to the transport
+//	Useful  — prefetched units later hit by a demand access
+//	Useless — prefetched units evicted without ever being touched
+//	Dropped — proposals the plane discarded (out of range, no evictable
+//	          slot, advisory fetch failed under faults)
+type Efficacy struct {
+	Issued  int64
+	Useful  int64
+	Useless int64
+	Dropped int64
+	// Late counts useful prefetches whose bytes had not landed when the
+	// demand touch arrived — the touch stalled on the tail of the fetch.
+	Late int64
+}
+
+// Accuracy is the fraction of issued prefetches that were ever used.
+func (e Efficacy) Accuracy() float64 {
+	if e.Issued == 0 {
+		return 0
+	}
+	return float64(e.Useful) / float64(e.Issued)
+}
+
+// Coverage is the fraction of would-be demand misses the prefetcher hid:
+// useful prefetches over useful prefetches plus the misses that still
+// happened.
+func (e Efficacy) Coverage(demandMisses int64) float64 {
+	if e.Useful+demandMisses == 0 {
+		return 0
+	}
+	return float64(e.Useful) / float64(e.Useful+demandMisses)
+}
+
+// Timeliness is the fraction of useful prefetches that fully landed
+// before their demand touch (1 when nothing was useful: an idle
+// prefetcher is vacuously on time).
+func (e Efficacy) Timeliness() float64 {
+	if e.Useful == 0 {
+		return 1
+	}
+	return float64(e.Useful-e.Late) / float64(e.Useful)
+}
+
+// Add accumulates another plane's (or section's) counters.
+func (e *Efficacy) Add(o Efficacy) {
+	e.Issued += o.Issued
+	e.Useful += o.Useful
+	e.Useless += o.Useless
+	e.Dropped += o.Dropped
+	e.Late += o.Late
+}
+
+// StreamTopUp is an optional Policy extension for runahead streams: the
+// plane reports the first demand touch of a unit that arrived
+// speculatively, and the policy may return more units to keep its
+// in-flight window full without waiting for the next demand miss. Only
+// policies that know where the stream is going (the programmed runner)
+// implement it; reactive policies top up on misses alone. Proposals are
+// advisory exactly like OnMiss's.
+type StreamTopUp interface {
+	OnPrefetchedTouch(unit int64) []int64
+}
+
+// None never prefetches — the control arm of every race.
+type None struct{}
+
+func (None) Name() string                  { return "none" }
+func (None) OnMiss(int64) []int64          { return nil }
+func (None) PerMissOverhead() sim.Duration { return 0 }
+
+// Readahead is FastSwap/Linux cluster readahead: pull the N units following
+// every miss. Free on the fault path, profitable on sequential streams,
+// pure pollution on pointer chases.
+type Readahead struct{ N int64 }
+
+func (Readahead) Name() string { return "readahead" }
+
+func (r Readahead) OnMiss(unit int64) []int64 {
+	out := make([]int64, 0, r.N)
+	for i := int64(1); i <= r.N; i++ {
+		out = append(out, unit+i)
+	}
+	return out
+}
+
+func (Readahead) PerMissOverhead() sim.Duration { return 0 }
+
+// Leap is Leap's [ATC'20] majority-trend detector: if one miss-delta wins a
+// Boyer-Moore majority vote over the recent window, prefetch Depth units
+// along it; otherwise stay silent. Captures one global stride, loses
+// interleaved per-object patterns.
+type Leap struct {
+	window   int
+	depth    int64
+	history  []int64 // recent miss deltas
+	last     int64
+	haveLast bool
+}
+
+// NewLeap builds the trend detector (window 32, depth 8 when zero — the
+// Leap baseline's defaults).
+func NewLeap(window int, depth int64) *Leap {
+	if window == 0 {
+		window = 32
+	}
+	if depth == 0 {
+		depth = 8
+	}
+	return &Leap{window: window, depth: depth}
+}
+
+func (*Leap) Name() string { return "leap" }
+
+func (p *Leap) OnMiss(unit int64) []int64 {
+	if p.haveLast {
+		delta := unit - p.last
+		p.history = append(p.history, delta)
+		if len(p.history) > p.window {
+			p.history = p.history[1:]
+		}
+	}
+	p.last = unit
+	p.haveLast = true
+	if len(p.history) < p.window/2 {
+		return nil
+	}
+	// Boyer-Moore majority vote over the window (the algorithm Leap uses).
+	var cand int64
+	count := 0
+	for _, d := range p.history {
+		if count == 0 {
+			cand = d
+			count = 1
+		} else if d == cand {
+			count++
+		} else {
+			count--
+		}
+	}
+	// Verify it is a true majority.
+	occurrences := 0
+	for _, d := range p.history {
+		if d == cand {
+			occurrences++
+		}
+	}
+	if occurrences*2 <= len(p.history) || cand == 0 {
+		return nil
+	}
+	out := make([]int64, 0, p.depth)
+	for i := int64(1); i <= p.depth; i++ {
+		out = append(out, unit+cand*i)
+	}
+	return out
+}
+
+// PerMissOverhead is the trend-detection cost on every miss.
+func (p *Leap) PerMissOverhead() sim.Duration { return 300 * sim.Nanosecond }
+
+// PageAdapter presents a Policy as a swap.Prefetcher (structural match —
+// swap's hook is OnFault/PerFaultOverhead over page numbers).
+type PageAdapter struct{ P Policy }
+
+// OnFault forwards the faulting page to the policy's miss stream.
+func (a PageAdapter) OnFault(page int64) []int64 { return a.P.OnMiss(page) }
+
+// PerFaultOverhead is zero: zoo policies run on the runner thread, off
+// the fault path (their cost is charged through IssueDelay instead).
+func (a PageAdapter) PerFaultOverhead() sim.Duration { return 0 }
+
+// IssueDelay charges the policy's per-consult table work by delaying the
+// advisory fetch's issue (swap.IssueDelayer).
+func (a PageAdapter) IssueDelay() sim.Duration { return a.P.PerMissOverhead() }
+
+// OnPrefetchedTouch forwards minor-fault (first touch of a prefetched
+// page) events to stream-maintaining policies; reactive policies get
+// nothing to say here.
+func (a PageAdapter) OnPrefetchedTouch(page int64) []int64 {
+	if tu, ok := a.P.(StreamTopUp); ok {
+		return tu.OnPrefetchedTouch(page)
+	}
+	return nil
+}
+
+// Spec names a policy and its knobs for CLI/harness plumbing. The zero
+// Depth/Window select each family's defaults.
+type Spec struct {
+	// Policy is a registry name: "none", "readahead", "leap", "history",
+	// "programmed" — or "compiled" on the line plane (the planner's
+	// statically emitted prefetch, no runtime policy object).
+	Policy string
+	// Window bounds the programmed runner's in-flight units (default 64).
+	Window int
+	// Depth is readahead count / Leap trend depth / history chain depth.
+	Depth int64
+}
+
+// Compiled is the line plane's reference arm: prefetch statements the
+// planner compiled into the program. It is not a runtime policy — Build
+// rejects it — but it is a registered name so harnesses race it.
+const Compiled = "compiled"
+
+// builders construct each registered policy family. Programmed needs the
+// access program (the future unit sequence), passed separately to Build.
+var builders = map[string]func(s Spec, program []int64) Policy{
+	"none":      func(Spec, []int64) Policy { return None{} },
+	"readahead": func(s Spec, _ []int64) Policy { return Readahead{N: defDepth(s.Depth, 2)} },
+	"leap":      func(s Spec, _ []int64) Policy { return NewLeap(0, s.Depth) },
+	"history":   func(s Spec, _ []int64) Policy { return NewHistory(HistoryConfig{Depth: int(s.Depth)}) },
+	"programmed": func(s Spec, program []int64) Policy {
+		return NewProgrammed(program, s.Window)
+	},
+}
+
+func defDepth(d, def int64) int64 {
+	if d == 0 {
+		return def
+	}
+	return d
+}
+
+// Names lists the registered policy families, sorted, for CLI help and
+// table-driven tests.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs a fresh policy instance from a spec. Policies are
+// stateful (Leap's window, history's tables, programmed's cursor): build
+// one instance per miss stream — per plane, and per section on the line
+// plane — never share one across streams. program is the future unit
+// sequence for "programmed" (ignored by the online families).
+func Build(spec Spec, program []int64) (Policy, error) {
+	b, ok := builders[spec.Policy]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown policy %q (have %v)", spec.Policy, Names())
+	}
+	return b(spec, program), nil
+}

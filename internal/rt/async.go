@@ -28,7 +28,14 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 		return fmt.Errorf("rt: prefetch of unknown object %q", name)
 	}
 	if elem < 0 || elem >= o.decl.Count {
-		return nil // speculative prefetch past the end: drop silently
+		// Speculative prefetch past the end: drop silently, but count it —
+		// dropped proposals are the denominator policy accuracy needs.
+		if o.place.Kind == PlaceSection {
+			s := r.secs[o.place.Section]
+			s.pf.Dropped++
+			s.mPfDropped.Inc()
+		}
+		return nil
 	}
 	switch o.place.Kind {
 	case PlaceLocal:
@@ -59,11 +66,16 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 		if prefetchFailed(err) {
 			s.sec.Drop(tag)
 			delete(s.inflight, tag)
+			s.pf.Dropped++
+			s.mPfDropped.Inc()
 			return nil
 		}
 		return err
 	}
 	s.inflight[tag] = done
+	s.specul[tag] = true
+	s.pf.Issued++
+	s.mPfIssued.Inc()
 	if r.trc != nil {
 		r.trc.Span(post, done, "rt", "prefetch", trace.S("obj", name))
 	}
@@ -126,6 +138,9 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 			continue
 		}
 		if e.Elem < 0 || e.Elem >= o.decl.Count {
+			s := r.secs[o.place.Section]
+			s.pf.Dropped++
+			s.mPfDropped.Inc()
 			continue
 		}
 		s := r.secs[o.place.Section]
@@ -160,6 +175,8 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 				if cur, ok := p.s.sec.Peek(p.tag); ok && cur == p.l {
 					p.s.sec.Drop(p.tag)
 				}
+				p.s.pf.Dropped++
+				p.s.mPfDropped.Inc()
 			}
 			return nil
 		}
@@ -184,6 +201,12 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 		if cur, ok := p.s.sec.Peek(p.tag); ok && cur == p.l && p.l.Tag == p.tag {
 			copy(p.l.Data, data[pos:pos+sizes[i]])
 			p.s.inflight[p.tag] = readies[i]
+			p.s.specul[p.tag] = true
+			p.s.pf.Issued++
+			p.s.mPfIssued.Inc()
+		} else {
+			p.s.pf.Dropped++
+			p.s.mPfDropped.Inc()
 		}
 		pos += sizes[i]
 	}
@@ -304,6 +327,7 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 			continue
 		}
 		delete(s.inflight, tag)
+		s.evictSpec(tag)
 		if !v.Dirty {
 			continue
 		}
@@ -368,6 +392,7 @@ func (r *Runtime) Release(clk *sim.Clock, name string) error {
 			continue
 		}
 		delete(s.inflight, tag)
+		s.evictSpec(tag)
 		if v.Dirty {
 			if s.wbq == nil {
 				clk.Advance(r.cfg.Net.PerMessageOverhead)
@@ -439,6 +464,7 @@ func (r *Runtime) ReleaseSection(clk *sim.Clock, idx int) error {
 			continue
 		}
 		delete(s.inflight, tag)
+		s.evictSpec(tag)
 		if v.Dirty {
 			// Sections serve objects with disjoint far ranges, so
 			// resolving the owner by tag is unambiguous.

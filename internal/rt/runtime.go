@@ -18,6 +18,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/ir"
+	"mira/internal/prefetch"
 	"mira/internal/sim"
 	"mira/internal/swap"
 	"mira/internal/trace"
@@ -91,9 +92,18 @@ type sectionRT struct {
 	inflight map[uint64]sim.Time // line tag -> fetch completion
 	wbq      *writebackQueue     // async eviction pipeline (nil when disabled)
 
+	// policy is the section's advisory miss-path prefetcher (nil = none);
+	// specul marks prefetched tags not yet touched by a demand access, and
+	// pf accumulates the zoo's efficacy counters. Every prefetch path —
+	// compiled statements and the policy hook — feeds the same counters.
+	policy prefetch.Policy
+	specul map[uint64]bool
+	pf     prefetch.Efficacy
+
 	// Per-section metrics (all nil when tracing is disabled).
-	mHit, mMiss, mEvict *trace.Counter
-	mMissLat            *trace.Histogram
+	mHit, mMiss, mEvict                          *trace.Counter
+	mPfIssued, mPfUseful, mPfUseless, mPfDropped *trace.Counter
+	mMissLat                                     *trace.Histogram
 
 	// Per-tid attribution, indexed by simulated thread id and grown on
 	// demand: interleaved threads sharing this section each see their own
@@ -175,6 +185,7 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 			spec:     spec,
 			sec:      sec,
 			inflight: make(map[uint64]sim.Time),
+			specul:   make(map[uint64]bool),
 			wbq:      newWritebackQueue(cfg.writebackQueueLimit()),
 		})
 	}
@@ -432,7 +443,7 @@ func (r *Runtime) sectionAccess(clk *sim.Clock, o *objectRT, far uint64, buf []b
 			n = len(buf) - done
 		}
 		full := write && lineOff == 0 && n == lb
-		l, err := r.lineFor(clk, s, o, addr, opts, write, full)
+		l, ev, err := r.lineFor(clk, s, o, addr, opts, write, full)
 		if err != nil {
 			return err
 		}
@@ -442,15 +453,37 @@ func (r *Runtime) sectionAccess(clk *sim.Clock, o *objectRT, far uint64, buf []b
 		} else {
 			copy(buf[done:done+n], l.Data[lineOff:])
 		}
+		// The advisory policy runs only after the demand access has fully
+		// completed: its speculative reservations may evict any line —
+		// including the one just filled — without corrupting the
+		// in-progress copy.
+		switch ev {
+		case accessMissed:
+			r.policyMiss(clk, s, cache.AlignDown(addr, lb))
+		case accessSpecTouched:
+			r.policyTouch(clk, s, cache.AlignDown(addr, lb))
+		}
 		done += n
 	}
 	return nil
 }
 
+// accessEvent tells sectionAccess which advisory-policy hook (if any) a
+// line access should fire once the data copy is done.
+type accessEvent uint8
+
+const (
+	accessHit accessEvent = iota
+	accessMissed
+	accessSpecTouched
+)
+
 // lineFor returns the resident, ready cache line containing addr, running
-// the dereference fast/slow path and charging clk. fullLine marks a write
-// that will overwrite the whole line.
-func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64, opts AccessOpts, write, fullLine bool) (*cache.Line, error) {
+// the dereference fast/slow path and charging clk, and reports whether the
+// access demand-missed or first-touched a speculative line (the caller
+// fires the section's advisory prefetch hooks after the access completes).
+// fullLine marks a write that will overwrite the whole line.
+func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64, opts AccessOpts, write, fullLine bool) (*cache.Line, accessEvent, error) {
 	tag := cache.AlignDown(addr, s.spec.Cache.LineBytes)
 	if opts.Native {
 		// Compiled native load: no lookup cost. The compiler proved
@@ -460,9 +493,13 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 			o.hits++
 			s.mHit.Inc()
 			r.bumpTid(s, &s.tidHits, &s.mTidHit, "hit")
+			ev := accessHit
+			if s.touchSpec(clk, tag) {
+				ev = accessSpecTouched
+			}
 			clk.Advance(r.cfg.Cost.NativeAccess)
 			r.waitReady(clk, s, tag)
-			return l, nil
+			return l, ev, nil
 		}
 	}
 	clk.Advance(r.cfg.Cost.Lookup(s.spec.Cache.Structure))
@@ -470,8 +507,12 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 		o.hits++
 		s.mHit.Inc()
 		r.bumpTid(s, &s.tidHits, &s.mTidHit, "hit")
+		ev := accessHit
+		if s.touchSpec(clk, tag) {
+			ev = accessSpecTouched
+		}
 		r.waitReady(clk, s, tag)
-		return l, nil
+		return l, ev, nil
 	}
 	// Miss (§5.2.1 "loading an rmem pointer from far memory").
 	o.misses++
@@ -483,11 +524,14 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	}
 	// A miss on an in-flight tag means the prefetched line was dropped
 	// before this access arrived; clear the stale tag so it cannot
-	// suppress future prefetches of the line.
+	// suppress future prefetches of the line. Its speculative mark (if
+	// any) dies with it — the prefetch neither hid this miss nor wasted a
+	// resident slot.
 	delete(s.inflight, tag)
+	delete(s.specul, tag)
 	l, victim := s.sec.Reserve(addr)
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
-		return nil, err
+		return nil, accessHit, err
 	}
 	// Read-your-writes over the async eviction pipeline: a line parked in
 	// the write-back queue is the newest copy — recover it locally. Taken
@@ -498,7 +542,7 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 			r.wbqStats.Hits++
 			copy(l.Data, data)
 			l.Dirty = true
-			return l, nil
+			return l, accessMissed, nil
 		}
 	}
 	if write && (opts.NoFetch || (fullLine && r.tr.BreakerOpen(clk.Now()))) {
@@ -506,12 +550,12 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 		// second arm is the degraded-mode fallback to local allocation:
 		// while the breaker is open, a store that overwrites the whole
 		// line need not stall on a fetch that cannot succeed.
-		return l, nil
+		return l, accessMissed, nil
 	}
 	fetchStart := clk.Now()
 	done, err := r.fetchLine(fetchStart, s, o, l)
 	if err != nil {
-		return nil, err
+		return nil, accessHit, err
 	}
 	clk.AdvanceTo(done)
 	if r.trc != nil {
@@ -519,7 +563,35 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 			trace.S("section", s.spec.Cache.Name), trace.S("obj", o.decl.Name))
 		s.mMissLat.Observe(int64(done.Sub(fetchStart)))
 	}
-	return l, nil
+	return l, accessMissed, nil
+}
+
+// touchSpec retires a tag's speculative mark on its first demand touch:
+// the prefetch was useful — and late if its bytes are still in flight at
+// the touch (the caller's waitReady will stall on the tail). Reports
+// whether a mark was retired, so the caller can feed stream-maintaining
+// policies.
+func (s *sectionRT) touchSpec(clk *sim.Clock, tag uint64) bool {
+	if !s.specul[tag] {
+		return false
+	}
+	delete(s.specul, tag)
+	s.pf.Useful++
+	s.mPfUseful.Inc()
+	if ready, ok := s.inflight[tag]; ok && ready > clk.Now() {
+		s.pf.Late++
+	}
+	return true
+}
+
+// evictSpec retires a tag's speculative mark on eviction or drop: the line
+// was fetched but never touched.
+func (s *sectionRT) evictSpec(tag uint64) {
+	if s.specul[tag] {
+		delete(s.specul, tag)
+		s.pf.Useless++
+		s.mPfUseless.Inc()
+	}
 }
 
 // waitReady blocks until an in-flight prefetch of tag lands.
@@ -540,6 +612,7 @@ func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cach
 	s.mEvict.Inc()
 	r.bumpTid(s, &s.tidEvicts, &s.mTidEvict, "evict")
 	delete(s.inflight, v.Tag)
+	s.evictSpec(v.Tag)
 	if !v.Dirty {
 		return nil
 	}

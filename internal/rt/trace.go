@@ -29,6 +29,10 @@ func (r *Runtime) SetTrace(tr *trace.Tracer) {
 		s.mMiss = reg.Counter("cache.miss" + lbl)
 		s.mEvict = reg.Counter("cache.evict" + lbl)
 		s.mMissLat = reg.Histogram("cache.miss.latency_ns" + lbl)
+		s.mPfIssued = reg.Counter("prefetch.issued" + lbl)
+		s.mPfUseful = reg.Counter("prefetch.useful" + lbl)
+		s.mPfUseless = reg.Counter("prefetch.useless" + lbl)
+		s.mPfDropped = reg.Counter("prefetch.dropped" + lbl)
 	}
 	if r.trT != nil {
 		r.trT.SetTrace(tr, "net")

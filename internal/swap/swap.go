@@ -37,6 +37,27 @@ type Prefetcher interface {
 	PerFaultOverhead() sim.Duration
 }
 
+// IssueDelayer is an optional Prefetcher refinement for policies whose
+// bookkeeping runs on a runner thread instead of inside the fault handler
+// (the prefetcher zoo's PageAdapter): PerFaultOverhead is zero — nothing
+// stalls the fault — and IssueDelay is added to the advisory fetch's issue
+// time instead. In-kernel prefetchers like the Leap baseline do their
+// trend detection in the fault handler and keep the PerFaultOverhead
+// charge.
+type IssueDelayer interface {
+	IssueDelay() sim.Duration
+}
+
+// TouchPrefetcher is an optional Prefetcher extension for runahead
+// streams: OnPrefetchedTouch observes the first touch of a prefetched page
+// (the minor fault) and returns more pages to keep the stream's in-flight
+// window full without waiting for the next major fault. Reactive
+// prefetchers need not implement it.
+type TouchPrefetcher interface {
+	Prefetcher
+	OnPrefetchedTouch(page int64) []int64
+}
+
 // NoPrefetch is the zero prefetcher.
 type NoPrefetch struct{}
 
@@ -90,8 +111,16 @@ type Stats struct {
 	PagesFetched int64 // demand + prefetch
 	Prefetches   int64
 	PrefetchUsed int64 // prefetched pages that were touched before eviction
-	Evictions    int64
-	Writebacks   int64
+	// PrefetchUseless counts prefetched pages evicted before any touch;
+	// PrefetchDropped counts prefetcher proposals the cache could not honor
+	// (out of range, or the advisory fetch failed under faults);
+	// PrefetchLate counts used prefetches whose bytes were still in flight
+	// at first touch (the minor fault stalled on the fetch tail).
+	PrefetchUseless int64
+	PrefetchDropped int64
+	PrefetchLate    int64
+	Evictions       int64
+	Writebacks      int64
 }
 
 type page struct {
@@ -127,10 +156,12 @@ type Cache struct {
 	lock *sim.Serializer
 
 	// Tracing (all nil when disabled — every use is nil-safe).
-	trc               *trace.Buffer
-	cMajor, cMinor    *trace.Counter
-	cPrefetch, cEvict *trace.Counter
-	hFaultLat         *trace.Histogram
+	trc                 *trace.Buffer
+	cMajor, cMinor      *trace.Counter
+	cPrefetch, cEvict   *trace.Counter
+	cPfUseful, cPfWaste *trace.Counter
+	cPfDropped          *trace.Counter
+	hFaultLat           *trace.Histogram
 }
 
 // New builds a swap cache covering [base, base+length) of far memory.
@@ -237,9 +268,20 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 			c.stats.MinorFaults++
 			c.cMinor.Inc()
 			c.stats.PrefetchUsed++
+			c.cPfUseful.Inc()
+			if p.readyAt > clk.Now() {
+				c.stats.PrefetchLate++
+			}
 			clk.AdvanceTo(p.readyAt)
 			clk.Advance(c.cfg.MinorFaultOverhead)
 			p.prefetch = false
+			// Stream-maintaining prefetchers top their window back up on
+			// the touch instead of waiting for the next major fault.
+			if tp, ok := c.pf.(TouchPrefetcher); ok {
+				if err := c.issueAdvisory(clk, p, tp.OnPrefetchedTouch(no)); err != nil {
+					return nil, err
+				}
+			}
 		}
 		c.promote(el)
 		return p, nil
@@ -275,13 +317,29 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 	}
 
 	// Consult the prefetcher after servicing the demand page so its
-	// traffic queues behind the demand fetch. The demand page is pinned:
-	// prefetch-triggered evictions must not invalidate the page we are
-	// about to hand to the caller.
+	// traffic queues behind the demand fetch.
+	if err := c.issueAdvisory(clk, p, c.pf.OnFault(no)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// issueAdvisory filters prefetcher proposals and issues the survivors
+// (batched when configured). The demand page p is pinned throughout:
+// prefetch-triggered evictions must not invalidate the page about to be
+// handed to the caller.
+//
+// A prefetcher that implements IssueDelayer runs its bookkeeping on the
+// runner thread, off the fault path: the delay is charged by issuing the
+// advisory fetch later — slower predictors land their prefetches later
+// (and count Late more often) — never by stalling the demand access.
+func (c *Cache) issueAdvisory(clk *sim.Clock, p *page, proposals []int64) error {
 	c.pinned = p
 	var cands []int64
-	for _, pno := range c.pf.OnFault(no) {
+	for _, pno := range proposals {
 		if pno < 0 || pno >= c.npages() {
+			c.stats.PrefetchDropped++
+			c.cPfDropped.Inc()
 			continue
 		}
 		if _, ok := c.pages[pno]; ok {
@@ -289,29 +347,33 @@ func (c *Cache) touch(clk *sim.Clock, no int64, fullWrite bool) (*page, error) {
 		}
 		cands = append(cands, pno)
 	}
+	var err error
+	at := clk.Now()
+	if d, ok := c.pf.(IssueDelayer); ok {
+		at = at.Add(d.IssueDelay())
+	}
 	if c.cfg.BatchPrefetch && len(cands) >= 2 {
-		err = c.prefetchBatch(clk.Now(), cands)
+		err = c.prefetchBatch(at, cands)
 	} else {
-		err = c.prefetchEach(clk.Now(), cands)
+		err = c.prefetchEach(at, cands)
 	}
 	c.pinned = nil
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
+	return err
 }
 
 // prefetchEach issues one read per candidate page (the unbatched path).
 func (c *Cache) prefetchEach(now sim.Time, cands []int64) error {
-	for _, pno := range cands {
+	for i, pno := range cands {
 		if _, ok := c.pages[pno]; ok {
 			continue
 		}
 		if _, err := c.fetch(now, pno, true, false); err != nil {
 			if err == errNoEvictable {
+				c.dropCands(len(cands) - i)
 				return nil // pool too small to prefetch into
 			}
 			if errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err) {
+				c.dropCands(len(cands) - i)
 				return nil // prefetch is advisory: give up under faults
 			}
 			return err
@@ -320,6 +382,13 @@ func (c *Cache) prefetchEach(now sim.Time, cands []int64) error {
 		c.cPrefetch.Inc()
 	}
 	return nil
+}
+
+// dropCands charges n prefetcher proposals that were abandoned before any
+// data landed (advisory fetch failed, or no evictable slot).
+func (c *Cache) dropCands(n int) {
+	c.stats.PrefetchDropped += int64(n)
+	c.cPfDropped.Add(int64(n))
 }
 
 // prefetchBatch brings every candidate page in with one doorbell-batched
@@ -356,6 +425,7 @@ func (c *Cache) prefetchBatch(now sim.Time, cands []int64) error {
 		// Prefetch is advisory: the placeholder pages hold no data yet, so
 		// they must not stay resident looking like valid prefetches.
 		c.dropPages(ps)
+		c.dropCands(len(ps))
 		if errors.Is(err, transport.ErrFarUnavailable) || transport.IsTransient(err) {
 			return nil
 		}
@@ -489,6 +559,11 @@ func (c *Cache) evictOne(now sim.Time) error {
 	p.resident = false
 	c.stats.Evictions++
 	c.cEvict.Inc()
+	if p.prefetch {
+		// Fetched speculatively, evicted before any touch: wasted pull.
+		c.stats.PrefetchUseless++
+		c.cPfWaste.Inc()
+	}
 	if p.dirty {
 		c.stats.Writebacks++
 		if _, err := c.tr.WriteOneSided(now, c.base+uint64(p.no)*PageBytes, p.data); err != nil {
@@ -564,6 +639,9 @@ func (c *Cache) SetTrace(tr *trace.Tracer) {
 	c.cMajor = reg.Counter("swap.fault.major")
 	c.cMinor = reg.Counter("swap.fault.minor")
 	c.cPrefetch = reg.Counter("swap.prefetch")
+	c.cPfUseful = reg.Counter("swap.prefetch.useful")
+	c.cPfWaste = reg.Counter("swap.prefetch.useless")
+	c.cPfDropped = reg.Counter("swap.prefetch.dropped")
 	c.cEvict = reg.Counter("swap.evict")
 	c.hFaultLat = reg.Histogram("swap.fault.latency_ns")
 }

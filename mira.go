@@ -43,6 +43,7 @@ import (
 	"mira/internal/ir"
 	"mira/internal/mtrun"
 	"mira/internal/planner"
+	"mira/internal/prefetch"
 	"mira/internal/serve"
 	"mira/internal/sim"
 	"mira/internal/trace"
@@ -100,6 +101,43 @@ type RunResult = harness.Result
 // Run executes w on one system at the given options.
 func Run(sys System, w Workload, opts RunOptions) (RunResult, error) {
 	return harness.Run(sys, w, opts)
+}
+
+// Prefetcher zoo (set RunOptions.Prefetch, or use the race runners below,
+// to replace a system's stock prefetching with a named policy).
+
+// PrefetchSpec names a zoo prefetch policy and its knobs (window, depth).
+type PrefetchSpec = prefetch.Spec
+
+// PrefetchEfficacy carries a run's prefetch accounting: issued, useful,
+// useless (fetched but evicted untouched), and dropped counts
+// (RunResult.Prefetch).
+type PrefetchEfficacy = prefetch.Efficacy
+
+// PrefetchCompiled is the line plane's reference arm: the prefetch stream
+// the planner compiled into the program, no runtime policy.
+const PrefetchCompiled = prefetch.Compiled
+
+// PrefetchPolicyNames lists the registered runtime policy families.
+func PrefetchPolicyNames() []string { return prefetch.Names() }
+
+// RunPagePrefetch races one policy on the page plane: the workload runs on
+// a uniform swap configuration with the policy as its page prefetcher.
+func RunPagePrefetch(w Workload, opts RunOptions, spec PrefetchSpec) (RunResult, error) {
+	return harness.RunPagePolicy(w, opts, spec)
+}
+
+// RunLinePrefetch races one policy on the line plane: the planner's
+// accepted sectioned configuration with the policy installed on every
+// cache section's demand-miss stream.
+func RunLinePrefetch(w Workload, opts RunOptions, spec PrefetchSpec) (RunResult, error) {
+	return harness.RunLinePolicy(w, opts, spec)
+}
+
+// RunLinePrefetchRace runs several line-plane policies against one shared
+// accepted plan (the planner runs once, so cells differ only in policy).
+func RunLinePrefetchRace(w Workload, opts RunOptions, specs []PrefetchSpec) ([]RunResult, error) {
+	return harness.RunLinePolicies(w, opts, specs)
 }
 
 // Fault injection and transport resilience (set RunOptions.Faults /
