@@ -654,6 +654,152 @@ func TestBenchPrefetch(t *testing.T) {
 	}
 }
 
+// ---- Compressed + tiered far memory race (BENCH_compress.json) ----
+
+// compressRunRecord is one (app, compress mode) measurement.
+type compressRunRecord struct {
+	SimTimeNs      int64   `json:"sim_time_ns"`
+	SimTime        string  `json:"sim_time"`
+	BytesOnWire    int64   `json:"bytes_on_wire"`
+	BytesEffective int64   `json:"bytes_effective"`
+	WireSavedPct   float64 `json:"wire_saved_pct"`
+}
+
+func compressMeasure(t *testing.T, w Workload, mode string) compressRunRecord {
+	t.Helper()
+	res, err := Run(SystemMira, w, RunOptions{
+		Budget:   int64(float64(w.FullMemoryBytes()) * 0.25),
+		Verify:   true,
+		Compress: mode,
+	})
+	if err != nil {
+		t.Fatalf("%s compress=%s: %v", w.Name(), mode, err)
+	}
+	rec := compressRunRecord{
+		SimTimeNs:      int64(res.Time),
+		SimTime:        res.Time.String(),
+		BytesOnWire:    res.BytesOnWire,
+		BytesEffective: res.BytesEffective,
+	}
+	if res.BytesEffective > 0 {
+		rec.WireSavedPct = 100 * float64(res.BytesEffective-res.BytesOnWire) / float64(res.BytesEffective)
+	}
+	return rec
+}
+
+// TestBenchCompress races the wire-compression modes {off, always-on,
+// planner-chosen} across three apps (all verified against the native
+// oracle, so far-memory images stay byte-identical in every mode), plus one
+// tiered-cluster run combining compression with the SSD capacity tier, and
+// emits BENCH_compress.json for future PRs to diff. Gates: planner-chosen
+// must match or beat both pure modes on every app (it measures, then keeps
+// the winner); always-on must cut bytes-on-wire >= 30% on at least one
+// bandwidth-bound scan; the tier run must actually demote and promote.
+// CI runs this twice and byte-compares the JSON (compress-smoke).
+func TestBenchCompress(t *testing.T) {
+	apps := []Workload{
+		NewSeqScanWorkload(SeqScanConfig{}),
+		NewStrideScanWorkload(StrideScanConfig{}),
+		NewDataFrameWorkload(DataFrameConfig{}),
+	}
+	modes := []string{"off", "on", "auto"}
+
+	out := map[string]map[string]compressRunRecord{}
+	for _, w := range apps {
+		perMode := map[string]compressRunRecord{}
+		for _, mode := range modes {
+			rec := compressMeasure(t, w, mode)
+			perMode[mode] = rec
+			t.Logf("%s compress=%s: %s, %d B on wire (%d effective, %.1f%% saved)",
+				w.Name(), mode, rec.SimTime, rec.BytesOnWire, rec.BytesEffective, rec.WireSavedPct)
+		}
+		out[w.Name()] = perMode
+
+		// Gate: the planner's measured per-section choice dominates both
+		// blanket settings — it races them and keeps the faster config.
+		a, off, on := perMode["auto"], perMode["off"], perMode["on"]
+		if a.SimTimeNs > off.SimTimeNs || a.SimTimeNs > on.SimTimeNs {
+			t.Errorf("%s: planner-chosen (%s) loses to off (%s) or on (%s)",
+				w.Name(), a.SimTime, off.SimTime, on.SimTime)
+		}
+	}
+
+	// Gate: >= 30% of the wire bytes must come off at least one
+	// bandwidth-bound scan under always-on compression.
+	wireCut := false
+	for _, app := range []string{"seqscan", "stridescan"} {
+		off, on := out[app]["off"], out[app]["on"]
+		if off.BytesOnWire > 0 &&
+			float64(off.BytesOnWire-on.BytesOnWire) >= 0.30*float64(off.BytesOnWire) {
+			wireCut = true
+		}
+	}
+	if !wireCut {
+		t.Errorf("no scan app saw a >= 30%% bytes-on-wire cut: seqscan %d -> %d, stridescan %d -> %d",
+			out["seqscan"]["off"].BytesOnWire, out["seqscan"]["on"].BytesOnWire,
+			out["stridescan"]["off"].BytesOnWire, out["stridescan"]["on"].BytesOnWire)
+	}
+
+	// Tiered arm: compression on over a 2-node pool whose per-node DRAM
+	// holds an eighth of the footprint — cold granules must spill to flash
+	// and come back (the repeated traversal revisits them), with the run
+	// still verifying byte-identical.
+	tw := NewGraphWorkload(GraphConfig{Edges: 8192, Nodes: 1024, Passes: 3, Seed: 7})
+	tres, err := Run(SystemMira, tw, RunOptions{
+		Budget:   int64(float64(tw.FullMemoryBytes()) * 0.25),
+		Verify:   true,
+		Compress: "on",
+		Nodes:    2,
+		Tier:     &TierConfig{DRAMBytes: uint64(tw.FullMemoryBytes() / 8)},
+	})
+	if err != nil {
+		t.Fatalf("tiered run: %v", err)
+	}
+	var tierSum TierStats
+	for _, n := range tres.Cluster {
+		tierSum.Hits += n.Tier.Hits
+		tierSum.Misses += n.Tier.Misses
+		tierSum.Demotions += n.Tier.Demotions
+		tierSum.ResidentBytes += n.Tier.ResidentBytes
+		tierSum.SSDBytes += n.Tier.SSDBytes
+	}
+	if tierSum.Demotions == 0 || tierSum.Misses == 0 {
+		t.Errorf("capacity tier never exercised: %+v", tierSum)
+	}
+	capacityRatio := 0.0
+	if tierSum.ResidentBytes > 0 {
+		capacityRatio = float64(tierSum.ResidentBytes+tierSum.SSDBytes) / float64(tierSum.ResidentBytes)
+	}
+	t.Logf("tiered graphtraverse: %v, tier %d hits %d misses %d demotions, %.2fx effective capacity",
+		tres.Time, tierSum.Hits, tierSum.Misses, tierSum.Demotions, capacityRatio)
+
+	doc := map[string]any{
+		"description":  "Wire-compression A/B: mira-run -compress {off,on,auto} at 25% local memory (planner-chosen = per-section measured accept/rollback), plus one 2-node run with the SSD capacity tier. Regenerate with: go test -run TestBenchCompress .",
+		"mem_fraction": 0.25,
+		"modes":        modes,
+		"apps":         out,
+		"tiered_graphtraverse": map[string]any{
+			"sim_time_ns":        int64(tres.Time),
+			"sim_time":           tres.Time.String(),
+			"bytes_on_wire":      tres.BytesOnWire,
+			"bytes_effective":    tres.BytesEffective,
+			"tier_hits":          tierSum.Hits,
+			"tier_misses":        tierSum.Misses,
+			"tier_demotions":     tierSum.Demotions,
+			"tier_dram_bytes":    tierSum.ResidentBytes,
+			"tier_flash_bytes":   tierSum.SSDBytes,
+			"eff_capacity_ratio": capacityRatio,
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_compress.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // bytesEqual avoids importing bytes just for the dump comparison.
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

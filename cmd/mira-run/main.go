@@ -127,6 +127,8 @@ func main() {
 	mem := flag.Float64("mem", 0.5, "local memory as a fraction of the workload's footprint")
 	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
 	batch := flag.Bool("batch", true, "vectored remote I/O: doorbell-batched prefetch and async write-back (false = PR 2 data path)")
+	compress := flag.String("compress", "off", "wire compression for mira/mira-swap: off, on (every section + swap), auto (planner measures per section)")
+	tierDRAM := flag.Int64("tier-dram", 0, "with -nodes: per-node DRAM budget in bytes; the rest of each node's data lives on a simulated SSD tier (0 = no tier)")
 	wbq := flag.Int("wbq", 0, "async write-back queue bound in lines (0 = default, negative = disabled)")
 	aifmChunk := flag.Int64("aifm-chunk", 0, "AIFM remotable-object granularity in bytes (0 = per-element array library)")
 	aifmMeta := flag.Int64("aifm-meta", 0, "AIFM per-object metadata bytes (0 = default)")
@@ -172,6 +174,13 @@ func main() {
 	opts.WritebackQueueLines = *wbq
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
+	switch *compress {
+	case "off", "on", "auto":
+		opts.Compress = *compress
+	default:
+		fmt.Fprintf(os.Stderr, "mira-run: unknown -compress mode %q (off, on, auto)\n", *compress)
+		os.Exit(2)
+	}
 	if *nodes > 0 {
 		opts.Nodes = *nodes
 		opts.Replicas = *replicas
@@ -179,6 +188,12 @@ func main() {
 		if *stripe > 0 {
 			opts.StripeBytes = uint64(*stripe)
 		}
+		if *tierDRAM > 0 {
+			opts.Tier = &mira.TierConfig{DRAMBytes: uint64(*tierDRAM)}
+		}
+	} else if *tierDRAM > 0 {
+		fmt.Fprintln(os.Stderr, "mira-run: -tier-dram requires -nodes (the SSD tier lives under each cluster node's DRAM)")
+		os.Exit(2)
 	}
 	if *faultsName != "" && *faultsName != "none" {
 		// Dry run fault-free to learn the run length, so the schedule's
@@ -237,6 +252,12 @@ func main() {
 	if res.Messages > 0 {
 		fmt.Printf("  transport: %d messages, %d bytes moved\n", res.Messages, res.BytesMoved)
 	}
+	if *compress != "off" && res.BytesEffective > 0 {
+		saved := res.BytesEffective - res.BytesOnWire
+		fmt.Printf("  wire (compress %s): %d bytes on wire, %d effective (codec saved %d, %.1f%%)\n",
+			*compress, res.BytesOnWire, res.BytesEffective, saved,
+			100*float64(saved)/float64(res.BytesEffective))
+	}
 	if res.PlanResult != nil {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
@@ -262,6 +283,10 @@ func main() {
 				ns.AllocatedBytes, ns.CapacityBytes)
 			if ns.Faults.Wipes > 0 || ns.Faults.DownRefusals > 0 {
 				fmt.Printf(", %d wipes, %d down refusals", ns.Faults.Wipes, ns.Faults.DownRefusals)
+			}
+			if t := ns.Tier; t.Hits+t.Misses+t.Demotions > 0 {
+				fmt.Printf(", tier: %d hits, %d misses, %d demotions, %d B DRAM / %d B flash",
+					t.Hits, t.Misses, t.Demotions, t.ResidentBytes, t.SSDBytes)
 			}
 			fmt.Println()
 		}

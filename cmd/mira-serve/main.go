@@ -69,6 +69,7 @@ func main() {
 
 	fmt.Printf("elapsed %v  leases %d  admission=%v elastic=%v faults=%q\n",
 		res.Elapsed, res.Leases, *admission, *elastic, *faultsName)
+	fmt.Printf("wire: %d bytes on wire, %d effective\n", res.BytesOnWire, res.BytesEffective)
 	fmt.Printf("%-8s %9s %9s %9s %12s %12s %12s\n",
 		"tenant", "admitted", "rejected", "requests", "p50", "p95", "p99")
 	for _, t := range res.Tenants {

@@ -1,0 +1,29 @@
+package analysis
+
+import "mira/internal/codec"
+
+// CompressSampleBytes caps how much of each object's initial contents the
+// planner samples when estimating compressibility: a prefix this long is
+// enough to expose run structure (zero pages, repeated records) without
+// re-reading whole multi-MB objects.
+const CompressSampleBytes = 64 << 10
+
+// CompressWorthwhile is the sampled compressed/raw ratio at or below which
+// wire compression is predicted to pay. The codec's CPU charge is tiny next
+// to wire time, but small savings vanish inside per-message overheads, so
+// the screen asks for a real reduction before flipping a section on; the
+// planner's measured accept/rollback still has the final word.
+const CompressWorthwhile = 0.75
+
+// Compressibility returns the ByteRun wire ratio (compressed/raw, 1.0 =
+// incompressible) over at most CompressSampleBytes of the sample. Empty
+// samples report 1.0: nothing to win.
+func Compressibility(sample []byte) float64 {
+	if len(sample) == 0 {
+		return 1.0
+	}
+	if len(sample) > CompressSampleBytes {
+		sample = sample[:CompressSampleBytes]
+	}
+	return codec.Ratio(sample)
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"mira/internal/codec"
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/netmodel"
@@ -64,6 +65,10 @@ type Options struct {
 	// Faults holds one fault config per node (nil entries = no faults on
 	// that node). Shorter slices leave the remaining nodes fault-free.
 	Faults []*faults.Config
+	// Tier enables the simulated SSD capacity tier on every node (nil =
+	// DRAM only). The tier sits between the fault injector and the raw
+	// node, so injected crashes wipe DRAM but not flash.
+	Tier *TierConfig
 }
 
 func (o Options) stripe() uint64 {
@@ -115,6 +120,7 @@ type NodeStats struct {
 	CapacityBytes  uint64
 	Net            transport.Stats
 	Faults         faults.Stats
+	Tier           TierStats
 }
 
 // farNode is one member of the pool.
@@ -122,6 +128,7 @@ type farNode struct {
 	fm    *farmem.Node
 	tr    *transport.T
 	inj   *faults.Injector // nil when the node is fault-free
+	tier  *tierBackend     // nil when the node is DRAM-only
 	stale bool             // memory wiped since the last re-sync
 	stats NodeStats
 }
@@ -173,9 +180,18 @@ func New(opts Options) (*Pool, error) {
 		n := &farNode{fm: fm, tr: tr}
 		n.stats.Node = i
 		n.stats.CapacityBytes = cfg.Capacity
+		// Backend chain, innermost out: node <- capacity tier <- fault
+		// injector. The injector wraps the tier so a crash-wipe zeroes DRAM
+		// while the tier's flash map survives.
+		var be transport.Backend = transport.NewNodeBackend(fm)
+		if opts.Tier != nil && opts.Tier.DRAMBytes > 0 {
+			n.tier = newTierBackend(be, fm, *opts.Tier)
+			be = n.tier
+			tr.SetBackend(be)
+		}
 		if i < len(opts.Faults) && opts.Faults[i] != nil && opts.Faults[i].Enabled() {
 			idx := i // wipe callback marks THIS node stale
-			n.inj = faults.Wrap(transport.NewNodeBackend(fm), func() {
+			n.inj = faults.Wrap(be, func() {
 				fm.WipeMemory()
 				p.markStale(idx)
 			}, *opts.Faults[i])
@@ -199,7 +215,27 @@ func (p *Pool) SetTrace(tr *trace.Tracer) {
 	p.cFailover = tr.Registry().Counter("cluster.failovers")
 	for i, n := range p.nodes {
 		n.tr.SetTrace(tr, fmt.Sprintf("net.node%d", i))
+		if n.tier != nil {
+			n.tier.setTrace(tr.Registry())
+		}
 	}
+}
+
+// SetWireCodec installs a wire codec on every node link. The runtime flips
+// it per section around each data-path operation, so one pool serves
+// compressed and raw sections side by side.
+func (p *Pool) SetWireCodec(id codec.ID) {
+	for _, n := range p.nodes {
+		n.tr.SetWireCodec(id)
+	}
+}
+
+// WireCodec reports the codec currently installed on the node links.
+func (p *Pool) WireCodec() codec.ID {
+	if len(p.nodes) == 0 {
+		return codec.None
+	}
+	return p.nodes[0].tr.WireCodec()
 }
 
 // markStale flags a node as having lost its memory. Called from the fault
@@ -435,6 +471,9 @@ func (p *Pool) NodeStats() []NodeStats {
 		s.Net = n.tr.Stats()
 		if n.inj != nil {
 			s.Faults = n.inj.Stats()
+		}
+		if n.tier != nil {
+			s.Tier = n.tier.Stats()
 		}
 		out[i] = s
 	}

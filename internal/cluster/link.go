@@ -199,6 +199,11 @@ func (p *Pool) resyncStale(now sim.Time) sim.Time {
 				recovered = false
 				continue
 			}
+			if n.tier != nil {
+				// The restored bytes went straight into DRAM; a stale flash
+				// copy left behind would shadow them at the next promotion.
+				n.tier.Restore(at.Base, int(e.Size))
+			}
 			d := p.nodes[src.Node].tr.BW.Acquire(now, len(buf))
 			if d2 := n.tr.BW.Acquire(now, len(buf)); d2 > d {
 				d = d2

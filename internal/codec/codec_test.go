@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// rng is a tiny splitmix64 so test inputs are seeded-deterministic without
+// importing math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func randomBytes(seed uint64, n int) []byte {
+	r := rng(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// seqInts is the seqscan-shaped payload: little-endian incrementing int64s,
+// long zero runs between low bytes.
+func seqInts(start, n int) []byte {
+	out := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(start+i))
+	}
+	return out
+}
+
+func TestByteRunRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{1, 2, 3},
+		bytes.Repeat([]byte{7}, 1),
+		bytes.Repeat([]byte{7}, 2),
+		bytes.Repeat([]byte{7}, 3),
+		bytes.Repeat([]byte{7}, 129),
+		bytes.Repeat([]byte{7}, 130),
+		bytes.Repeat([]byte{7}, 131),
+		bytes.Repeat([]byte{7}, 132),
+		bytes.Repeat([]byte{7}, 4096),
+		append(bytes.Repeat([]byte{0}, 260), 1, 2, 3, 3, 3, 3, 9),
+		randomBytes(1, 333),
+		randomBytes(2, 2048),
+		seqInts(0, 256),
+		seqInts(1000000, 256),
+	}
+	for i, src := range cases {
+		enc := AppendByteRun(nil, src)
+		if got := byteRunLen(src); got != len(enc) {
+			t.Fatalf("case %d: byteRunLen %d != len(enc) %d", i, got, len(enc))
+		}
+		dst := make([]byte, len(src))
+		n, err := DecodeByteRun(enc, dst)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(src) || !bytes.Equal(dst[:n], src) {
+			t.Fatalf("case %d: round trip mismatch (%d bytes, want %d)", i, n, len(src))
+		}
+	}
+}
+
+func TestEncodedLenNeverInflates(t *testing.T) {
+	for _, src := range [][]byte{nil, {1}, randomBytes(3, 512), seqInts(5, 128)} {
+		if got := EncodedLen(ByteRun, src); got > len(src) {
+			t.Fatalf("EncodedLen %d > raw %d", got, len(src))
+		}
+	}
+	if got := EncodedLen(None, []byte{1, 2, 3}); got != 3 {
+		t.Fatalf("None EncodedLen = %d, want 3", got)
+	}
+}
+
+func TestEncodedLenDeterministic(t *testing.T) {
+	src := seqInts(42, 512)
+	a := EncodedLen(ByteRun, src)
+	b := EncodedLen(ByteRun, append([]byte(nil), src...))
+	if a != b {
+		t.Fatalf("EncodedLen not deterministic: %d vs %d", a, b)
+	}
+	// The seqscan-shaped payload must compress well: it is the bench's
+	// bandwidth-bound >=30% bytes-on-wire case.
+	if ratio := float64(a) / float64(len(src)); ratio > 0.7 {
+		t.Fatalf("incrementing-int64 payload ratio %.2f, want <= 0.7", ratio)
+	}
+}
+
+func TestDiffRanges(t *testing.T) {
+	base := make([]byte, 64)
+	cur := append([]byte(nil), base...)
+	if got := DiffRanges(base, cur, 8); got != nil {
+		t.Fatalf("identical payloads diff to %v, want none", got)
+	}
+	cur[5] = 1
+	cur[6] = 2
+	cur[40] = 3
+	rs := DiffRanges(base, cur, 8)
+	want := []Range{{Off: 5, Len: 2}, {Off: 40, Len: 1}}
+	if len(rs) != len(want) || rs[0] != want[0] || rs[1] != want[1] {
+		t.Fatalf("DiffRanges = %v, want %v", rs, want)
+	}
+	// Changes 3 bytes apart merge under joinGap 8.
+	cur2 := append([]byte(nil), base...)
+	cur2[10] = 1
+	cur2[13] = 1
+	rs = DiffRanges(base, cur2, 8)
+	if len(rs) != 1 || rs[0] != (Range{Off: 10, Len: 4}) {
+		t.Fatalf("joinGap merge: %v, want [{10 4}]", rs)
+	}
+	// Mismatched lengths fall back to a full-payload range.
+	rs = DiffRanges(nil, cur, 8)
+	if len(rs) != 1 || rs[0] != (Range{Off: 0, Len: len(cur)}) {
+		t.Fatalf("nil base: %v", rs)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	r := rng(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(r.next()%2048)
+		base := randomBytes(uint64(trial), n)
+		cur := append([]byte(nil), base...)
+		edits := int(r.next() % 20)
+		for e := 0; e < edits; e++ {
+			cur[int(r.next()%uint64(n))] = byte(r.next())
+		}
+		patch := EncodeDelta(base, cur)
+		got := make([]byte, n)
+		if err := ApplyDelta(base, patch, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("trial %d: delta round trip mismatch", trial)
+		}
+		if edits == 0 && len(patch) != 0 {
+			t.Fatalf("trial %d: clean payload produced %d-byte patch", trial, len(patch))
+		}
+	}
+}
+
+func TestApplyDeltaRejectsCorruptPatch(t *testing.T) {
+	base := make([]byte, 32)
+	cur := append([]byte(nil), base...)
+	cur[4] = 9
+	patch := EncodeDelta(base, cur)
+	dst := make([]byte, 32)
+	for i := range patch {
+		bad := append([]byte(nil), patch...)
+		bad[i] = 0xff
+		// Must never panic; errors are fine (out-of-range), and a decode
+		// that "succeeds" simply yields different bytes — the transport's
+		// decoded-bytes CRC is the integrity check, not the patch format.
+		_ = ApplyDelta(base, bad, dst)
+	}
+	if err := ApplyDelta(base, patch[:len(patch)-1], dst); err == nil {
+		t.Fatal("truncated patch decoded without error")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	if m.EncodeCost(0) != m.PerOp || m.DecodeCost(0) != m.PerOp {
+		t.Fatal("zero-byte cost must equal PerOp")
+	}
+	if m.EncodeCost(2048) <= m.EncodeCost(0) {
+		t.Fatal("encode cost must grow with payload")
+	}
+	// The inline engine must stay below the default wire cost (0.16 ns/B)
+	// or compression could never win on bandwidth-bound sections.
+	perByte := float64(m.EncodeCost(1<<20)-m.PerOp) / float64(1<<20)
+	if perByte >= 0.16 {
+		t.Fatalf("encode %.3f ns/B not below wire 0.16 ns/B", perByte)
+	}
+	if m.DecodeCost(4096) >= m.EncodeCost(4096) {
+		t.Fatal("decode must be cheaper than encode under the defaults")
+	}
+}

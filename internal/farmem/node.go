@@ -277,6 +277,24 @@ func (n *Node) Call(name string, args []byte) (result []byte, farCPU sim.Duratio
 	return res, sim.Duration(float64(compute) * slow), nil
 }
 
+// CopyOut copies len(buf) bytes at addr into buf without counting toward
+// the node's traffic stats. The capacity tier uses it to stage a demoted
+// granule's bytes onto the flash side; it is a node-internal move, not
+// wire traffic.
+func (n *Node) CopyOut(addr uint64, buf []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.ReadAt(addr, buf)
+}
+
+// CopyIn is the stat-free converse of CopyOut: the capacity tier restores a
+// promoted granule's flash copy into DRAM with it.
+func (n *Node) CopyIn(addr uint64, buf []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.WriteAt(addr, buf)
+}
+
 // WipeMemory zeroes every allocated byte while keeping the allocations
 // themselves. The fault injector uses it to model a far-node restart that
 // lost its volatile memory contents (a crash without a durable or replicated

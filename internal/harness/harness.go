@@ -101,6 +101,14 @@ type Options struct {
 	// per cache section, via RunLinePolicy); the swap systems (mira-swap,
 	// fastswap, leap) run it on the page plane (via RunPagePolicy).
 	Prefetch *prefetch.Spec
+	// Compress selects the wire-compression mode for Mira and MiraSwap
+	// runs ("", "off", "on", "auto" — see planner.Options.Compress). The
+	// other systems model stock far-memory stacks and ignore it.
+	Compress string
+	// Tier, when non-nil, puts a simulated SSD capacity tier under every
+	// cluster node's DRAM (hot granules in DRAM, cold ones demoted to
+	// flash and promoted back on access). Requires Nodes > 0.
+	Tier *cluster.TierConfig
 }
 
 // wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
@@ -129,6 +137,7 @@ func (o Options) clusterOpts(withFaults bool) *cluster.Options {
 		StripeBytes: o.StripeBytes,
 		NodeCfg:     o.NodeCfg,
 		Net:         o.Net,
+		Tier:        o.Tier,
 	}
 	if o.Resilience != nil {
 		pol := *o.Resilience
@@ -173,6 +182,13 @@ type Result struct {
 	Messages int64
 	// BytesMoved counts the bytes that crossed the interconnect.
 	BytesMoved int64
+	// BytesOnWire equals BytesMoved: what actually crossed, post-codec.
+	// Named separately so reports read next to BytesEffective.
+	BytesOnWire int64
+	// BytesEffective adds back the bytes the wire codecs kept off the
+	// link (transport.Stats.WireSaved): the pre-compression data volume.
+	// Equal to BytesOnWire when compression is off.
+	BytesEffective int64
 	// Prefetch aggregates the run's prefetch efficacy counters across both
 	// planes (cache sections + swap pool).
 	Prefetch prefetch.Efficacy
@@ -238,15 +254,19 @@ func runRT(sys System, w workload.Workload, prog *ir.Program, r *rt.Runtime, opt
 	if err := verify(w, r, opts); err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", sys, err)
 	}
+	ns := r.NetStats()
+	moved := r.Link().BytesMoved()
 	return Result{
-		System:       sys,
-		Time:         clk.Now().Sub(0),
-		Net:          r.NetStats(),
-		Cluster:      r.ClusterStats(),
-		Messages:     r.Link().Messages(),
-		BytesMoved:   r.Link().BytesMoved(),
-		Prefetch:     r.PrefetchStats(),
-		DemandMisses: r.MissCount(),
+		System:         sys,
+		Time:           clk.Now().Sub(0),
+		Net:            ns,
+		Cluster:        r.ClusterStats(),
+		Messages:       r.Link().Messages(),
+		BytesMoved:     moved,
+		BytesOnWire:    moved,
+		BytesEffective: moved + ns.WireSaved,
+		Prefetch:       r.PrefetchStats(),
+		DemandMisses:   r.MissCount(),
 	}, nil
 }
 
@@ -307,6 +327,9 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 		popts.DisableSeparation = true
 	}
 	popts.WritebackQueueLines = opts.wbqLines()
+	if opts.Compress != "" {
+		popts.Compress = opts.Compress
+	}
 	if opts.NoBatching {
 		if popts.Techniques == (planner.TechniqueMask{}) {
 			popts.Techniques = planner.DefaultTechniques()

@@ -85,9 +85,20 @@ func (c Config) Validate() error {
 // WireTime is the serialization delay of n bytes on the link — the portion
 // of a transfer's cost that occupies the shared link and therefore contends
 // across threads.
+//
+// Rounding rule (load-bearing for determinism now that wire codecs shrink
+// payloads to arbitrary small sizes): the delay is computed in float
+// nanoseconds and truncated toward zero by the sim.Duration conversion, so
+// any payload whose serialization takes under 1 ns — e.g. 1..6 bytes at the
+// default 6.25 GB/s, 0.16 ns/B — contributes exactly 0 wire time, and
+// n <= 0 is 0 by definition. Sub-nanosecond remainders are dropped per
+// call, never accumulated; two runs issuing the same payload sequence
+// therefore always agree. Tiny messages still pay PerMessageOverhead in
+// Bandwidth.Acquire (doorbell occupancy is per message, not per byte).
 func (c Config) WireTime(n int) sim.Duration { return c.wireTime(n) }
 
-// wireTime is the serialization delay of n bytes on the link.
+// wireTime is the serialization delay of n bytes on the link (truncated
+// toward zero; see WireTime for the rounding rule).
 func (c Config) wireTime(n int) sim.Duration {
 	if n <= 0 {
 		return 0
@@ -347,7 +358,15 @@ func (b *Bandwidth) shareLocked(name string, at sim.Time) float64 {
 // Every non-empty transfer also holds the link for one PerMessageOverhead:
 // the NIC processes one doorbell per message, so two messages occupy it
 // strictly longer than one message carrying the same bytes. Zero-byte
-// acquires ring no doorbell and are free.
+// acquires ring no doorbell and are free in time (they still count one
+// transfer for the stats).
+//
+// Boundary semantics, pinned for compressed tiny payloads: a 1-byte
+// transfer occupies the link for exactly PerMessageOverhead (its wire time
+// truncates to 0 under the default link — see Config.WireTime's rounding
+// rule); a 0-byte transfer occupies it for exactly 0 and pays no overhead.
+// Both are pure functions of (now, n, queue state), so compressed messages
+// of any size replay byte-identically.
 func (b *Bandwidth) Acquire(now sim.Time, n int) sim.Time {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -212,3 +212,74 @@ func TestWireTime50Gbps(t *testing.T) {
 		t.Fatalf("wireTime(6250) = %v ns, want ~1000", int64(got))
 	}
 }
+
+func TestWireTimeTruncationBoundaries(t *testing.T) {
+	c := DefaultConfig()
+	// The rounding rule (see WireTime): float ns truncated toward zero.
+	// At 6.25 GB/s one byte is 0.16 ns -> 0; six bytes 0.96 ns -> 0;
+	// seven bytes 1.12 ns -> 1.
+	if got := c.WireTime(0); got != 0 {
+		t.Fatalf("WireTime(0) = %v, want 0", got)
+	}
+	if got := c.WireTime(1); got != 0 {
+		t.Fatalf("WireTime(1) = %v, want 0 (0.16 ns truncates)", got)
+	}
+	if got := c.WireTime(6); got != 0 {
+		t.Fatalf("WireTime(6) = %v, want 0 (0.96 ns truncates)", got)
+	}
+	if got := c.WireTime(7); got != 1 {
+		t.Fatalf("WireTime(7) = %v ns, want 1", int64(got))
+	}
+	// Truncation is per call, never accumulated: N 1-byte transfers have
+	// zero total wire time regardless of N.
+	var sum sim.Duration
+	for i := 0; i < 1000; i++ {
+		sum += c.WireTime(1)
+	}
+	if sum != 0 {
+		t.Fatalf("1000 x WireTime(1) = %v, want 0", sum)
+	}
+}
+
+func TestAcquireTinyPayloadBoundaries(t *testing.T) {
+	c := DefaultConfig()
+
+	// 1-byte transfer: exactly PerMessageOverhead of link occupancy.
+	bw := NewBandwidth(c)
+	end := bw.Acquire(0, 1)
+	if end != sim.Time(0).Add(c.PerMessageOverhead) {
+		t.Fatalf("Acquire(0, 1) = %v, want PerMessageOverhead %v", end, c.PerMessageOverhead)
+	}
+	if bw.BytesMoved() != 1 || bw.Transfers() != 1 {
+		t.Fatalf("after 1-byte acquire: %d bytes / %d transfers", bw.BytesMoved(), bw.Transfers())
+	}
+
+	// 0-byte transfer: free in time (no doorbell), but counted as a
+	// transfer; the link's queue position is unchanged.
+	end = bw.Acquire(end, 0)
+	if end != sim.Time(0).Add(c.PerMessageOverhead) {
+		t.Fatalf("Acquire(_, 0) = %v, want unchanged %v", end, c.PerMessageOverhead)
+	}
+	if bw.BytesMoved() != 1 || bw.Transfers() != 2 {
+		t.Fatalf("after 0-byte acquire: %d bytes / %d transfers", bw.BytesMoved(), bw.Transfers())
+	}
+
+	// Determinism across runs: replaying the same tiny-payload sequence
+	// yields identical completions.
+	replay := func() []sim.Time {
+		b := NewBandwidth(c)
+		var out []sim.Time
+		at := sim.Time(0)
+		for _, n := range []int{1, 0, 6, 7, 1, 2048, 0, 3} {
+			at = b.Acquire(at, n)
+			out = append(out, at)
+		}
+		return out
+	}
+	a, b := replay(), replay()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

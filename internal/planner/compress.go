@@ -1,0 +1,136 @@
+package planner
+
+import (
+	"fmt"
+
+	"mira/internal/analysis"
+	"mira/internal/rt"
+	"mira/internal/sim"
+	"mira/internal/trace"
+)
+
+// compressSampler captures each object's sampled compressibility during an
+// untimed workload Init — the planner's measurement protocol for the wire
+// codec: no runtime, no far node, just the initial bytes the wire would
+// actually carry.
+type compressSampler struct {
+	ratios map[string]float64
+}
+
+func (s *compressSampler) InitObject(name string, data []byte) error {
+	s.ratios[name] = analysis.Compressibility(data)
+	return nil
+}
+
+// sampleCompressibility runs the workload's Init against the sampler.
+func sampleCompressibility(w Workload) map[string]float64 {
+	s := &compressSampler{ratios: map[string]float64{}}
+	if err := w.Init(s); err != nil {
+		// An Init that only works against a real runtime yields no
+		// samples; the screen then proposes nothing and only the
+		// measured all-on candidate races.
+		return map[string]float64{}
+	}
+	return s.ratios
+}
+
+// sectionCompressible reports whether every member object of section idx
+// cleared the sampled-compressibility bar (with at least one member seen).
+func sectionCompressible(cfg rt.Config, idx int, ratios map[string]float64) bool {
+	members := 0
+	for name, pl := range cfg.Placements {
+		if pl.Kind != rt.PlaceSection || pl.Section != idx {
+			continue
+		}
+		r, ok := ratios[name]
+		if !ok || r > analysis.CompressWorthwhile {
+			return false
+		}
+		members++
+	}
+	return members > 0
+}
+
+// swapCompressible applies the same bar to the objects left in the generic
+// swap section (unplaced objects default there).
+func swapCompressible(cfg rt.Config, ratios map[string]float64) bool {
+	members := 0
+	for name, r := range ratios {
+		pl, placed := cfg.Placements[name]
+		if placed && pl.Kind != rt.PlaceSwap {
+			continue
+		}
+		if r > analysis.CompressWorthwhile {
+			return false
+		}
+		members++
+	}
+	return members > 0
+}
+
+// withCompressFlags clones cfg with fresh per-section compress flags.
+func withCompressFlags(cfg rt.Config, on func(i int) bool, swapOn bool) rt.Config {
+	out := cfg
+	out.Sections = append([]rt.SectionSpec(nil), cfg.Sections...)
+	for i := range out.Sections {
+		out.Sections[i].Compress = on(i)
+	}
+	out.SwapCompress = swapOn
+	return out
+}
+
+func sameCompressFlags(a, b rt.Config) bool {
+	if a.SwapCompress != b.SwapCompress || len(a.Sections) != len(b.Sections) {
+		return false
+	}
+	for i := range a.Sections {
+		if a.Sections[i].Compress != b.Sections[i].Compress {
+			return false
+		}
+	}
+	return true
+}
+
+// compressAuto is the Compress="auto" phase: after the structural iterations
+// settle, screen sections by sampled compressibility, then race the screened
+// subset and the all-on configuration against the accepted plan with the
+// same measured accept/rollback the iterations use. The incumbent only ever
+// loses to a faster candidate, so auto is never slower than off; all-on is
+// always among the candidates, so auto is never slower than on either.
+func compressAuto(w Workload, res *Result, opts Options, ptrc *trace.Buffer, cursor sim.Time) sim.Time {
+	ratios := sampleCompressibility(w)
+	screened := withCompressFlags(res.Config,
+		func(i int) bool { return sectionCompressible(res.Config, i, ratios) },
+		swapCompressible(res.Config, ratios))
+	allOn := withCompressFlags(res.Config, func(int) bool { return true }, true)
+
+	type candidate struct {
+		name string
+		cfg  rt.Config
+	}
+	var cands []candidate
+	if !sameCompressFlags(screened, res.Config) {
+		cands = append(cands, candidate{"screened", screened})
+	}
+	if !sameCompressFlags(allOn, screened) {
+		cands = append(cands, candidate{"all-on", allOn})
+	}
+	for _, c := range cands {
+		t, _, err := runOnce(w, res.Program, c.cfg, opts, true)
+		if err != nil {
+			ptrc.Instant(cursor, "planner", fmt.Sprintf("compress.%s rejected", c.name))
+			continue
+		}
+		verdict := "rolled-back"
+		if t < res.FinalTime {
+			verdict = "accepted"
+			res.FinalTime = t
+			res.Config = c.cfg
+		}
+		end := cursor.Add(t)
+		ptrc.Span(cursor, end, "planner", fmt.Sprintf("compress %s", c.name),
+			trace.I("time_ns", int64(t)), trace.S("result", verdict))
+		cursor = end
+	}
+	return cursor
+}

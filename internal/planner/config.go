@@ -766,6 +766,7 @@ func assembleConfig(prog *ir.Program, drafts []*sectionDraft, merged map[string]
 		Net:                 opts.Net,
 		Cluster:             opts.Cluster,
 		WritebackQueueLines: opts.WritebackQueueLines,
+		SwapCompress:        opts.Compress == "on",
 	}
 	for i, d := range drafts {
 		size := d.sizeBytes
@@ -782,6 +783,7 @@ func assembleConfig(prog *ir.Program, drafts []*sectionDraft, merged map[string]
 			},
 			TwoSided:        d.twoSided,
 			SelectiveFields: d.selFields,
+			Compress:        opts.Compress == "on",
 		})
 		for _, m := range d.members {
 			cfg.Placements[m] = rt.Placement{Kind: rt.PlaceSection, Section: i}

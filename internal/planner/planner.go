@@ -60,6 +60,14 @@ type Options struct {
 	// negative = disabled). The planner's own timing iterations run with
 	// the same setting so accepted plans reflect it.
 	WritebackQueueLines int
+	// Compress selects the wire-compression mode: "" or "off" leaves every
+	// codec knob alone (the zero-cost disabled path), "on" forces ByteRun
+	// compression on every section and the swap pool, and "auto" lets the
+	// planner measure — after the structural iterations settle, it screens
+	// sections by sampled compressibility, races the screened subset and
+	// the all-on configuration against the accepted plan, and keeps
+	// whichever is fastest. Auto therefore never loses to off or on.
+	Compress string
 	// Cluster, when non-nil, plans against a sharded far-node pool instead
 	// of a single node. Planning itself is offline and fault-free: any
 	// per-node fault schedules belong to the final run, not here.
@@ -126,6 +134,11 @@ type Result struct {
 // Plan runs the full iterative flow for one workload.
 func Plan(w Workload, opts Options) (*Result, error) {
 	opts = withDefaults(opts)
+	switch opts.Compress {
+	case "", "off", "on", "auto":
+	default:
+		return nil, fmt.Errorf("planner: unknown Compress mode %q (want off, on, or auto)", opts.Compress)
+	}
 	if opts.LocalBudget <= 0 {
 		// Default to half the workload's far footprint — the common
 		// experimental midpoint — so Plan(w, Options{}) works out of
@@ -162,6 +175,9 @@ func Plan(w Workload, opts Options) (*Result, error) {
 		trace.I("time_ns", int64(baseTime)))
 
 	if opts.DisableSeparation {
+		if opts.Compress == "auto" {
+			compressAuto(w, res, opts, ptrc, cursor)
+		}
 		return res, nil
 	}
 
@@ -259,6 +275,9 @@ func Plan(w Workload, opts Options) (*Result, error) {
 			cursor = end
 		}
 	}
+	if opts.Compress == "auto" {
+		compressAuto(w, res, opts, ptrc, cursor)
+	}
 	return res, nil
 }
 
@@ -321,6 +340,7 @@ func swapOnlyConfig(prog *ir.Program, opts Options) (rt.Config, error) {
 		Net:                 opts.Net,
 		Cluster:             opts.Cluster,
 		WritebackQueueLines: opts.WritebackQueueLines,
+		SwapCompress:        opts.Compress == "on",
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mira/internal/cache"
+	"mira/internal/codec"
 	"mira/internal/ir"
 	"mira/internal/sim"
 	"mira/internal/trace"
@@ -90,7 +91,7 @@ func (r *Runtime) recoverFromWbq(clk *sim.Clock, s *sectionRT, o *objectRT, addr
 	if s.wbq == nil {
 		return false
 	}
-	data, _, ok := s.wbq.take(tag)
+	e, ok := s.wbq.take(tag)
 	if !ok {
 		return false
 	}
@@ -99,10 +100,10 @@ func (r *Runtime) recoverFromWbq(clk *sim.Clock, s *sectionRT, o *objectRT, addr
 	if err := r.retireVictim(clk, s, o, victim); err != nil {
 		// Re-park the recovered line; the caller's prefetch is advisory.
 		s.sec.Drop(tag)
-		s.wbq.add(tag, data, o)
+		s.wbq.add(tag, e.data, e.o, e.ranges)
 		return true
 	}
-	copy(l.Data, data)
+	copy(l.Data, e.data)
 	l.Dirty = true // newest copy still lives only locally
 	return true
 }
@@ -122,13 +123,15 @@ type BatchEntry struct {
 // for its own line, not for the chain's tail.
 func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 	type piece struct {
-		s   *sectionRT
-		l   *cache.Line
-		tag uint64
+		s    *sectionRT
+		l    *cache.Line
+		tag  uint64
+		snap bool // record a delta-base snapshot once the bytes land
 	}
 	var addrs []uint64
 	var sizes []int
 	var pieces []piece
+	allCompress := true
 	for _, e := range entries {
 		o, ok := r.objs[e.Obj]
 		if !ok {
@@ -161,13 +164,23 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 		}
 		addrs = append(addrs, tag)
 		sizes = append(sizes, len(l.Data))
-		pieces = append(pieces, piece{s: s, l: l, tag: tag})
+		pieces = append(pieces, piece{s: s, l: l, tag: tag,
+			snap: s.snaps != nil && len(o.selFields) == 0})
+		if !s.spec.Compress {
+			allCompress = false
+		}
 	}
 	if len(addrs) == 0 {
 		return nil
 	}
 	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
 	post := clk.Now()
+	// One chain carries every piece, so the codec is all-or-nothing: only a
+	// batch entirely of compressed sections ships compressed.
+	if allCompress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
 	data, done, err := r.tr.GatherOneSided(post, addrs, sizes)
 	if err != nil {
 		if prefetchFailed(err) {
@@ -200,6 +213,9 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 		// pieces whose reserved line is no longer theirs.
 		if cur, ok := p.s.sec.Peek(p.tag); ok && cur == p.l && p.l.Tag == p.tag {
 			copy(p.l.Data, data[pos:pos+sizes[i]])
+			if p.snap {
+				p.s.snaps[p.tag] = append([]byte(nil), p.l.Data...)
+			}
 			p.s.inflight[p.tag] = readies[i]
 			p.s.specul[p.tag] = true
 			p.s.pf.Issued++
@@ -307,6 +323,10 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 	case PlaceLocal:
 		return nil
 	case PlaceSwap:
+		if r.cfg.SwapCompress {
+			r.setCodec(codec.ByteRun)
+			defer r.setCodec(codec.None)
+		}
 		return r.swapC.FlushAll(clk)
 	}
 	start0 := clk.Now()
@@ -329,6 +349,9 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 		delete(s.inflight, tag)
 		s.evictSpec(tag)
 		if !v.Dirty {
+			if s.snaps != nil {
+				delete(s.snaps, tag)
+			}
 			continue
 		}
 		if s.wbq != nil {
@@ -339,7 +362,17 @@ func (r *Runtime) FlushObject(clk *sim.Clock, name string) error {
 			}
 			continue
 		}
-		done, err := r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+		ranges, skip := r.deltaPlan(clk, s, o, v.Tag, v.Data)
+		if skip {
+			continue
+		}
+		var done sim.Time
+		var err error
+		if ranges != nil {
+			done, err = r.writebackPatch(clk.Now(), s, v.Tag, v.Data, ranges)
+		} else {
+			done, err = r.writebackLine(clk.Now(), o, v.Tag, v.Data)
+		}
 		if err != nil {
 			return err
 		}
@@ -400,6 +433,8 @@ func (r *Runtime) Release(clk *sim.Clock, name string) error {
 			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
 				return err
 			}
+		} else if s.snaps != nil {
+			delete(s.snaps, tag)
 		}
 	}
 	return nil
@@ -425,7 +460,14 @@ func (r *Runtime) FlushAll(clk *sim.Clock) error {
 		}
 	}
 	if r.swapC != nil {
-		if err := r.swapC.FlushAll(clk); err != nil {
+		if r.cfg.SwapCompress {
+			r.setCodec(codec.ByteRun)
+		}
+		err := r.swapC.FlushAll(clk)
+		if r.cfg.SwapCompress {
+			r.setCodec(codec.None)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -475,6 +517,8 @@ func (r *Runtime) ReleaseSection(clk *sim.Clock, idx int) error {
 			if err := r.wbqEnqueue(clk, s, o, v.Tag, v.Data); err != nil {
 				return err
 			}
+		} else if s.snaps != nil {
+			delete(s.snaps, tag)
 		}
 	}
 	return nil

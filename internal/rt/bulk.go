@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mira/internal/cache"
+	"mira/internal/codec"
 	"mira/internal/sim"
 )
 
@@ -50,6 +51,10 @@ func (r *Runtime) bulk(clk *sim.Clock, name string, elem int64, buf []byte, writ
 	case PlaceSwap:
 		chunks := (len(buf) + nativeChunk - 1) / nativeChunk
 		clk.Advance(r.cfg.Cost.NativeAccess * sim.Duration(chunks))
+		if r.cfg.SwapCompress {
+			r.setCodec(codec.ByteRun)
+			defer r.setCodec(codec.None)
+		}
 		if write {
 			return r.swapC.Write(clk, o.farBase+off, buf)
 		}

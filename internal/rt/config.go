@@ -60,6 +60,11 @@ type SectionSpec struct {
 	// these byte ranges of each element (§4.5 selective transmission).
 	// Write-backs likewise push only these ranges.
 	SelectiveFields []string
+	// Compress ships the section's lines ByteRun-compressed on the wire
+	// and delta-encodes dirty write-backs against the last-fetched
+	// snapshot of each line. A per-section knob: the planner turns it on
+	// only where sampled compressibility and link occupancy say it pays.
+	Compress bool
 }
 
 // Config assembles a runtime configuration: the local-memory budget and how
@@ -83,6 +88,9 @@ type Config struct {
 	// SwapCfg overrides the swap fault-path costs (zero value: defaults
 	// from swap.DefaultConfig).
 	SwapCfg swap.Config
+	// SwapCompress ships swap pages ByteRun-compressed on the wire (the
+	// page-granular analogue of SectionSpec.Compress).
+	SwapCompress bool
 	// Profiling enables the compiler-inserted probes' cost accounting.
 	Profiling bool
 	// WritebackQueueLines bounds each section's asynchronous write-back

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mira/internal/cache"
+	"mira/internal/codec"
 	"mira/internal/prefetch"
 	"mira/internal/sim"
 	"mira/internal/swap"
@@ -107,6 +108,7 @@ func (r *Runtime) issueSpeculative(clk *sim.Clock, s *sectionRT, tags []uint64, 
 	var addrs []uint64
 	var sizes []int
 	var lines []*cache.Line
+	var snapOK []bool
 	for i, t := range tags {
 		l, victim := s.sec.Reserve(t)
 		if err := r.retireVictim(clk, s, owners[i], victim); err != nil {
@@ -121,11 +123,17 @@ func (r *Runtime) issueSpeculative(clk *sim.Clock, s *sectionRT, tags []uint64, 
 		addrs = append(addrs, t)
 		sizes = append(sizes, len(l.Data))
 		lines = append(lines, l)
+		snapOK = append(snapOK, s.snaps != nil &&
+			(owners[i] == nil || len(owners[i].selFields) == 0))
 	}
 	if len(addrs) == 0 {
 		return
 	}
 	post := clk.Now().Add(s.policy.PerMissOverhead()).Add(r.cfg.Net.VectoredPostCost(len(addrs)))
+	if s.spec.Compress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
 	data, done, err := r.tr.GatherOneSided(post, addrs, sizes)
 	if err != nil {
 		// Advisory under faults: drop every piece whose reserved line is
@@ -151,6 +159,9 @@ func (r *Runtime) issueSpeculative(clk *sim.Clock, s *sectionRT, tags []uint64, 
 	for i, l := range lines {
 		if cur, ok := s.sec.Peek(addrs[i]); ok && cur == l && l.Tag == addrs[i] {
 			copy(l.Data, data[pos:pos+sizes[i]])
+			if snapOK[i] {
+				s.snaps[addrs[i]] = append([]byte(nil), l.Data...)
+			}
 			s.inflight[addrs[i]] = readies[i]
 			s.specul[addrs[i]] = true
 			s.pf.Issued++

@@ -15,6 +15,7 @@ import (
 
 	"mira/internal/cache"
 	"mira/internal/cluster"
+	"mira/internal/codec"
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/ir"
@@ -100,6 +101,13 @@ type sectionRT struct {
 	specul map[uint64]bool
 	pf     prefetch.Efficacy
 
+	// snaps holds the last-fetched bytes of each resident line when the
+	// section compresses (spec.Compress): write-back diffs against the
+	// snapshot and ships only the changed ranges. Nil when disabled. A
+	// snapshot lives exactly as long as its line is resident — it is taken
+	// at fetch and consumed (deleted) when the dirty line leaves the cache.
+	snaps map[uint64][]byte
+
 	// Per-section metrics (all nil when tracing is disabled).
 	mHit, mMiss, mEvict                          *trace.Counter
 	mPfIssued, mPfUseful, mPfUseless, mPfDropped *trace.Counter
@@ -180,14 +188,18 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.secs = append(r.secs, &sectionRT{
+		srt := &sectionRT{
 			id:       uint16(i + 1),
 			spec:     spec,
 			sec:      sec,
 			inflight: make(map[uint64]sim.Time),
 			specul:   make(map[uint64]bool),
 			wbq:      newWritebackQueue(cfg.writebackQueueLimit()),
-		})
+		}
+		if spec.Compress {
+			srt.snaps = make(map[uint64][]byte)
+		}
+		r.secs = append(r.secs, srt)
 	}
 	return r, nil
 }
@@ -420,6 +432,10 @@ func (r *Runtime) Access(clk *sim.Clock, name string, elem int64, field ir.Field
 		return nil
 	case PlaceSwap:
 		clk.Advance(r.cfg.Cost.NativeAccess)
+		if r.cfg.SwapCompress {
+			r.setCodec(codec.ByteRun)
+			defer r.setCodec(codec.None)
+		}
 		if write {
 			return r.swapC.Write(clk, o.farBase+off, buf)
 		}
@@ -538,9 +554,9 @@ func (r *Runtime) lineFor(clk *sim.Clock, s *sectionRT, o *objectRT, addr uint64
 	// even for full-line stores (the queued entry must die either way, or
 	// a later drain would clobber the new store).
 	if s.wbq != nil {
-		if data, _, ok := s.wbq.take(tag); ok {
+		if e, ok := s.wbq.take(tag); ok {
 			r.wbqStats.Hits++
-			copy(l.Data, data)
+			copy(l.Data, e.data)
 			l.Dirty = true
 			return l, accessMissed, nil
 		}
@@ -614,16 +630,53 @@ func (r *Runtime) retireVictim(clk *sim.Clock, s *sectionRT, o *objectRT, v cach
 	delete(s.inflight, v.Tag)
 	s.evictSpec(v.Tag)
 	if !v.Dirty {
+		// A clean line leaves far memory untouched; its snapshot dies with
+		// it so the map stays bounded by the cache size.
+		if s.snaps != nil {
+			delete(s.snaps, v.Tag)
+		}
 		return nil
 	}
 	return r.wbqEnqueue(clk, s, o, v.Tag, v.Data)
 }
 
+// setCodec installs a wire codec on the timed data path (the single
+// transport or every cluster link). The runtime flips it around each
+// operation, so the codec is a property of the section or swap pool, not
+// of the link — one link serves compressed and raw sections side by side.
+// When nothing compresses, setCodec is never called and the transport's
+// zero-cost None path carries all traffic untouched.
+func (r *Runtime) setCodec(id codec.ID) {
+	if r.trT != nil {
+		r.trT.SetWireCodec(id)
+	} else if r.pool != nil {
+		r.pool.SetWireCodec(id)
+	}
+}
+
+// snapshotLine records the line's just-fetched bytes as the delta
+// write-back base. Selective objects are excluded: a selective fetch fills
+// only field ranges, so the rest of l.Data is not far memory's content.
+func snapshotLine(s *sectionRT, o *objectRT, l *cache.Line) {
+	if s.snaps == nil || (o != nil && len(o.selFields) > 0) {
+		return
+	}
+	s.snaps[l.Tag] = append([]byte(nil), l.Data...)
+}
+
 // fetchLine pulls the line's bytes from far memory — whole line one-sided,
 // or only the selective field ranges two-sided (§4.5, §4.7).
 func (r *Runtime) fetchLine(now sim.Time, s *sectionRT, o *objectRT, l *cache.Line) (sim.Time, error) {
+	if s.spec.Compress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
 	if len(o.selFields) == 0 {
-		return r.tr.ReadOneSided(now, l.Tag, l.Data)
+		done, err := r.tr.ReadOneSided(now, l.Tag, l.Data)
+		if err == nil {
+			snapshotLine(s, o, l)
+		}
+		return done, err
 	}
 	addrs, sizes, offs := r.selectivePieces(o, l.Tag, len(l.Data))
 	data, done, err := r.tr.GatherTwoSided(now, addrs, sizes)
@@ -641,7 +694,11 @@ func (r *Runtime) fetchLine(now sim.Time, s *sectionRT, o *objectRT, l *cache.Li
 // writebackLine pushes a dirty line to far memory (whole line one-sided or
 // selective ranges two-sided).
 func (r *Runtime) writebackLine(now sim.Time, o *objectRT, tag uint64, data []byte) (sim.Time, error) {
-	if o.place.Kind != PlaceSection || len(o.selFields) == 0 {
+	if o != nil && o.place.Kind == PlaceSection && r.secs[o.place.Section].spec.Compress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
+	if o == nil || o.place.Kind != PlaceSection || len(o.selFields) == 0 {
 		return r.tr.WriteOneSided(now, tag, data)
 	}
 	addrs, sizes, offs := r.selectivePieces(o, tag, len(data))
@@ -650,6 +707,25 @@ func (r *Runtime) writebackLine(now sim.Time, o *objectRT, tag uint64, data []by
 		pieces[i] = data[offs[i] : offs[i]+sizes[i]]
 	}
 	return r.tr.ScatterTwoSided(now, addrs, pieces)
+}
+
+// writebackPatch ships only the changed ranges of a dirty line — the delta
+// write-back path. Each range travels as a raw sub-range piece of one
+// vectored write: raw bytes at sub-line addresses, so the transport's
+// degraded-mode overlay merges patches with its ordinary non-overlap
+// machinery and a queued patch needs no special expansion.
+func (r *Runtime) writebackPatch(now sim.Time, s *sectionRT, tag uint64, data []byte, ranges []codec.Range) (sim.Time, error) {
+	if s.spec.Compress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
+	addrs := make([]uint64, len(ranges))
+	pieces := make([][]byte, len(ranges))
+	for i, rg := range ranges {
+		addrs[i] = tag + uint64(rg.Off)
+		pieces[i] = data[rg.Off : rg.Off+rg.Len]
+	}
+	return r.tr.ScatterWrite(now, addrs, pieces)
 }
 
 // selectivePieces computes the (far address, size, line offset) triples of

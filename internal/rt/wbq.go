@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mira/internal/codec"
 	"mira/internal/sim"
 	"mira/internal/trace"
 )
@@ -28,6 +29,11 @@ type writebackQueue struct {
 type wbqEntry struct {
 	data []byte
 	o    *objectRT // owning object (selective write-back resolution)
+	// ranges, when non-nil, restricts the drain to the line's changed
+	// byte ranges (delta write-back): only data[r.Off:r.Off+r.Len] pieces
+	// ship. data always holds the FULL line regardless, so the
+	// read-your-writes take path recovers complete bytes.
+	ranges []codec.Range
 }
 
 func newWritebackQueue(limit int) *writebackQueue {
@@ -37,9 +43,10 @@ func newWritebackQueue(limit int) *writebackQueue {
 	return &writebackQueue{limit: limit, entries: make(map[uint64]wbqEntry)}
 }
 
-// add parks one dirty line, latest write wins. Reports whether the queue is
-// now over its bound and must drain.
-func (q *writebackQueue) add(tag uint64, data []byte, o *objectRT) (mustDrain bool) {
+// add parks one dirty line, latest write wins. ranges nil means a full-line
+// write-back; non-nil restricts the drain to the changed ranges. Reports
+// whether the queue is now over its bound and must drain.
+func (q *writebackQueue) add(tag uint64, data []byte, o *objectRT, ranges []codec.Range) (mustDrain bool) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	if _, exists := q.entries[tag]; !exists {
@@ -48,23 +55,24 @@ func (q *writebackQueue) add(tag uint64, data []byte, o *objectRT) (mustDrain bo
 		copy(q.tags[i+1:], q.tags[i:])
 		q.tags[i] = tag
 	}
-	q.entries[tag] = wbqEntry{data: cp, o: o}
+	q.entries[tag] = wbqEntry{data: cp, o: o, ranges: ranges}
 	return len(q.tags) >= q.limit
 }
 
 // take removes and returns the queued line for tag — the read-your-writes
-// path. The caller owns the returned buffer.
-func (q *writebackQueue) take(tag uint64) ([]byte, *objectRT, bool) {
+// path. The caller owns the returned buffer, which is always the full line
+// even when the entry carried a delta plan.
+func (q *writebackQueue) take(tag uint64) (wbqEntry, bool) {
 	e, ok := q.entries[tag]
 	if !ok {
-		return nil, nil, false
+		return wbqEntry{}, false
 	}
 	delete(q.entries, tag)
 	i := sort.Search(len(q.tags), func(i int) bool { return q.tags[i] >= tag })
 	if i < len(q.tags) && q.tags[i] == tag {
 		q.tags = append(q.tags[:i], q.tags[i+1:]...)
 	}
-	return e.data, e.o, true
+	return e, true
 }
 
 func (q *writebackQueue) len() int { return len(q.tags) }
@@ -76,6 +84,75 @@ type WbqStats struct {
 	Drains   int64 // vectored drain messages issued
 	Lines    int64 // lines drained
 	Pieces   int64 // coalesced pieces those lines collapsed into
+	// Delta write-back counters (compressed sections only).
+	DeltaSkipped int64 // dirty lines identical to their snapshot: no write at all
+	DeltaLines   int64 // dirty lines shipped as changed-range patches
+	DeltaSaved   int64 // full-line bytes the patches kept off the write path
+}
+
+// deltaJoinGap merges changed ranges separated by fewer than this many
+// unchanged bytes: each merge trades re-shipped gap bytes for one scatter
+// element.
+const deltaJoinGap = 8
+
+// maxDeltaPieces bounds a patch's scatter elements. Every piece pays the
+// vectored posting and per-piece chunking overheads, so a line shattered
+// into many small ranges (a scan touching one field per element, say) costs
+// more to patch than to re-ship whole. deltaPlan widens the join gap until
+// the patch fits the bound, trading re-shipped gap bytes for pieces, and
+// gives up on delta entirely when even that doesn't converge or no longer
+// saves real bytes.
+const maxDeltaPieces = 8
+
+// deltaPlan consumes the section's last-fetched snapshot of tag and plans
+// the dirty line's write-back. ranges nil = ship the full line; skip = the
+// bytes never actually changed, no write needed. The diff pass is charged
+// to the evicting thread as one codec encode over the line.
+func (r *Runtime) deltaPlan(clk *sim.Clock, s *sectionRT, o *objectRT, tag uint64, data []byte) (ranges []codec.Range, skip bool) {
+	if s.snaps == nil {
+		return nil, false
+	}
+	snap, ok := s.snaps[tag]
+	if !ok {
+		// NoFetch allocation or degraded write-allocate: no base to diff
+		// against — the full line is the only safe write.
+		return nil, false
+	}
+	delete(s.snaps, tag)
+	if (o != nil && len(o.selFields) > 0) || len(snap) != len(data) {
+		return nil, false
+	}
+	// Degraded mode: the write will park in the transport's overlay against
+	// a far node whose memory may have been crash-wiped. A full line
+	// restores it; a patch would assume surviving base bytes.
+	if r.tr.BreakerOpen(clk.Now()) {
+		return nil, false
+	}
+	clk.Advance(codec.DefaultCostModel().EncodeCost(len(data)))
+	rs := codec.DiffRanges(snap, data, deltaJoinGap)
+	if len(rs) == 0 {
+		r.wbqStats.DeltaSkipped++
+		return nil, true
+	}
+	for gap := deltaJoinGap * 4; len(rs) > maxDeltaPieces && gap <= len(data); gap *= 4 {
+		rs = codec.DiffRanges(snap, data, gap)
+	}
+	if len(rs) > maxDeltaPieces {
+		return nil, false
+	}
+	patch := 0
+	for _, rg := range rs {
+		patch += rg.Len
+	}
+	// A patch must save a solid majority of the line: each piece still pays
+	// its posting and chunking overheads, and a near-full patch loses the
+	// adjacency coalescing whole lines get in the drain.
+	if patch*4 > len(data)*3 {
+		return nil, false
+	}
+	r.wbqStats.DeltaLines++
+	r.wbqStats.DeltaSaved += int64(len(data) - patch)
+	return rs, false
 }
 
 // WritebackQueueStats reports the runtime-wide write-back queue counters.
@@ -86,8 +163,21 @@ func (r *Runtime) WritebackQueueStats() WbqStats { return r.wbqStats }
 // latency. With the queue disabled it falls back to issuing the write
 // immediately (the pre-pipeline behavior).
 func (r *Runtime) wbqEnqueue(clk *sim.Clock, s *sectionRT, o *objectRT, tag uint64, data []byte) error {
+	if owner := r.ownerOf(tag); owner != nil {
+		o = owner
+	}
+	ranges, skip := r.deltaPlan(clk, s, o, tag, data)
+	if skip {
+		return nil // dirty flag lied: the bytes match far memory exactly
+	}
 	if s.wbq == nil {
-		done, err := r.writebackLine(clk.Now(), o, tag, data)
+		var done sim.Time
+		var err error
+		if ranges != nil {
+			done, err = r.writebackPatch(clk.Now(), s, tag, data, ranges)
+		} else {
+			done, err = r.writebackLine(clk.Now(), o, tag, data)
+		}
 		if err != nil {
 			return err
 		}
@@ -96,14 +186,11 @@ func (r *Runtime) wbqEnqueue(clk *sim.Clock, s *sectionRT, o *objectRT, tag uint
 		}
 		return nil
 	}
-	if owner := r.ownerOf(tag); owner != nil {
-		o = owner
-	}
 	r.wbqStats.Enqueued++
 	if r.trc != nil {
 		r.trc.Instant(clk.Now(), "rt", "wbq.park", trace.S("section", s.spec.Cache.Name))
 	}
-	if s.wbq.add(tag, data, o) {
+	if s.wbq.add(tag, data, o, ranges) {
 		_, err := r.drainWbq(clk, s)
 		return err
 	}
@@ -122,43 +209,62 @@ func (r *Runtime) drainWbq(clk *sim.Clock, s *sectionRT) (sim.Time, error) {
 	var addrs []uint64
 	var pieces [][]byte
 	type taken struct {
-		tag  uint64
-		data []byte
-		o    *objectRT
+		tag uint64
+		e   wbqEntry
 	}
+	// Entries planned as patches while the link was healthy must re-expand
+	// to full lines when the drain lands in degraded mode: the write will
+	// park in the transport's overlay against a far node whose memory may
+	// have been crash-wiped, and a patch would merge over base bytes that
+	// no longer exist. The queue always carries the full line for exactly
+	// this reason.
+	degraded := r.tr.BreakerOpen(clk.Now())
 	var drained []taken
 	for _, tag := range tags {
-		data, o, ok := s.wbq.take(tag)
+		e, ok := s.wbq.take(tag)
 		if !ok {
 			continue
 		}
-		drained = append(drained, taken{tag, data, o})
-		if o != nil && len(o.selFields) > 0 {
-			sa, sz, offs := r.selectivePieces(o, tag, len(data))
+		drained = append(drained, taken{tag, e})
+		if e.o != nil && len(e.o.selFields) > 0 {
+			sa, sz, offs := r.selectivePieces(e.o, tag, len(e.data))
 			for i := range sa {
 				addrs = append(addrs, sa[i])
-				pieces = append(pieces, data[offs[i]:offs[i]+sz[i]])
+				pieces = append(pieces, e.data[offs[i]:offs[i]+sz[i]])
+			}
+			continue
+		}
+		if e.ranges != nil && !degraded {
+			// Delta write-back: only the changed ranges ship, each as a raw
+			// sub-range piece at its own sub-line address.
+			for _, rg := range e.ranges {
+				addrs = append(addrs, tag+uint64(rg.Off))
+				pieces = append(pieces, e.data[rg.Off:rg.Off+rg.Len])
 			}
 			continue
 		}
 		// Adjacent whole lines merge into one contiguous piece (one WR).
 		if n := len(addrs); n > 0 && addrs[n-1]+uint64(len(pieces[n-1])) == tag {
-			pieces[n-1] = append(pieces[n-1], data...)
+			pieces[n-1] = append(pieces[n-1], e.data...)
 			continue
 		}
 		addrs = append(addrs, tag)
-		pieces = append(pieces, data)
+		pieces = append(pieces, e.data)
 	}
 	if len(addrs) == 0 {
 		return clk.Now(), nil
 	}
 	clk.Advance(r.cfg.Net.VectoredPostCost(len(addrs)))
 	post := clk.Now()
+	if s.spec.Compress {
+		r.setCodec(codec.ByteRun)
+		defer r.setCodec(codec.None)
+	}
 	done, err := r.tr.ScatterWrite(post, addrs, pieces)
 	if err != nil {
 		// Re-park everything: the queued copies are the only copies.
 		for _, d := range drained {
-			s.wbq.add(d.tag, d.data, d.o)
+			s.wbq.add(d.tag, d.e.data, d.e.o, d.e.ranges)
 		}
 		return clk.Now(), fmt.Errorf("rt: write-back drain: %w", err)
 	}

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"mira/internal/cache"
+	"mira/internal/faults"
 	"mira/internal/sim"
+	"mira/internal/transport"
 )
 
 // wbqRuntime builds a runtime whose items section has a small direct-mapped
@@ -179,6 +181,113 @@ func TestWbqDisabledWritesBackOnEviction(t *testing.T) {
 	if !bytes.Equal(dump[3*64:3*64+8], w) {
 		t.Fatal("immediate write-back path lost the data")
 	}
+}
+
+// TestWbqDegradedDrainReExpandsPatches pins the delta write-back safety
+// rule: an entry planned as a patch while the link was healthy must ship as
+// the FULL line when the drain lands with the breaker open. The degraded
+// write parks in the transport's overlay against a far node whose memory
+// the crash wipes — a patch would merge over base bytes that no longer
+// exist. The queue carries the full line for exactly this re-expansion.
+func TestWbqDegradedDrainReExpandsPatches(t *testing.T) {
+	crash := sim.Time(200 * sim.Microsecond)
+	restart := sim.Time(400 * sim.Microsecond)
+	pol := transport.Policy{
+		MaxAttempts:      2,
+		BaseBackoff:      1 * sim.Microsecond,
+		MaxBackoff:       8 * sim.Microsecond,
+		DeadlineBase:     10 * sim.Microsecond,
+		DeadlineMult:     2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * sim.Microsecond,
+		JitterSeed:       7,
+	}
+	r, clk := mkRuntime(t, func(c *Config) {
+		c.Sections[0].Cache = cache.Config{Name: "items", Structure: cache.Direct, LineBytes: 128, SizeBytes: 1 << 10}
+		c.Sections[0].Compress = true
+		c.WritebackQueueLines = 16
+		c.Faults = &faults.Config{Seed: 7, Schedule: []faults.Event{
+			{At: crash, Kind: faults.Crash, LoseMemory: true},
+			{At: restart, Kind: faults.Restart},
+		}}
+		c.Resilience = &pol
+	})
+	data := make([]byte, 128*64)
+	for i := range data {
+		data[i] = byte(i%251) + 1
+	}
+	if err := r.InitObject("items", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: fetch the elems-2/3 line (the compressed section
+	// snapshots it), dirty two well-separated fields, and park the victim.
+	g := make([]byte, 8)
+	if err := r.Access(clk, "items", 2, fld(0, 8), g, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	w1 := []byte{0xE0, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7}
+	w2 := []byte{0xD0, 0xD1, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7}
+	if err := r.Access(clk, "items", 2, fld(0, 8), w1, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Access(clk, "items", 3, fld(0, 8), w2, true, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EvictHint(clk, "items", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Elem 18 is tag 1152 → the same direct slot as tag 128: evicts it.
+	if err := r.Access(clk, "items", 18, fld(0, 8), g, false, AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.WritebackQueueStats(); st.DeltaLines != 1 {
+		t.Fatalf("eviction did not plan a delta patch: %+v", st)
+	}
+	qb0 := r.NetStats().QueuedWritebacks
+
+	// Trip the breaker inside the crash window with failing demand reads.
+	clk.AdvanceTo(crash.Add(sim.Microsecond))
+	for i := int64(0); !r.tr.BreakerOpen(clk.Now()) && i < 16; i++ {
+		_ = r.Access(clk, "items", 32+2*i, fld(0, 8), g, false, AccessOpts{})
+	}
+	if !r.tr.BreakerOpen(clk.Now()) {
+		t.Fatal("breaker never opened inside the crash window")
+	}
+
+	// Degraded drain: the patch entry must re-expand to one full line.
+	if _, err := r.drainWbq(clk, r.secs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NetStats().QueuedWritebacks - qb0; got != 1 {
+		t.Fatalf("degraded drain queued %d overlay pieces, want 1 full line (a patch would queue 2)", got)
+	}
+
+	// Heal, flush the overlay into the wiped node, and check the line.
+	clk.AdvanceTo(restart.Add(5 * sim.Microsecond))
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := r.DumpObject("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data[128:256]...)
+	copy(want[0:], w1)
+	copy(want[64:], w2)
+	if !bytes.Equal(dump[128:256], want) {
+		t.Fatalf("far line after wipe+flush wrong at %d: a patch merged over wiped base bytes",
+			firstMismatch(dump[128:256], want))
+	}
+}
+
+func firstMismatch(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
 }
 
 // TestPrefetchInflightClearedOnEviction is the regression test for the

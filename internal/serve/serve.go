@@ -140,6 +140,11 @@ type Result struct {
 	Tenants []TenantResult
 	// Leases counts elastic-reclaim leases taken.
 	Leases int
+	// BytesOnWire sums what actually crossed every tenant pool's links
+	// (post-codec); BytesEffective adds back what the wire codecs saved.
+	// Equal when compression is off.
+	BytesOnWire    int64
+	BytesEffective int64
 }
 
 // failFastPolicy is the pool-member transport policy: replicas are the
@@ -319,6 +324,9 @@ func Run(specs []TenantSpec, opts Options) (*Result, error) {
 			tr.Dumps[o.Name] = dump
 		}
 		res.Tenants = append(res.Tenants, tr)
+		moved := t.rt.Link().BytesMoved()
+		res.BytesOnWire += moved
+		res.BytesEffective += moved + t.rt.NetStats().WireSaved
 	}
 	return res, nil
 }

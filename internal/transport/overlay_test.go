@@ -112,6 +112,112 @@ func TestOverlayDirectWriteSupersedesQueuedRange(t *testing.T) {
 	}
 }
 
+// Delta write-back ships a dirty line as patch-shaped ScatterWrite pieces
+// at sub-line addresses. When those land degraded they enqueue per piece,
+// and the overlay's non-overlap invariant must hold against a full-line
+// entry already queued for the same line: the newer patch bytes win inside
+// their ranges, the older full line survives everywhere else, and the drain
+// replays exactly one merged entry.
+func TestOverlayPatchPiecesMergeIntoQueuedFullLine(t *testing.T) {
+	tr, f := newFlakyT(testPolicy())
+	f.failures = 1 << 20 // node down: everything queues
+
+	// Older entry: a full 2 KB line (a degraded write-back re-expanded it).
+	if _, err := tr.WriteOneSided(0, 2048, rep(0xAA, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	// Newer patch: two sub-line pieces inside that line.
+	addrs := []uint64{2048 + 64, 2048 + 1024}
+	pieces := [][]byte{rep(0xBB, 8), rep(0xCC, 16)}
+	if _, err := tr.ScatterWrite(0, addrs, pieces); err != nil {
+		t.Fatal(err)
+	}
+
+	want := rep(0xAA, 2048)
+	copy(want[64:], rep(0xBB, 8))
+	copy(want[1024:], rep(0xCC, 16))
+
+	// The overlay must already serve the patched line (fully covered, so
+	// the read never touches the dead node).
+	buf := make([]byte, 2048)
+	if _, err := tr.ReadOneSided(0, 2048, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("overlay read missed patch bytes at %d", firstDiff(buf, want))
+	}
+
+	f.failures = 0
+	if _, err := tr.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	// The pieces patched the full-line entry in place: one merged entry
+	// drains, carrying the patch bytes inside the surviving base.
+	if !bytes.Equal(f.store[2048], want) {
+		t.Fatalf("drained line wrong at %d", firstDiff(f.store[2048], want))
+	}
+	if tr.PendingWritebacks() != 0 {
+		t.Fatalf("%d writebacks left queued", tr.PendingWritebacks())
+	}
+}
+
+// The mirror case: patch-shaped pieces queue first, then a full-line entry
+// for the same line lands (a later eviction re-expanded to the full line).
+// The newer full line must win everywhere — the older patch fragments patch
+// in place and the gaps between them fill in, so the drain reconstructs the
+// line with no stale bytes.
+func TestOverlayFullLineSupersedesQueuedPatchPieces(t *testing.T) {
+	tr, f := newFlakyT(testPolicy())
+	f.failures = 1 << 20
+
+	addrs := []uint64{2048 + 64, 2048 + 1024}
+	pieces := [][]byte{rep(0xBB, 8), rep(0xCC, 16)}
+	if _, err := tr.ScatterWrite(0, addrs, pieces); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteOneSided(0, 2048, rep(0xDD, 2048)); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 2048)
+	if _, err := tr.ReadOneSided(0, 2048, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, rep(0xDD, 2048)) {
+		t.Fatalf("overlay read leaked stale patch bytes at %d", firstDiff(buf, rep(0xDD, 2048)))
+	}
+
+	f.failures = 0
+	if _, err := tr.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	// The drain may replay the line as several non-overlapping fragments
+	// (patched pieces plus gap fills); reassembled they must be uniform.
+	got := make([]byte, 2048)
+	for addr, b := range f.store {
+		if addr < 2048 || addr+uint64(len(b)) > 4096 {
+			t.Fatalf("drain wrote outside the line: %d+%d", addr, len(b))
+		}
+		copy(got[addr-2048:], b)
+	}
+	if !bytes.Equal(got, rep(0xDD, 2048)) {
+		t.Fatalf("reassembled line has stale bytes at %d", firstDiff(got, rep(0xDD, 2048)))
+	}
+	if tr.PendingWritebacks() != 0 {
+		t.Fatalf("%d writebacks left queued", tr.PendingWritebacks())
+	}
+}
+
+// firstDiff returns the first index where a and b differ, or -1.
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
 // A network read whose range is only partially covered by the overlay must
 // still reflect the queued bytes — and must do so even though its own
 // success drains the queue.

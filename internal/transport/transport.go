@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"mira/internal/codec"
 	"mira/internal/farmem"
 	"mira/internal/netmodel"
 	"mira/internal/sim"
@@ -119,6 +120,13 @@ type Stats struct {
 	Batches       int64
 	BatchedPieces int64
 	BatchHist     [BatchHistBuckets]int64
+
+	// Wire-codec counters (zero unless a codec is installed): successful
+	// ops whose payload shipped encoded, and the raw-minus-encoded bytes
+	// the codec kept off the wire. BytesMoved counts encoded (wire) bytes,
+	// so effective bytes = BytesMoved + WireSaved.
+	CodecOps  int64
+	WireSaved int64
 }
 
 // BatchHistBuckets is the number of power-of-two batch-size histogram
@@ -156,6 +164,8 @@ func (s *Stats) Add(o Stats) {
 	for i := range s.BatchHist {
 		s.BatchHist[i] += o.BatchHist[i]
 	}
+	s.CodecOps += o.CodecOps
+	s.WireSaved += o.WireSaved
 }
 
 // T is a transport endpoint on the compute node.
@@ -172,7 +182,14 @@ type T struct {
 	consecFails int
 	open        bool
 	openUntil   sim.Time
-	queued      map[uint64][]byte
+	// wireCodec, when not None, makes every data payload ship in encoded
+	// form: bandwidth is charged for the encoded bytes and the codec CPU
+	// time (wireCost) is added to the op's completion. Data at rest on the
+	// far node stays raw — the end-to-end checksum covers the decoded
+	// bytes, so injected bit flips are caught exactly as without a codec.
+	wireCodec codec.ID
+	wireCost  codec.CostModel
+	queued    map[uint64][]byte
 	// queuedAddrs mirrors queued's keys in ascending order, maintained
 	// incrementally on enqueue/dequeue so the drain and overlay-read paths
 	// never rebuild and re-sort the key set.
@@ -198,14 +215,107 @@ func New(node *farmem.Node, cfg netmodel.Config) *T {
 // NewWithPolicy builds a transport with an explicit resilience policy.
 func NewWithPolicy(node *farmem.Node, cfg netmodel.Config, pol Policy) *T {
 	return &T{
-		Node:   node,
-		Cfg:    cfg,
-		BW:     netmodel.NewBandwidth(cfg),
-		be:     nodeBackend{node: node},
-		pol:    pol,
-		rng:    sim.NewRNG(pol.JitterSeed),
-		queued: make(map[uint64][]byte),
+		Node:     node,
+		Cfg:      cfg,
+		BW:       netmodel.NewBandwidth(cfg),
+		be:       nodeBackend{node: node},
+		pol:      pol,
+		rng:      sim.NewRNG(pol.JitterSeed),
+		wireCost: codec.DefaultCostModel(),
+		queued:   make(map[uint64][]byte),
 	}
+}
+
+// SetWireCodec selects the wire codec for subsequent data operations (None
+// disables it — the zero-cost default). The runtime flips it per section
+// around each remote op, so per-section compression rides one shared link.
+func (t *T) SetWireCodec(id codec.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wireCodec = id
+}
+
+// WireCodec reports the active wire codec.
+func (t *T) WireCodec() codec.ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wireCodec
+}
+
+// SetCodecCost replaces the codec CPU cost model.
+func (t *T) SetCodecCost(m codec.CostModel) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wireCost = m
+}
+
+// wireLen reports the bytes payload occupies on the wire under the active
+// codec and the codec CPU time (far-side encode + near-side decode) to add
+// to the op's completion, updating the codec counters. Callers invoke it
+// exactly once per successful op, after every failure check, so retries do
+// not double-count. With no codec installed it is the identity: raw length,
+// zero time, zero counter traffic.
+func (t *T) wireLen(payload []byte) (int, sim.Duration) {
+	t.mu.Lock()
+	id, m := t.wireCodec, t.wireCost
+	t.mu.Unlock()
+	if id == codec.None {
+		return len(payload), 0
+	}
+	w := codec.EncodedLen(id, payload)
+	t.mu.Lock()
+	t.stats.CodecOps++
+	t.stats.WireSaved += int64(len(payload) - w)
+	t.mu.Unlock()
+	return w, m.EncodeCost(len(payload)) + m.DecodeCost(len(payload))
+}
+
+// wireLenVec is wireLen over a concatenated vectored payload: each piece is
+// encoded independently (vectored messages carry per-piece encoded sizes
+// and codec IDs), so a compressible line never pays for an incompressible
+// neighbor in the same doorbell batch.
+func (t *T) wireLenVec(data []byte, sizes []int) (int, sim.Duration) {
+	t.mu.Lock()
+	id, m := t.wireCodec, t.wireCost
+	t.mu.Unlock()
+	if id == codec.None {
+		return len(data), 0
+	}
+	total, raw, off := 0, 0, 0
+	for _, s := range sizes {
+		total += codec.EncodedLen(id, data[off:off+s])
+		raw += s
+		off += s
+	}
+	t.mu.Lock()
+	t.stats.CodecOps++
+	t.stats.WireSaved += int64(raw - total)
+	t.mu.Unlock()
+	return total, m.EncodeCost(raw) + m.DecodeCost(raw)
+}
+
+// wireLenPieces is wireLenVec for scatter-shaped payloads.
+func (t *T) wireLenPieces(pieces [][]byte) (int, sim.Duration) {
+	t.mu.Lock()
+	id, m := t.wireCodec, t.wireCost
+	t.mu.Unlock()
+	if id == codec.None {
+		n := 0
+		for _, p := range pieces {
+			n += len(p)
+		}
+		return n, 0
+	}
+	total, raw := 0, 0
+	for _, p := range pieces {
+		total += codec.EncodedLen(id, p)
+		raw += len(p)
+	}
+	t.mu.Lock()
+	t.stats.CodecOps++
+	t.stats.WireSaved += int64(raw - total)
+	t.mu.Unlock()
+	return total, m.EncodeCost(raw) + m.DecodeCost(raw)
 }
 
 // SetBackend interposes a different far-node backend — the fault injector's
@@ -676,7 +786,8 @@ func (t *T) drainOnce(at sim.Time) {
 		}
 		_, err := t.be.Write(at, addr, data)
 		if err == nil {
-			t.BW.Acquire(at, len(data))
+			wlen, _ := t.wireLen(data) // async drain: bandwidth only, no caller timeline
+			t.BW.Acquire(at, wlen)
 			t.mu.Lock()
 			t.dequeueLocked(addr)
 			t.stats.DrainedWritebacks++
@@ -723,8 +834,9 @@ func (t *T) Flush(now sim.Time) (sim.Time, error) {
 			if t.timedOut(base, extra) {
 				return 0, ErrTimeout
 			}
-			wireEnd := t.BW.Acquire(at, len(data))
-			return wireEnd.Add(t.latencyOneSided(len(data))).Add(extra), nil
+			wlen, cpu := t.wireLen(data)
+			wireEnd := t.BW.Acquire(at, wlen)
+			return wireEnd.Add(t.latencyOneSided(len(data))).Add(extra).Add(cpu), nil
 		}, nil)
 		if err != nil {
 			t.enqueueWrite(addr, data)
@@ -766,8 +878,9 @@ func (t *T) ReadOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, error
 		t.mu.Lock()
 		t.overlayReadLocked(addr, buf)
 		t.mu.Unlock()
-		wireEnd := t.BW.Acquire(at, len(buf))
-		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra), nil
+		wlen, cpu := t.wireLen(buf)
+		wireEnd := t.BW.Acquire(at, wlen)
+		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra).Add(cpu), nil
 	}, nil)
 }
 
@@ -786,8 +899,9 @@ func (t *T) WriteOneSided(now sim.Time, addr uint64, buf []byte) (sim.Time, erro
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
-		wireEnd := t.BW.Acquire(at, len(buf))
-		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra), nil
+		wlen, cpu := t.wireLen(buf)
+		wireEnd := t.BW.Acquire(at, wlen)
+		return wireEnd.Add(t.latencyOneSided(len(buf))).Add(extra).Add(cpu), nil
 	}, func(at sim.Time) (sim.Time, bool) {
 		t.enqueueWrite(addr, buf)
 		return at, true
@@ -825,8 +939,9 @@ func (t *T) GatherTwoSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 		// reply must reflect queued writes the node hasn't seen yet.
 		t.patchFromQueue(addrs, sizes, d)
 		data = d
-		wireEnd := t.BW.Acquire(at, len(d))
-		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra), nil
+		wlen, cpu := t.wireLenVec(d, sizes)
+		wireEnd := t.BW.Acquire(at, wlen)
+		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra).Add(cpu), nil
 	}, nil)
 	if err != nil {
 		return nil, end, err
@@ -895,8 +1010,9 @@ func (t *T) ScatterTwoSided(now sim.Time, addrs []uint64, pieces [][]byte) (sim.
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
-		wireEnd := t.BW.Acquire(at, total)
-		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra), nil
+		wlen, cpu := t.wireLenPieces(pieces)
+		wireEnd := t.BW.Acquire(at, wlen)
+		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra).Add(cpu), nil
 	}, func(at sim.Time) (sim.Time, bool) {
 		for i := range addrs {
 			t.enqueueWrite(addrs[i], pieces[i])
@@ -951,9 +1067,10 @@ func (t *T) GatherOneSided(now sim.Time, addrs []uint64, sizes []int) ([]byte, s
 		// reply must reflect queued writes the node hasn't seen yet.
 		t.patchFromQueue(addrs, sizes, d)
 		data = d
-		wireEnd := t.BW.Acquire(at, len(d))
+		wlen, cpu := t.wireLenVec(d, sizes)
+		wireEnd := t.BW.Acquire(at, wlen)
 		t.noteBatch(len(addrs))
-		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra), nil
+		return wireEnd.Add(base - t.Cfg.WireTime(len(d))).Add(extra).Add(cpu), nil
 	}, nil)
 	if err != nil {
 		return nil, end, err
@@ -985,9 +1102,10 @@ func (t *T) ScatterWrite(now sim.Time, addrs []uint64, pieces [][]byte) (sim.Tim
 		if t.timedOut(base, extra) {
 			return 0, ErrTimeout
 		}
-		wireEnd := t.BW.Acquire(at, total)
+		wlen, cpu := t.wireLenPieces(pieces)
+		wireEnd := t.BW.Acquire(at, wlen)
 		t.noteBatch(len(addrs))
-		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra), nil
+		return wireEnd.Add(base - t.Cfg.WireTime(total)).Add(extra).Add(cpu), nil
 	}, func(at sim.Time) (sim.Time, bool) {
 		for i := range addrs {
 			t.enqueueWrite(addrs[i], pieces[i])

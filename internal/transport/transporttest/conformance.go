@@ -10,7 +10,9 @@ import (
 	"errors"
 	"testing"
 
+	"mira/internal/codec"
 	"mira/internal/farmem"
+	"mira/internal/netmodel"
 	"mira/internal/sim"
 	"mira/internal/transport"
 )
@@ -41,6 +43,10 @@ type Factory func(t *testing.T) Instance
 //   - Call of an unregistered procedure fails with farmem.ErrUnknownProc;
 //     a registered procedure executes with far-memory access and its
 //     compute time is scaled by the node's CPU slowdown.
+//   - With a wire codec installed on the transport above it, a bit flipped
+//     in a read reply is still caught by the checksum — which covers the
+//     decoded payload, not the wire-accounted bytes — and the retried
+//     operation replays identically.
 //   - Two instances from the same factory replay an identical operation
 //     sequence identically (checksums, payloads, injected extra delay) —
 //     the determinism clause that makes fault schedules bisectable.
@@ -155,6 +161,51 @@ func Conformance(t *testing.T, mk Factory) {
 		}
 	})
 
+	t.Run("CodecCRCOverDecodedBytes", func(t *testing.T) {
+		// With a wire codec active, the end-to-end checksum still covers
+		// the DECODED payload: a bit flipped in a reply is detected and
+		// retried even though the wire accounting saw compressed bytes.
+		// The codec is a cost model, not a framing change — corruption
+		// detection must be unaffected by it.
+		run := func() (transport.Stats, sim.Time, []byte) {
+			in := mk(t)
+			flip := &bitFlipBackend{Backend: in.Backend}
+			tr := transport.NewWithPolicy(in.Node, netmodel.DefaultConfig(), transport.DefaultPolicy())
+			tr.SetBackend(flip)
+			tr.SetWireCodec(codec.ByteRun)
+			addr := mustAlloc(t, in.Node, 512)
+			want := bytes.Repeat([]byte{0xAB}, 512) // compressible: the codec engages
+			if _, err := tr.WriteOneSided(0, addr, want); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			flip.flips = 1
+			got := make([]byte, 512)
+			end, err := tr.ReadOneSided(sim.Time(sim.Microsecond), addr, got)
+			if err != nil {
+				t.Fatalf("read did not survive a single bit flip: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("retried read delivered corrupt bytes")
+			}
+			return tr.Stats(), end, got
+		}
+		s1, end1, p1 := run()
+		if s1.Corruptions == 0 {
+			t.Fatalf("bit flip not detected by the decoded-bytes checksum: %+v", s1)
+		}
+		if s1.Retries == 0 {
+			t.Fatalf("detected corruption was not retried: %+v", s1)
+		}
+		if s1.WireSaved == 0 || s1.CodecOps == 0 {
+			t.Fatalf("wire codec never engaged (WireSaved=%d CodecOps=%d)", s1.WireSaved, s1.CodecOps)
+		}
+		// The corrupted-then-retried op must replay identically.
+		s2, end2, p2 := run()
+		if s1 != s2 || end1 != end2 || !bytes.Equal(p1, p2) {
+			t.Fatalf("corrupted read replayed differently: %+v @ %v vs %+v @ %v", s1, end1, s2, end2)
+		}
+	})
+
 	t.Run("DeterministicReplay", func(t *testing.T) {
 		run := func() (sums []uint32, extras []sim.Duration, payload []byte) {
 			in := mk(t)
@@ -188,6 +239,23 @@ func Conformance(t *testing.T, mk Factory) {
 			t.Fatalf("replay delivered different final payloads")
 		}
 	})
+}
+
+// bitFlipBackend delegates to the wrapped backend and flips one bit in the
+// next `flips` successful Read replies — after the backend computed its
+// checksum, so the mismatch models on-the-wire corruption.
+type bitFlipBackend struct {
+	transport.Backend
+	flips int
+}
+
+func (b *bitFlipBackend) Read(at sim.Time, addr uint64, buf []byte) (uint32, sim.Duration, error) {
+	sum, extra, err := b.Backend.Read(at, addr, buf)
+	if err == nil && b.flips > 0 {
+		b.flips--
+		buf[len(buf)/2] ^= 0x40
+	}
+	return sum, extra, err
 }
 
 func mustAlloc(t *testing.T, n *farmem.Node, size uint64) uint64 {

@@ -185,6 +185,15 @@ type ClusterOptions = cluster.Options
 // (RunResult.Cluster, ordered by node ID).
 type ClusterNodeStats = cluster.NodeStats
 
+// TierConfig puts a simulated SSD capacity tier under each cluster node's
+// DRAM (RunOptions.Tier): hot granules stay in DRAM, cold ones demote to
+// flash and promote back on access, paying the tier's promotion latency.
+type TierConfig = cluster.TierConfig
+
+// TierStats reports one node's capacity-tier counters
+// (ClusterNodeStats.Tier).
+type TierStats = cluster.TierStats
+
 // ClusterResiliencePolicy returns the per-node transport policy suited to a
 // replicated pool: members fail fast and the pool's replicas are the retry —
 // transport-internal persistence would only delay failover.
