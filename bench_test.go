@@ -800,6 +800,89 @@ func TestBenchCompress(t *testing.T) {
 	}
 }
 
+// ---- Hybrid data-plane race (BENCH_hybrid.json) ----
+
+// hybridRunRecord is one (app, plane mode) measurement.
+type hybridRunRecord struct {
+	SimTimeNs  int64             `json:"sim_time_ns"`
+	SimTime    string            `json:"sim_time"`
+	Messages   int64             `json:"messages"`
+	BytesMoved int64             `json:"bytes_moved"`
+	Planes     map[string]string `json:"planes"` // object -> local | line | page
+}
+
+func hybridMeasure(t *testing.T, w Workload, mode string) hybridRunRecord {
+	t.Helper()
+	res, err := Run(SystemMira, w, RunOptions{
+		Budget: int64(float64(w.FullMemoryBytes()) * 0.25),
+		Verify: true,
+		Plane:  mode,
+	})
+	if err != nil {
+		t.Fatalf("%s plane=%s: %v", w.Name(), mode, err)
+	}
+	rec := hybridRunRecord{
+		SimTimeNs:  int64(res.Time),
+		SimTime:    res.Time.String(),
+		Messages:   res.Messages,
+		BytesMoved: res.BytesMoved,
+	}
+	if res.PlanResult != nil {
+		rec.Planes = res.PlanResult.Planes
+	}
+	return rec
+}
+
+// TestBenchHybrid races the three plane modes {page, line, hybrid} across
+// every app at 25% local memory (all verified against the native oracle) and
+// emits BENCH_hybrid.json for future PRs to diff. Gate: hybrid must match or
+// beat both pure planes on every app — its baseline IS the page arm's run and
+// its line candidate is built by the same helper as the line arm's, so the
+// planner keeps whichever wins and a loss here means the race leaked state
+// between arms. CI runs this twice and byte-compares the JSON (hybrid-smoke).
+func TestBenchHybrid(t *testing.T) {
+	apps := []Workload{
+		NewSeqScanWorkload(SeqScanConfig{}),
+		NewStrideScanWorkload(StrideScanConfig{}),
+		NewGraphWorkload(GraphConfig{Edges: 8192, Nodes: 1024, Passes: 3, Seed: 7}),
+		NewDataFrameWorkload(DataFrameConfig{}),
+		NewGPT2Workload(GPT2Config{Layers: 2, DModel: 32, DFF: 128, SeqLen: 8, Seed: 11}),
+	}
+	modes := []string{"page", "line", "hybrid"}
+
+	out := map[string]map[string]hybridRunRecord{}
+	for _, w := range apps {
+		perMode := map[string]hybridRunRecord{}
+		for _, mode := range modes {
+			rec := hybridMeasure(t, w, mode)
+			perMode[mode] = rec
+			t.Logf("%s plane=%s: %s, %d messages, %d bytes, planes %v",
+				w.Name(), mode, rec.SimTime, rec.Messages, rec.BytesMoved, rec.Planes)
+		}
+		out[w.Name()] = perMode
+
+		h, p, l := perMode["hybrid"], perMode["page"], perMode["line"]
+		if h.SimTimeNs > p.SimTimeNs || h.SimTimeNs > l.SimTimeNs {
+			t.Errorf("%s: hybrid (%s) loses to page (%s) or line (%s)",
+				w.Name(), h.SimTime, p.SimTime, l.SimTime)
+		}
+	}
+
+	doc := map[string]any{
+		"description":  "Hybrid data-plane race: mira-run -plane {page,line,hybrid} at 25% local memory. page = everything on the kernel-paging plane, line = everything cacheable on runtime line sections, hybrid = planner races both and keeps a per-object split. Regenerate with: go test -run TestBenchHybrid .",
+		"mem_fraction": 0.25,
+		"modes":        modes,
+		"apps":         out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_hybrid.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // bytesEqual avoids importing bytes just for the dump comparison.
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"mira"
 )
@@ -75,11 +76,7 @@ func buildWorkload(app string) (mira.Workload, error) {
 // simulated threads. Two runs with identical flags produce byte-identical
 // traces — the interleaving is fully determined by (virtual time, tid).
 func runMultithreaded(w mira.Workload, budget int64, app, system string, mem float64,
-	threads int, privateSections bool, traceOut, metricsOut string, withFaults, withNodes bool) {
-	if withFaults || withNodes {
-		fmt.Fprintln(os.Stderr, "mira-run: -threads cannot combine with -faults or -nodes")
-		os.Exit(2)
-	}
+	threads int, privateSections bool, traceOut, metricsOut string) {
 	var mode mira.MTMode
 	switch system {
 	case "mira":
@@ -128,6 +125,7 @@ func main() {
 	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
 	batch := flag.Bool("batch", true, "vectored remote I/O: doorbell-batched prefetch and async write-back (false = PR 2 data path)")
 	compress := flag.String("compress", "off", "wire compression for mira/mira-swap: off, on (every section + swap), auto (planner measures per section)")
+	plane := flag.String("plane", "", "mira data-plane mode: page (swap only), line (cache sections only), hybrid (planner races both + a per-object split); empty = classic planning")
 	tierDRAM := flag.Int64("tier-dram", 0, "with -nodes: per-node DRAM budget in bytes; the rest of each node's data lives on a simulated SSD tier (0 = no tier)")
 	wbq := flag.Int("wbq", 0, "async write-back queue bound in lines (0 = default, negative = disabled)")
 	aifmChunk := flag.Int64("aifm-chunk", 0, "AIFM remotable-object granularity in bytes (0 = per-element array library)")
@@ -152,21 +150,32 @@ func main() {
 		os.Exit(2)
 	}
 	budget := int64(float64(w.FullMemoryBytes()) * *mem)
+	rf := runFlags{
+		System:         *system,
+		Plane:          *plane,
+		Compress:       *compress,
+		Prefetch:       *prefetchPol,
+		PrefetchWindow: *prefetchWin,
+		Threads:        *threads,
+		Nodes:          *nodes,
+		TierDRAM:       *tierDRAM,
+		Faults:         *faultsName,
+		Set:            map[string]bool{},
+	}
+	flag.Visit(func(f *flag.Flag) { rf.Set[f.Name] = true })
+	if err := validateFlags(rf); err != nil {
+		fmt.Fprintf(os.Stderr, "mira-run: %v\n", err)
+		os.Exit(2)
+	}
 	// An explicit -threads 1 still runs the multithreaded driver (a
 	// one-thread group on the scheduler), so thread sweeps compare one
 	// driver with itself; without the flag, 1 means the classic run path.
-	threadsSet := false
-	flag.Visit(func(f *flag.Flag) { threadsSet = threadsSet || f.Name == "threads" })
-	if *threads > 1 || (threadsSet && *threads == 1) {
-		if *prefetchPol != "" {
-			fmt.Fprintln(os.Stderr, "mira-run: -prefetch does not combine with -threads")
-			os.Exit(2)
-		}
+	if rf.threadsActive() {
 		runMultithreaded(w, budget, *app, *system, *mem, *threads, *privateSections,
-			*traceOut, *metricsOut, *faultsName != "", *nodes > 0)
+			*traceOut, *metricsOut)
 		return
 	}
-	opts := mira.RunOptions{Budget: budget, Verify: *verify}
+	opts := mira.RunOptions{Budget: budget, Verify: *verify, Plane: *plane}
 	if *prefetchPol != "" {
 		opts.Prefetch = &mira.PrefetchSpec{Policy: *prefetchPol, Window: *prefetchWin}
 	}
@@ -174,13 +183,7 @@ func main() {
 	opts.WritebackQueueLines = *wbq
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
-	switch *compress {
-	case "off", "on", "auto":
-		opts.Compress = *compress
-	default:
-		fmt.Fprintf(os.Stderr, "mira-run: unknown -compress mode %q (off, on, auto)\n", *compress)
-		os.Exit(2)
-	}
+	opts.Compress = *compress
 	if *nodes > 0 {
 		opts.Nodes = *nodes
 		opts.Replicas = *replicas
@@ -191,9 +194,6 @@ func main() {
 		if *tierDRAM > 0 {
 			opts.Tier = &mira.TierConfig{DRAMBytes: uint64(*tierDRAM)}
 		}
-	} else if *tierDRAM > 0 {
-		fmt.Fprintln(os.Stderr, "mira-run: -tier-dram requires -nodes (the SSD tier lives under each cluster node's DRAM)")
-		os.Exit(2)
 	}
 	if *faultsName != "" && *faultsName != "none" {
 		// Dry run fault-free to learn the run length, so the schedule's
@@ -262,6 +262,18 @@ func main() {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
 			len(res.PlanResult.Iterations), len(res.PlanResult.Config.Sections))
+		if planes := res.PlanResult.Planes; len(planes) > 0 {
+			names := make([]string, 0, len(planes))
+			for name := range planes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Printf("  planes (%s):", *plane)
+			for _, name := range names {
+				fmt.Printf(" %s=%s", name, planes[name])
+			}
+			fmt.Println()
+		}
 	}
 	if opts.Prefetch != nil {
 		pf := res.Prefetch

@@ -1,0 +1,81 @@
+package main
+
+import "fmt"
+
+// runFlags collects the parsed flag values that constrain each other, plus
+// the set of flag names the user passed explicitly (flag.Visit) — several
+// combinations are only wrong when a flag was actually spelled out, not
+// when it sits at its default.
+type runFlags struct {
+	System         string
+	Plane          string
+	Compress       string
+	Prefetch       string
+	PrefetchWindow int
+	Threads        int
+	Nodes          int
+	TierDRAM       int64
+	Faults         string
+	Set            map[string]bool
+}
+
+func (f runFlags) set(name string) bool { return f.Set[name] }
+
+// threadsActive mirrors main's dispatch: an explicit -threads 1 still runs
+// the multithreaded driver, so it constrains like any other thread count.
+func (f runFlags) threadsActive() bool { return f.Threads > 1 || f.set("threads") }
+
+// validateFlags rejects contradictory flag combinations with one clear
+// message each, before any simulation runs. Every rule here is also the
+// documentation of what composes with what.
+func validateFlags(f runFlags) error {
+	switch f.Compress {
+	case "", "off", "on", "auto":
+	default:
+		return fmt.Errorf("unknown -compress mode %q (off, on, auto)", f.Compress)
+	}
+	switch f.Plane {
+	case "", "page", "line", "hybrid":
+	default:
+		return fmt.Errorf("unknown -plane mode %q (page, line, hybrid)", f.Plane)
+	}
+	if f.Plane != "" {
+		if f.System != "mira" {
+			return fmt.Errorf("-plane selects mira's data plane; system %q has only one (use -system mira)", f.System)
+		}
+		if f.Prefetch != "" {
+			return fmt.Errorf("-plane and -prefetch are mutually exclusive: zoo policies pick their own plane")
+		}
+		if f.threadsActive() {
+			return fmt.Errorf("-plane does not combine with -threads (the multithreaded driver plans its own sections)")
+		}
+		if f.Nodes > 0 {
+			return fmt.Errorf("-plane uses the unified hybrid layout, which is single-node (drop -nodes)")
+		}
+	}
+	if f.set("prefetch-window") && f.Prefetch == "" {
+		return fmt.Errorf("-prefetch-window tunes a zoo policy; pass -prefetch as well")
+	}
+	if f.Prefetch != "" && f.threadsActive() {
+		return fmt.Errorf("-prefetch does not combine with -threads")
+	}
+	if f.threadsActive() {
+		if f.Faults != "" && f.Faults != "none" {
+			return fmt.Errorf("-threads cannot combine with -faults")
+		}
+		if f.Nodes > 0 {
+			return fmt.Errorf("-threads cannot combine with -nodes")
+		}
+	}
+	if f.Nodes <= 0 {
+		if f.TierDRAM > 0 {
+			return fmt.Errorf("-tier-dram requires -nodes (the SSD tier lives under each cluster node's DRAM)")
+		}
+		for _, name := range []string{"replicas", "stripe", "fault-node"} {
+			if f.set(name) {
+				return fmt.Errorf("-%s only applies in cluster mode; pass -nodes as well", name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func flags(mutate func(*runFlags)) runFlags {
+	f := runFlags{System: "mira", Compress: "off", Threads: 1, Set: map[string]bool{}}
+	if mutate != nil {
+		mutate(&f)
+	}
+	return f
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*runFlags)
+		wantErr string // "" = must pass
+	}{
+		{"defaults", nil, ""},
+		{"bad-compress", func(f *runFlags) { f.Compress = "gzip" }, "-compress"},
+		{"bad-plane", func(f *runFlags) { f.Plane = "both" }, "-plane"},
+		{"plane-hybrid-ok", func(f *runFlags) { f.Plane = "hybrid" }, ""},
+		{"plane-page-ok", func(f *runFlags) { f.Plane = "page" }, ""},
+		{"plane-wrong-system", func(f *runFlags) { f.Plane = "hybrid"; f.System = "fastswap" }, "-plane"},
+		{"plane-with-prefetch", func(f *runFlags) { f.Plane = "line"; f.Prefetch = "leap" }, "mutually exclusive"},
+		{"plane-with-threads", func(f *runFlags) { f.Plane = "hybrid"; f.Threads = 4 }, "-threads"},
+		{"plane-with-threads-1", func(f *runFlags) { f.Plane = "hybrid"; f.Set["threads"] = true }, "-threads"},
+		{"plane-with-nodes", func(f *runFlags) { f.Plane = "hybrid"; f.Nodes = 4 }, "single-node"},
+		{"window-without-prefetch", func(f *runFlags) { f.PrefetchWindow = 32; f.Set["prefetch-window"] = true }, "-prefetch"},
+		{"window-with-prefetch-ok", func(f *runFlags) {
+			f.Prefetch = "programmed"
+			f.PrefetchWindow = 32
+			f.Set["prefetch-window"] = true
+		}, ""},
+		{"window-default-ok", func(f *runFlags) { f.PrefetchWindow = 0 }, ""},
+		{"prefetch-with-threads", func(f *runFlags) { f.Prefetch = "leap"; f.Threads = 2 }, "-threads"},
+		{"threads-with-faults", func(f *runFlags) { f.Threads = 4; f.Faults = "crash" }, "-faults"},
+		{"threads-faults-none-ok", func(f *runFlags) { f.Threads = 4; f.Faults = "none" }, ""},
+		{"threads-with-nodes", func(f *runFlags) { f.Threads = 4; f.Nodes = 2 }, "-nodes"},
+		{"tier-without-nodes", func(f *runFlags) { f.TierDRAM = 1 << 20 }, "-nodes"},
+		{"tier-with-nodes-ok", func(f *runFlags) { f.TierDRAM = 1 << 20; f.Nodes = 2 }, ""},
+		{"replicas-without-nodes", func(f *runFlags) { f.Set["replicas"] = true }, "-nodes"},
+		{"stripe-without-nodes", func(f *runFlags) { f.Set["stripe"] = true }, "-nodes"},
+		{"faultnode-without-nodes", func(f *runFlags) { f.Set["fault-node"] = true }, "-nodes"},
+		{"replicas-with-nodes-ok", func(f *runFlags) { f.Set["replicas"] = true; f.Nodes = 3 }, ""},
+	}
+	for _, c := range cases {
+		err := validateFlags(flags(c.mutate))
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: invalid combination accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -109,6 +109,10 @@ type Options struct {
 	// cluster node's DRAM (hot granules in DRAM, cold ones demoted to
 	// flash and promoted back on access). Requires Nodes > 0.
 	Tier *cluster.TierConfig
+	// Plane selects Mira's data-plane mode ("page", "line", or "hybrid" —
+	// see planner.Options.Plane). Mira-only, single-node, and mutually
+	// exclusive with Prefetch: the zoo policies pick their own plane.
+	Plane string
 }
 
 // wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
@@ -210,6 +214,17 @@ func (o Options) withDefaults() Options {
 // Run executes w on sys.
 func Run(sys System, w workload.Workload, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.Plane != "" {
+		if sys != Mira {
+			return Result{}, fmt.Errorf("harness: -plane selects Mira's data plane; %s has only one", sys)
+		}
+		if opts.Prefetch != nil {
+			return Result{}, fmt.Errorf("harness: -plane and -prefetch are mutually exclusive (zoo policies pick their own plane)")
+		}
+		if opts.Nodes > 0 {
+			return Result{}, fmt.Errorf("harness: -plane uses the unified hybrid layout, which is single-node (drop -nodes)")
+		}
+	}
 	if opts.Prefetch != nil {
 		switch sys {
 		case Mira:
@@ -325,6 +340,9 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 	}
 	if sys == MiraSwap {
 		popts.DisableSeparation = true
+	}
+	if opts.Plane != "" {
+		popts.Plane = opts.Plane
 	}
 	popts.WritebackQueueLines = opts.wbqLines()
 	if opts.Compress != "" {

@@ -72,6 +72,14 @@ type Options struct {
 	// of a single node. Planning itself is offline and fault-free: any
 	// per-node fault schedules belong to the final run, not here.
 	Cluster *cluster.Options
+	// Plane selects the data-plane mode: "" leaves the classic flow alone,
+	// "page" serves everything from the paged swap plane, "line" forces the
+	// line-granular section plan, and "hybrid" races both and a per-object
+	// classified split (dense sequential/strided objects paged, sparse ones
+	// line-cached), accepting only improvements. All three modes plan on
+	// the unified hybrid heap layout (rt.Config.Hybrid), so a mid-run
+	// MigrateObject can move any far object between the planes.
+	Plane string
 	// Trace, when non-nil, records per-iteration planner spans (scope,
 	// section count, accept/rollback) into the run's trace. The timing
 	// runs inside each iteration are NOT individually instrumented — the
@@ -129,6 +137,10 @@ type Result struct {
 	Iterations []Iteration
 	// Report is the last analysis report (informational).
 	Report *analysis.Report
+	// Planes maps each object to the data plane the accepted configuration
+	// serves it from ("page", "line", or "local"). Set only when
+	// Options.Plane selected a plane mode.
+	Planes map[string]string
 }
 
 // Plan runs the full iterative flow for one workload.
@@ -138,6 +150,14 @@ func Plan(w Workload, opts Options) (*Result, error) {
 	case "", "off", "on", "auto":
 	default:
 		return nil, fmt.Errorf("planner: unknown Compress mode %q (want off, on, or auto)", opts.Compress)
+	}
+	if err := validatePlane(opts); err != nil {
+		return nil, err
+	}
+	if opts.Plane == "page" {
+		// Pure-page is the swap-only baseline on the hybrid layout; there
+		// is nothing for the structural iterations to improve.
+		opts.DisableSeparation = true
 	}
 	if opts.LocalBudget <= 0 {
 		// Default to half the workload's far footprint — the common
@@ -178,6 +198,20 @@ func Plan(w Workload, opts Options) (*Result, error) {
 		if opts.Compress == "auto" {
 			compressAuto(w, res, opts, ptrc, cursor)
 		}
+		if opts.Plane != "" {
+			res.Planes = planeAssignment(prog, res.Config)
+		}
+		return res, nil
+	}
+	if opts.Plane != "" {
+		// Plane modes replace the structural iterations: race the line
+		// candidate (and hybrid's classified split) against the page
+		// baseline, then let compression tune whichever plane split won.
+		cursor = planeRace(w, prog, res, baseCol, opts, ptrc, cursor)
+		if opts.Compress == "auto" {
+			compressAuto(w, res, opts, ptrc, cursor)
+		}
+		res.Planes = planeAssignment(prog, res.Config)
 		return res, nil
 	}
 
@@ -341,6 +375,10 @@ func swapOnlyConfig(prog *ir.Program, opts Options) (rt.Config, error) {
 		Cluster:             opts.Cluster,
 		WritebackQueueLines: opts.WritebackQueueLines,
 		SwapCompress:        opts.Compress == "on",
+		// Plane modes lay the whole heap out hybrid-style so objects can
+		// migrate between planes; all-swap hybrid layout is byte-identical
+		// to the classic one, so this never changes baseline timings.
+		Hybrid: opts.Plane != "",
 	}, nil
 }
 

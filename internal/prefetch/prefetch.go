@@ -34,6 +34,19 @@ type Policy interface {
 	PerMissOverhead() sim.Duration
 }
 
+// WindowCapped is an optional Policy extension for windowed runners whose
+// in-flight window must track the plane's live capacity. Installers clamp
+// the window to half the capacity at install time; holders of a resizable
+// plane (rt.SetSectionScale's elastic leases) call CapWindow again after
+// each resize so the clamp follows the cache it protects.
+type WindowCapped interface {
+	// CapWindow re-derives the effective window for a plane currently
+	// holding capacityUnits units.
+	CapWindow(capacityUnits int)
+	// Window reports the current effective window.
+	Window() int
+}
+
 // Efficacy is the per-plane prefetch accounting both planes maintain:
 //
 //	Issued  — speculative fetches handed to the transport

@@ -24,7 +24,10 @@ const DefaultWindow = 64
 type Programmed struct {
 	program []int64 // future unit sequence, consecutive duplicates collapsed
 	window  int
-	cursor  int // index of the first unit not yet proposed
+	// baseWindow is the configured (pre-clamp) window; CapWindow re-derives
+	// the effective window from it when the plane's capacity changes.
+	baseWindow int
+	cursor     int // index of the first unit not yet proposed
 	// consumed is the index just past the last unit the demand stream
 	// reached (miss or prefetched-touch); cursor-consumed is the in-flight
 	// window occupancy.
@@ -45,10 +48,26 @@ func NewProgrammed(program []int64, window int) *Programmed {
 		}
 		dedup = append(dedup, u)
 	}
-	return &Programmed{program: dedup, window: window}
+	return &Programmed{program: dedup, window: window, baseWindow: window}
 }
 
 func (*Programmed) Name() string { return "programmed" }
+
+// CapWindow re-derives the effective in-flight window for a plane currently
+// holding capacityUnits units: the configured window, clamped to half the
+// capacity (the installers' clamp rule). Elastic resizes call this so a
+// shrunken section is never thrashed by a window sized for the bound
+// capacity — and a regrown section gets its configured window back.
+func (p *Programmed) CapWindow(capacityUnits int) {
+	w := p.baseWindow
+	if half := capacityUnits / 2; half >= 1 && w > half {
+		w = half
+	}
+	p.window = w
+}
+
+// Window reports the current effective in-flight window.
+func (p *Programmed) Window() int { return p.window }
 
 // resyncHorizon bounds how far past the cursor a miss may land and still
 // re-anchor the runner (covers eviction-induced re-misses slightly behind

@@ -42,6 +42,13 @@ func (r *Runtime) Prefetch(clk *sim.Clock, name string, elem int64, field ir.Fie
 	case PlaceLocal:
 		return nil
 	case PlaceSwap:
+		if r.cfg.Hybrid && r.swapC != nil {
+			// Hybrid plane: compiled prefetch statements survive a
+			// migration to the paged plane as page advisories, so the
+			// program's hints keep working on either side of a switch.
+			addr := o.farBase + uint64(elem)*uint64(o.decl.ElemBytes) + uint64(field.Offset)
+			return r.swapPrefetchFars(clk, []uint64{addr})
+		}
 		return fmt.Errorf("rt: prefetch into swap section for %q (compiler bug: swap objects use the page prefetcher)", name)
 	}
 	s := r.secs[o.place.Section]
@@ -131,6 +138,7 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 	var addrs []uint64
 	var sizes []int
 	var pieces []piece
+	var swapFars []uint64
 	allCompress := true
 	for _, e := range entries {
 		o, ok := r.objs[e.Obj]
@@ -138,6 +146,13 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 			return fmt.Errorf("rt: batch prefetch of unknown object %q", e.Obj)
 		}
 		if o.place.Kind != PlaceSection {
+			if o.place.Kind == PlaceSwap && r.cfg.Hybrid && r.swapC != nil &&
+				e.Elem >= 0 && e.Elem < o.decl.Count {
+				// Hybrid plane: batch entries whose object lives on the
+				// paged plane become one page advisory batch below.
+				swapFars = append(swapFars,
+					o.farBase+uint64(e.Elem)*uint64(o.decl.ElemBytes)+uint64(e.Field.Offset))
+			}
 			continue
 		}
 		if e.Elem < 0 || e.Elem >= o.decl.Count {
@@ -168,6 +183,11 @@ func (r *Runtime) PrefetchBatch(clk *sim.Clock, entries []BatchEntry) error {
 			snap: s.snaps != nil && len(o.selFields) == 0})
 		if !s.spec.Compress {
 			allCompress = false
+		}
+	}
+	if len(swapFars) > 0 {
+		if err := r.swapPrefetchFars(clk, swapFars); err != nil {
+			return err
 		}
 	}
 	if len(addrs) == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mira/internal/cache"
+	"mira/internal/prefetch"
 	"mira/internal/sim"
 	"mira/internal/trace"
 )
@@ -50,15 +51,27 @@ func (r *Runtime) SetSectionScale(clk *sim.Clock, scale float64) error {
 			return err
 		}
 		clk.AdvanceTo(done)
-		// Any straggler in-flight prefetches target dropped lines; forget them.
+		// Any straggler in-flight prefetches target dropped lines; forget
+		// them — and their speculative marks, which otherwise alias fresh
+		// prefetches of the same tags after the rebuild.
 		for tag := range s.inflight {
 			delete(s.inflight, tag)
+		}
+		for tag := range s.specul {
+			delete(s.specul, tag)
 		}
 		sec, err := cache.New(s.spec.Cache.Scaled(scale))
 		if err != nil {
 			return err
 		}
 		s.sec = sec
+		// Re-derive the prefetch policy's in-flight window for the resized
+		// cache: the install-time clamp ("half the plane's capacity") was
+		// computed against the bound size, and a window wider than the
+		// shrunken section would evict its own prefetches before use.
+		if wc, ok := s.policy.(prefetch.WindowCapped); ok {
+			wc.CapWindow(sec.Config().Lines())
+		}
 	}
 	r.secScale = scale
 	if r.trc != nil {

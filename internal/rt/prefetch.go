@@ -129,7 +129,12 @@ func (r *Runtime) issueSpeculative(clk *sim.Clock, s *sectionRT, tags []uint64, 
 	if len(addrs) == 0 {
 		return
 	}
-	post := clk.Now().Add(s.policy.PerMissOverhead()).Add(r.cfg.Net.VectoredPostCost(len(addrs)))
+	post := clk.Now().Add(r.cfg.Net.VectoredPostCost(len(addrs)))
+	if s.policy != nil {
+		// Plane-adapter callers issue without an installed policy; only the
+		// policy hook charges the predictor's own overhead.
+		post = post.Add(s.policy.PerMissOverhead())
+	}
 	if s.spec.Compress {
 		r.setCodec(codec.ByteRun)
 		defer r.setCodec(codec.None)

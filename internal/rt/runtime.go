@@ -128,6 +128,10 @@ type objectRT struct {
 	place   Placement
 	farBase uint64 // far address of element 0 (swap or section placement)
 	local   []byte // backing when PlaceLocal
+	// homeSec is the cache section this object belongs to when it is (or
+	// returns to) the line plane: its bound placement's section under the
+	// hybrid layout, -1 when it has none (swap- or local-only objects).
+	homeSec int
 	// selective-transmission resolution for the object's section
 	selFields []ir.Field
 	selBytes  int
@@ -229,6 +233,9 @@ func (r *Runtime) Config() Config { return r.cfg }
 // and creates the swap section over the swap-placed heap. Initial object
 // contents are zero; use InitObject to load workload data.
 func (r *Runtime) Bind(p *ir.Program) error {
+	if r.cfg.Hybrid {
+		return r.bindHybrid(p)
+	}
 	// Partition objects.
 	var swapObjs []*ir.Object
 	for _, o := range p.Objects {
@@ -240,7 +247,7 @@ func (r *Runtime) Bind(p *ir.Program) error {
 				pl = Placement{Kind: PlaceSwap}
 			}
 		}
-		ort := &objectRT{decl: o, place: pl}
+		ort := &objectRT{decl: o, place: pl, homeSec: -1}
 		switch pl.Kind {
 		case PlaceLocal:
 			ort.local = make([]byte, o.SizeBytes())
@@ -248,6 +255,7 @@ func (r *Runtime) Bind(p *ir.Program) error {
 		case PlaceSwap:
 			swapObjs = append(swapObjs, o)
 		case PlaceSection:
+			ort.homeSec = pl.Section
 			s := r.secs[pl.Section]
 			lb := uint64(s.spec.Cache.LineBytes)
 			// Align the base and pad the tail so every line of

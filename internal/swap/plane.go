@@ -1,0 +1,149 @@
+package swap
+
+import (
+	"sort"
+
+	"mira/internal/plane"
+	"mira/internal/sim"
+	"mira/internal/trace"
+)
+
+// Length reports the region byte count the cache serves.
+func (c *Cache) Length() int64 { return c.length }
+
+// Fence blocks clk until every in-flight prefetched page and asynchronous
+// eviction write-back has landed.
+func (c *Cache) Fence(clk *sim.Clock) {
+	latest := c.lastWb
+	for _, el := range c.pages {
+		if p := el.Value.(*page); p.readyAt > latest {
+			latest = p.readyAt
+		}
+	}
+	clk.AdvanceTo(latest)
+}
+
+// FlushRange writes back and drops every resident page overlapping
+// [far, far+length), blocking clk until the last write-back lands. The
+// plane-migration protocol uses it to hand one object's pages over to the
+// line plane (and to shed clean stray readahead before handing back).
+func (c *Cache) FlushRange(clk *sim.Clock, far uint64, length int64) error {
+	if length <= 0 || len(c.pages) == 0 {
+		return nil
+	}
+	lo, hi := far, far+uint64(length)
+	regEnd := c.base + uint64(c.length)
+	if lo < c.base {
+		lo = c.base
+	}
+	if hi > regEnd {
+		hi = regEnd
+	}
+	if lo >= hi {
+		return nil
+	}
+	first := int64((lo - c.base) / PageBytes)
+	last := int64((hi - 1 - c.base) / PageBytes)
+	// Collect in page order: map iteration order would make write-back
+	// queueing on the shared link run-dependent.
+	nos := make([]int64, 0, len(c.pages))
+	for no := range c.pages {
+		if no >= first && no <= last {
+			nos = append(nos, no)
+		}
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	var done sim.Time
+	for _, no := range nos {
+		el := c.pages[no]
+		p := el.Value.(*page)
+		if p.inActive {
+			c.active.Remove(el)
+		} else {
+			c.inactive.Remove(el)
+		}
+		delete(c.pages, no)
+		p.resident = false
+		if p.dirty {
+			c.stats.Writebacks++
+			t, err := c.tr.WriteOneSided(clk.Now(), c.base+uint64(no)*PageBytes, p.data)
+			if err != nil {
+				return err
+			}
+			if t > done {
+				done = t
+			}
+		}
+	}
+	if done > c.lastWb {
+		c.lastWb = done
+	}
+	clk.AdvanceTo(done)
+	return nil
+}
+
+// PrefetchPages issues an advisory fetch for the given page numbers, exactly
+// as a prefetcher proposal would (out-of-range and resident pages dropped,
+// batch gather when configured). Callers outside the fault path — compiled
+// prefetch statements whose object migrated to the paged plane — use it to
+// keep their hints effective across a plane switch.
+func (c *Cache) PrefetchPages(clk *sim.Clock, pnos []int64) error {
+	return c.issueAdvisory(clk, nil, pnos)
+}
+
+// Plane adapts the cache to the plane.DataPlane contract.
+type Plane struct {
+	C *Cache
+}
+
+var _ plane.DataPlane = Plane{}
+
+func (p Plane) Kind() plane.Kind     { return plane.Page }
+func (p Plane) UnitBytes() int       { return PageBytes }
+func (p Plane) CapacityUnits() int   { return p.C.Capacity() }
+func (p Plane) ResidentUnits() int   { return p.C.Resident() }
+func (p Plane) Fence(clk *sim.Clock) { p.C.Fence(clk) }
+
+func (p Plane) Access(clk *sim.Clock, far uint64, buf []byte, write bool) error {
+	if write {
+		return p.C.Write(clk, far, buf)
+	}
+	return p.C.Read(clk, far, buf)
+}
+
+func (p Plane) PrefetchBatch(clk *sim.Clock, fars []uint64) error {
+	pnos := make([]int64, 0, len(fars))
+	for _, far := range fars {
+		if far < p.C.base {
+			pnos = append(pnos, -1) // counted as dropped by the advisory path
+			continue
+		}
+		pnos = append(pnos, int64((far-p.C.base)/PageBytes))
+	}
+	return p.C.PrefetchPages(clk, pnos)
+}
+
+func (p Plane) Evict(clk *sim.Clock, far uint64, length int64) error {
+	return p.C.FlushRange(clk, far, length)
+}
+
+func (p Plane) Flush(clk *sim.Clock) error { return p.C.FlushAll(clk) }
+
+func (p Plane) Stats() plane.Stats {
+	st := p.C.Stats()
+	hits := st.Accesses - st.MajorFaults
+	if hits < 0 {
+		hits = 0
+	}
+	return plane.Stats{
+		Accesses:       st.Accesses,
+		Hits:           hits,
+		Misses:         st.MajorFaults,
+		Evictions:      st.Evictions,
+		Writebacks:     st.Writebacks,
+		PrefetchIssued: st.Prefetches,
+		PrefetchUseful: st.PrefetchUsed,
+	}
+}
+
+func (p Plane) SetTrace(tr *trace.Tracer) { p.C.SetTrace(tr) }

@@ -154,6 +154,9 @@ type Cache struct {
 	// lock, when set, serializes the fault path across simulated
 	// threads (the kernel swap lock).
 	lock *sim.Serializer
+	// lastWb is when the most recently issued asynchronous write-back
+	// lands; Fence waits for it.
+	lastWb sim.Time
 
 	// Tracing (all nil when disabled — every use is nil-safe).
 	trc                 *trace.Buffer
@@ -566,8 +569,12 @@ func (c *Cache) evictOne(now sim.Time) error {
 	}
 	if p.dirty {
 		c.stats.Writebacks++
-		if _, err := c.tr.WriteOneSided(now, c.base+uint64(p.no)*PageBytes, p.data); err != nil {
+		done, err := c.tr.WriteOneSided(now, c.base+uint64(p.no)*PageBytes, p.data)
+		if err != nil {
 			return err
+		}
+		if done > c.lastWb {
+			c.lastWb = done
 		}
 	}
 	return nil
@@ -601,17 +608,33 @@ func (c *Cache) FlushAll(clk *sim.Clock) error {
 	c.pages = make(map[int64]*list.Element, c.capacity)
 	c.active.Init()
 	c.inactive.Init()
+	if last > c.lastWb {
+		c.lastWb = last
+	}
 	clk.AdvanceTo(last)
 	return nil
 }
 
 // FaultsInRange reports major faults on pages overlapping [far, far+length).
+// The query range is intersected with the region: an empty or disjoint range
+// reports zero faults (it must not alias neighboring pages' counts).
 func (c *Cache) FaultsInRange(far uint64, length int64) int64 {
-	if far < c.base {
-		far = c.base
+	if length <= 0 {
+		return 0
 	}
-	first := int64((far - c.base) / PageBytes)
-	last := int64((far + uint64(length) - 1 - c.base) / PageBytes)
+	lo, hi := far, far+uint64(length)
+	regEnd := c.base + uint64(c.length)
+	if lo < c.base {
+		lo = c.base
+	}
+	if hi > regEnd {
+		hi = regEnd
+	}
+	if lo >= hi {
+		return 0
+	}
+	first := int64((lo - c.base) / PageBytes)
+	last := int64((hi - 1 - c.base) / PageBytes)
 	var total int64
 	for p := first; p <= last; p++ {
 		total += c.faultsByPage[p]
