@@ -884,6 +884,101 @@ func TestBenchHybrid(t *testing.T) {
 }
 
 // bytesEqual avoids importing bytes just for the dump comparison.
+// ---- Scatter-gather offload race (BENCH_offload.json) ----
+
+// offloadRunRecord is one (app, node count, offload mode) measurement.
+type offloadRunRecord struct {
+	SimTimeNs  int64    `json:"sim_time_ns"`
+	SimTime    string   `json:"sim_time"`
+	BytesMoved int64    `json:"bytes_moved"`
+	Offloaded  []string `json:"offloaded,omitempty"`
+}
+
+func offloadMeasure(t *testing.T, kernel string, nodes int, mode string) offloadRunRecord {
+	t.Helper()
+	w := NewDistAggWorkload(DistAggConfig{N: 1 << 14, Mode: kernel})
+	res, err := Run(SystemMira, w, RunOptions{
+		Budget:      w.FullMemoryBytes() / 4,
+		Verify:      true,
+		Nodes:       nodes,
+		StripeBytes: 16 << 10,
+		Offload:     mode,
+	})
+	if err != nil {
+		t.Fatalf("%s nodes=%d offload=%s: %v", kernel, nodes, mode, err)
+	}
+	rec := offloadRunRecord{
+		SimTimeNs:  int64(res.Time),
+		SimTime:    res.Time.String(),
+		BytesMoved: res.BytesMoved,
+	}
+	if res.PlanResult != nil {
+		rec.Offloaded = res.PlanResult.Offloaded
+	}
+	return rec
+}
+
+// TestBenchOffload races the scatter-gather offload modes {off, on,
+// planner-chosen} for the distributed aggregation and filter kernels
+// across 1-8 node pools (every run verified against the native oracle) and
+// emits BENCH_offload.json for future PRs to diff. Gates: auto must match
+// or beat both pure modes in every cell (the planner races offload against
+// fetch and keeps the winner), and at 8 nodes the aggregation must run
+// faster shipping compute to the data than fetching the data to compute.
+// CI runs this twice and byte-compares the JSON (offload-smoke).
+func TestBenchOffload(t *testing.T) {
+	kernels := []string{"agg", "filter"}
+	nodeCounts := []int{1, 2, 4, 8}
+	modes := []string{"off", "on", "auto"}
+
+	out := map[string]map[string]offloadRunRecord{}
+	for _, kernel := range kernels {
+		perCell := map[string]offloadRunRecord{}
+		for _, nodes := range nodeCounts {
+			for _, mode := range modes {
+				rec := offloadMeasure(t, kernel, nodes, mode)
+				perCell[fmt.Sprintf("nodes-%d/%s", nodes, mode)] = rec
+				t.Logf("%s nodes=%d offload=%s: %s, %d B moved, offloaded %v",
+					kernel, nodes, mode, rec.SimTime, rec.BytesMoved, rec.Offloaded)
+			}
+			a := perCell[fmt.Sprintf("nodes-%d/auto", nodes)]
+			off := perCell[fmt.Sprintf("nodes-%d/off", nodes)]
+			on := perCell[fmt.Sprintf("nodes-%d/on", nodes)]
+			// Gate: auto races offload against fetch from the settled plan
+			// and accepts only strict wins, so it can't lose to either.
+			if a.SimTimeNs > off.SimTimeNs || a.SimTimeNs > on.SimTimeNs {
+				t.Errorf("%s nodes=%d: planner-chosen (%s) loses to off (%s) or on (%s)",
+					kernel, nodes, a.SimTime, off.SimTime, on.SimTime)
+			}
+		}
+		out[kernel] = perCell
+	}
+
+	// Gate: at cluster scale, shipping the aggregation to the data beats
+	// fetching the data to the aggregation.
+	off8, on8 := out["agg"]["nodes-8/off"], out["agg"]["nodes-8/on"]
+	if on8.SimTimeNs >= off8.SimTimeNs {
+		t.Errorf("agg at 8 nodes: offload (%s) does not beat fetch (%s)", on8.SimTime, off8.SimTime)
+	}
+
+	doc := map[string]any{
+		"description":  "Scatter-gather offload A/B: mira-run -app {distagg,distfilter} -offload {off,on,auto} across 1-8 node pools at 25% local memory, 16 KiB stripes (auto = planner-raced accept/rollback per function). Regenerate with: go test -run TestBenchOffload .",
+		"mem_fraction": 0.25,
+		"stripe_bytes": 16 << 10,
+		"elements":     1 << 14,
+		"nodes":        nodeCounts,
+		"modes":        modes,
+		"apps":         out,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_offload.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false

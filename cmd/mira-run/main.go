@@ -66,8 +66,12 @@ func buildWorkload(app string) (mira.Workload, error) {
 		return mira.NewSeqScanWorkload(mira.SeqScanConfig{}), nil
 	case "stridescan":
 		return mira.NewStrideScanWorkload(mira.StrideScanConfig{}), nil
+	case "distagg":
+		return mira.NewDistAggWorkload(mira.DistAggConfig{}), nil
+	case "distfilter":
+		return mira.NewDistAggWorkload(mira.DistAggConfig{Mode: "filter"}), nil
 	default:
-		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan)", app)
+		return nil, fmt.Errorf("unknown app %q (graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan, distagg, distfilter)", app)
 	}
 }
 
@@ -119,12 +123,14 @@ func runMultithreaded(w mira.Workload, budget int64, app, system string, mem flo
 }
 
 func main() {
-	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan")
+	app := flag.String("app", "graph", "workload: graph, mcf, dataframe, gpt2, arraysum, seqscan, stridescan, distagg, distfilter")
 	system := flag.String("system", "mira", "system: native, mira, mira-swap, fastswap, leap, aifm")
 	mem := flag.Float64("mem", 0.5, "local memory as a fraction of the workload's footprint")
 	verify := flag.Bool("verify", true, "verify workload output against the native oracle")
 	batch := flag.Bool("batch", true, "vectored remote I/O: doorbell-batched prefetch and async write-back (false = PR 2 data path)")
 	compress := flag.String("compress", "off", "wire compression for mira/mira-swap: off, on (every section + swap), auto (planner measures per section)")
+	offloadMode := flag.String("offload", "off", "scatter-gather offload for mira: off, on (offload every scatter-safe function), auto (planner races offload vs fetch per function, keeping only wins)")
+	offloadChunk := flag.Int("offload-chunk", 0, "offload engine streaming chunk in bytes for operand/result/commit transfers (0 = default)")
 	plane := flag.String("plane", "", "mira data-plane mode: page (swap only), line (cache sections only), hybrid (planner races both + a per-object split); empty = classic planning")
 	tierDRAM := flag.Int64("tier-dram", 0, "with -nodes: per-node DRAM budget in bytes; the rest of each node's data lives on a simulated SSD tier (0 = no tier)")
 	wbq := flag.Int("wbq", 0, "async write-back queue bound in lines (0 = default, negative = disabled)")
@@ -154,6 +160,8 @@ func main() {
 		System:         *system,
 		Plane:          *plane,
 		Compress:       *compress,
+		Offload:        *offloadMode,
+		OffloadChunk:   *offloadChunk,
 		Prefetch:       *prefetchPol,
 		PrefetchWindow: *prefetchWin,
 		Threads:        *threads,
@@ -184,6 +192,8 @@ func main() {
 	opts.AIFM.ChunkBytes = *aifmChunk
 	opts.AIFM.MetaPerObject = *aifmMeta
 	opts.Compress = *compress
+	opts.Offload = *offloadMode
+	opts.OffloadChunk = *offloadChunk
 	if *nodes > 0 {
 		opts.Nodes = *nodes
 		opts.Replicas = *replicas
@@ -262,6 +272,13 @@ func main() {
 		fmt.Printf("  planner: swap baseline %v -> optimized %v across %d iterations, %d sections\n",
 			res.PlanResult.BaselineTime, res.PlanResult.FinalTime,
 			len(res.PlanResult.Iterations), len(res.PlanResult.Config.Sections))
+		if off := res.PlanResult.Offloaded; len(off) > 0 {
+			fmt.Printf("  offloaded (%s):", *offloadMode)
+			for _, name := range off {
+				fmt.Printf(" %s", name)
+			}
+			fmt.Println()
+		}
 		if planes := res.PlanResult.Planes; len(planes) > 0 {
 			names := make([]string, 0, len(planes))
 			for name := range planes {

@@ -10,6 +10,8 @@ type runFlags struct {
 	System         string
 	Plane          string
 	Compress       string
+	Offload        string
+	OffloadChunk   int
 	Prefetch       string
 	PrefetchWindow int
 	Threads        int
@@ -52,6 +54,25 @@ func validateFlags(f runFlags) error {
 		if f.Nodes > 0 {
 			return fmt.Errorf("-plane uses the unified hybrid layout, which is single-node (drop -nodes)")
 		}
+	}
+	switch f.Offload {
+	case "", "off", "on", "auto":
+	default:
+		return fmt.Errorf("unknown -offload mode %q (off, on, auto)", f.Offload)
+	}
+	if f.Offload != "" && f.Offload != "off" {
+		if f.System != "mira" {
+			return fmt.Errorf("-offload ships compute through mira's planner; system %q cannot (use -system mira)", f.System)
+		}
+		if f.threadsActive() {
+			return fmt.Errorf("-offload does not combine with -threads (the multithreaded driver runs a fixed batch, not the planner)")
+		}
+		if f.Plane != "" {
+			return fmt.Errorf("-offload does not combine with -plane (plane modes are single-node; offload scatters across the cluster)")
+		}
+	}
+	if f.set("offload-chunk") && (f.Offload == "" || f.Offload == "off") {
+		return fmt.Errorf("-offload-chunk sizes the offload engine's streams; pass -offload on or -offload auto as well")
 	}
 	if f.set("prefetch-window") && f.Prefetch == "" {
 		return fmt.Errorf("-prefetch-window tunes a zoo policy; pass -prefetch as well")

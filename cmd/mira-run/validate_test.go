@@ -46,6 +46,25 @@ func TestValidateFlags(t *testing.T) {
 		{"stripe-without-nodes", func(f *runFlags) { f.Set["stripe"] = true }, "-nodes"},
 		{"faultnode-without-nodes", func(f *runFlags) { f.Set["fault-node"] = true }, "-nodes"},
 		{"replicas-with-nodes-ok", func(f *runFlags) { f.Set["replicas"] = true; f.Nodes = 3 }, ""},
+		{"bad-offload", func(f *runFlags) { f.Offload = "maybe" }, "-offload"},
+		{"offload-on-ok", func(f *runFlags) { f.Offload = "on"; f.Nodes = 4 }, ""},
+		{"offload-auto-ok", func(f *runFlags) { f.Offload = "auto" }, ""},
+		{"offload-off-ok", func(f *runFlags) { f.Offload = "off" }, ""},
+		{"offload-wrong-system", func(f *runFlags) { f.Offload = "on"; f.System = "fastswap" }, "-system mira"},
+		{"offload-off-any-system-ok", func(f *runFlags) { f.Offload = "off"; f.System = "leap" }, ""},
+		{"offload-with-threads", func(f *runFlags) { f.Offload = "on"; f.Threads = 4 }, "-threads"},
+		{"offload-with-plane", func(f *runFlags) { f.Offload = "auto"; f.Plane = "hybrid" }, "-plane"},
+		{"chunk-without-offload", func(f *runFlags) { f.OffloadChunk = 4096; f.Set["offload-chunk"] = true }, "-offload"},
+		{"chunk-with-offload-off", func(f *runFlags) {
+			f.Offload = "off"
+			f.OffloadChunk = 4096
+			f.Set["offload-chunk"] = true
+		}, "-offload"},
+		{"chunk-with-offload-ok", func(f *runFlags) {
+			f.Offload = "on"
+			f.OffloadChunk = 4096
+			f.Set["offload-chunk"] = true
+		}, ""},
 	}
 	for _, c := range cases {
 		err := validateFlags(flags(c.mutate))

@@ -248,6 +248,15 @@ func (p *Pool) markStale(i int) {
 	p.mu.Unlock()
 }
 
+// NodeStale reports whether node i's memory was wiped since the last
+// re-sync — replicas homed there are unreadable until resynced. The offload
+// engine uses it to detect a sub-offload's serving node dying mid-run.
+func (p *Pool) NodeStale(i int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes[i].stale
+}
+
 // splitmix64 is the placement hash: a full-avalanche mix of the seed and
 // the placement key, so node ranking is uniform and deterministic.
 func splitmix64(x uint64) uint64 {

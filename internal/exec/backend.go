@@ -42,10 +42,11 @@ type Backend interface {
 // implements it; executing an Offload call against a backend without it is
 // an error the planner never produces.
 type RemoteEnv interface {
-	// RemoteAccess moves bytes directly in far-node memory, no network.
-	RemoteAccess(name string, elem int64, field ir.Field, buf []byte, write bool) error
+	// RemoteAccess moves bytes directly in far-node memory — no network,
+	// but the far node's local memory cost is charged to clk.
+	RemoteAccess(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool) error
 	// RemoteBulk is RemoteAccess for contiguous element ranges.
-	RemoteBulk(name string, elem int64, buf []byte, write bool) error
+	RemoteBulk(clk *sim.Clock, name string, elem int64, buf []byte, write bool) error
 	// CPUSlowdown is the far node's compute slowdown factor.
 	CPUSlowdown() float64
 	// OffloadTransfer charges clk for the RPC: argument transfer, the

@@ -365,8 +365,9 @@ func (e *Executor) block(clk *sim.Clock, fr *frame, params map[string]Value, stm
 // directly to far-node memory (charging the remote clock a native access).
 func (e *Executor) access(clk *sim.Clock, fr *frame, obj string, elem int64, f ir.Field, buf []byte, write bool, opts rt.AccessOpts) error {
 	if e.remote != nil {
+		e.yield()                    // scattered sub-offloads interleave at access boundaries
 		clk.Advance(e.opt.ComputeOp) // native far-node access
-		return e.remote.RemoteAccess(obj, elem, f, buf, write)
+		return e.remote.RemoteAccess(clk, obj, elem, f, buf, write)
 	}
 	e.yield()
 	t0 := clk.Now()

@@ -214,8 +214,9 @@ func (e *Executor) writeMatrix(clk *sim.Clock, fr *frame, params map[string]Valu
 // memory.
 func (e *Executor) bulk(clk *sim.Clock, fr *frame, obj string, elem int64, buf []byte, write bool) error {
 	if e.remote != nil {
+		e.yield()
 		clk.Advance(e.opt.ComputeOp * sim.Duration(len(buf)/64+1))
-		return e.remote.RemoteBulk(obj, elem, buf, write)
+		return e.remote.RemoteBulk(clk, obj, elem, buf, write)
 	}
 	e.yield()
 	t0 := clk.Now()

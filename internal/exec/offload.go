@@ -3,15 +3,23 @@ package exec
 import (
 	"fmt"
 
+	"mira/internal/analysis"
 	"mira/internal/ir"
+	"mira/internal/offload"
 	"mira/internal/sim"
 )
 
 // offloadCall executes fn on the far-memory node (§4.8): flush the cached
 // state of every far object the function touches, ship the scalar arguments
 // over, run the body against far-node memory on the far CPU, and ship the
-// result back. The remote body is measured on its own clock; the local
-// clock is charged the full RPC.
+// result back.
+//
+// When the backend exposes a scatter-gather engine (cluster mode) and the
+// function fits the scatter shape, the call is split into per-node
+// sub-offloads running in parallel against the stripe replicas each node
+// owns. Otherwise the legacy whole-call RPC path below runs: the remote
+// body is measured on its own clock and the local clock is charged the
+// full RPC.
 func (e *Executor) offloadCall(clk *sim.Clock, fn *ir.Func, args []Value) (Value, error) {
 	renv, ok := e.be.(RemoteEnv)
 	if !ok {
@@ -30,6 +38,10 @@ func (e *Executor) offloadCall(clk *sim.Clock, fn *ir.Func, args []Value) (Value
 		if e.opt.Collector != nil {
 			e.opt.Collector.RuntimeTime(fn.Name, clk.Now().Sub(t0))
 		}
+	}
+
+	if v, handled, err := e.scatterCall(clk, fn, args); handled || err != nil {
+		return v, err
 	}
 
 	// Run the body remotely on a fresh clock.
@@ -54,6 +66,149 @@ func (e *Executor) offloadCall(clk *sim.Clock, fn *ir.Func, args []Value) (Value
 		e.opt.Collector.FuncCall(fn.Name+"@far", sim.Duration(float64(remoteCompute)*renv.CPUSlowdown()))
 	}
 	return ret, nil
+}
+
+// scatterer is the optional backend capability behind scatter-gather
+// offloading; only the cluster-mode Mira runtime reports a non-nil engine.
+type scatterer interface {
+	ScatterEngine() *offload.Engine
+}
+
+// scatterCall tries the scatter-gather path: recognize the function's
+// reduction/map shape, partition the driving index range by placement, run
+// per-node sub-offloads in virtual-time parallel, combine the partial
+// accumulators, and execute the tail (constant-indexed result stores)
+// locally behind a fence. handled=false means the caller should fall back
+// to the legacy whole-call RPC.
+func (e *Executor) scatterCall(clk *sim.Clock, fn *ir.Func, args []Value) (Value, bool, error) {
+	se, ok := e.be.(scatterer)
+	if !ok {
+		return Value{}, false, nil
+	}
+	eng := se.ScatterEngine()
+	if eng == nil {
+		return Value{}, false, nil
+	}
+	plan, ok := analysis.AnalyzeScatter(e.p, fn)
+	if !ok {
+		return Value{}, false, nil
+	}
+	lo, ok := evalBound(plan.Lo, fn, args)
+	if !ok {
+		return Value{}, false, nil
+	}
+	hi, ok := evalBound(plan.Hi, fn, args)
+	if !ok {
+		return Value{}, false, nil
+	}
+
+	req := offload.Request{
+		Func:     fn.Name,
+		Object:   plan.Object,
+		Lo:       lo,
+		Hi:       hi,
+		ArgBytes: 8*len(args) + 16, // scalars plus the dispatch descriptor
+		ResBytes: 8,
+	}
+	runner := func(rclk *sim.Clock, yield func(), ranges [][2]int64, env *offload.NodeEnv) (offload.Scalar, error) {
+		sfn := plan.SubFunc(ranges)
+		slow := env.Slowdown()
+		sub := &Executor{
+			p:  e.p,
+			be: e.be,
+			opt: Options{
+				ComputeOp: sim.Duration(float64(e.opt.ComputeOp) * slow),
+				FloatOp:   sim.Duration(float64(e.opt.FloatOp) * slow),
+				Yield:     yield,
+			},
+			fields: e.fields,
+			remote: scatterEnv{env: env},
+		}
+		ret, err := sub.call(rclk, sfn, args)
+		if err != nil {
+			return offload.Scalar{}, err
+		}
+		return offload.Scalar{I: ret.I, F: ret.F, Float: ret.Float}, nil
+	}
+
+	start := clk.Now()
+	partials, handled, err := eng.Execute(clk, req, runner)
+	if err != nil {
+		return Value{}, true, err
+	}
+	if !handled {
+		return Value{}, false, nil
+	}
+
+	acc := IntV(plan.Init)
+	for _, p := range partials {
+		v := Value{I: p.I, F: p.F, Float: p.Float}
+		acc, err = applyBin(plan.Op, acc, v)
+		if err != nil {
+			return Value{}, true, err
+		}
+	}
+
+	// One fenced commit boundary, then the tail runs locally: result
+	// stores go through the (just flushed) local cache like any other
+	// access, so post-call reads observe exactly what sequential
+	// execution would have produced.
+	e.yield()
+	e.be.Fence(clk)
+	fr := &frame{fn: fn, regs: make([]Value, fn.NumRegs)}
+	fr.regs[plan.AccReg] = acc
+	params := make(map[string]Value, len(args))
+	for i, name := range fn.Params {
+		params[name] = args[i]
+	}
+	ret, returned, err := e.block(clk, fr, params, plan.Tail)
+	if err != nil {
+		return Value{}, true, err
+	}
+	if !returned {
+		ret = Value{} // match a fall-off-the-end sequential call
+	}
+	if e.opt.Collector != nil {
+		e.opt.Collector.FuncCall(fn.Name+"@far", clk.Now().Sub(start))
+	}
+	return ret, true, nil
+}
+
+// evalBound resolves a scatter bound (constant or scalar parameter).
+func evalBound(x ir.Expr, fn *ir.Func, args []Value) (int64, bool) {
+	switch t := x.(type) {
+	case *ir.Const:
+		return t.I, true
+	case *ir.Param:
+		for i, name := range fn.Params {
+			if name == t.Name {
+				return args[i].AsInt(), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// scatterEnv adapts a sub-offload's NodeEnv to the executor's RemoteEnv:
+// accesses stage writes / serve reads replica-locally, and a node loss
+// surfaces as offload.ErrNodeLost, which the engine turns into a
+// re-dispatch.
+type scatterEnv struct {
+	env *offload.NodeEnv
+}
+
+func (s scatterEnv) RemoteAccess(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool) error {
+	return s.env.Access(clk, name, elem, field, buf, write)
+}
+
+func (s scatterEnv) RemoteBulk(clk *sim.Clock, name string, elem int64, buf []byte, write bool) error {
+	return fmt.Errorf("exec: bulk transfer inside a scattered offload (shape analysis should have rejected it)")
+}
+
+func (s scatterEnv) CPUSlowdown() float64 { return s.env.Slowdown() }
+
+func (s scatterEnv) OffloadTransfer(clk *sim.Clock, argBytes, resBytes int, remoteCompute sim.Duration) {
+	// Transfer is priced by the engine's chunk streams, not per call.
 }
 
 // objectsOf lists the far-relevant objects a function (and its callees)

@@ -113,6 +113,12 @@ type Options struct {
 	// see planner.Options.Plane). Mira-only, single-node, and mutually
 	// exclusive with Prefetch: the zoo policies pick their own plane.
 	Plane string
+	// Offload selects the scatter-gather offload mode for Mira runs ("",
+	// "off", "on", "auto" — see planner.Options.Offload).
+	Offload string
+	// OffloadChunk overrides the offload engine's streaming chunk size in
+	// bytes (0 = netmodel.DefaultStreamChunk).
+	OffloadChunk int
 }
 
 // wbqLines resolves the write-back queue knob: NoBatching runs the PR 2
@@ -347,6 +353,12 @@ func runMira(sys System, w workload.Workload, opts Options) (Result, error) {
 	popts.WritebackQueueLines = opts.wbqLines()
 	if opts.Compress != "" {
 		popts.Compress = opts.Compress
+	}
+	if opts.Offload != "" {
+		popts.Offload = opts.Offload
+	}
+	if opts.OffloadChunk != 0 {
+		popts.OffloadChunk = opts.OffloadChunk
 	}
 	if opts.NoBatching {
 		if popts.Techniques == (planner.TechniqueMask{}) {

@@ -1,0 +1,50 @@
+package netmodel
+
+import "mira/internal/sim"
+
+// DefaultStreamChunk is the chunk size used when a stream's caller does not
+// pick one: large enough to amortize per-message overhead, small enough to
+// keep the bounded window from monopolizing the link.
+const DefaultStreamChunk = 64 * 1024
+
+// streamWindow bounds how many chunks are in flight at once: chunk i is not
+// issued before chunk i-streamWindow completes, modeling a fixed ring of
+// transfer buffers rather than an unbounded send queue.
+const streamWindow = 4
+
+// StreamCost returns the completion time of shipping n bytes as a pipelined
+// sequence of bounded chunks starting at now. Each chunk occupies the shared
+// link via bw (per-node when the cluster does not share bandwidth); a nil bw
+// falls back to unshared wire time plus per-message overhead. The final
+// chunk's arrival is acknowledged with one two-sided RTT.
+func StreamCost(c Config, bw *Bandwidth, now sim.Time, n, chunk int) sim.Time {
+	if n <= 0 {
+		return now
+	}
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	var done []sim.Time
+	t := now
+	for off := 0; off < n; off += chunk {
+		cn := chunk
+		if n-off < cn {
+			cn = n - off
+		}
+		issue := t
+		if len(done) >= streamWindow {
+			if gate := done[len(done)-streamWindow]; gate > issue {
+				issue = gate
+			}
+		}
+		var end sim.Time
+		if bw != nil {
+			end = bw.Acquire(issue, cn)
+		} else {
+			end = issue.Add(c.WireTime(cn) + c.PerMessageOverhead)
+		}
+		done = append(done, end)
+		t = issue
+	}
+	return done[len(done)-1].Add(c.TwoSidedRTT)
+}

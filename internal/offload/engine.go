@@ -1,0 +1,667 @@
+// Package offload is the scatter-gather offload engine (§4.8 scaled out to
+// the cluster): one offloaded function call is split into per-node
+// sub-offloads that each run against the stripe replicas their serving node
+// already owns, executed as deterministic sim.Scheduler threads so offload
+// compute participates in virtual time alongside everything else.
+//
+// The engine owns routing (placement-table partitioning), operand/result
+// transfer (bounded chunk streams priced by netmodel.Bandwidth), fault
+// tolerance (a sub-offload whose node crash-wipes mid-run is re-dispatched
+// to a surviving replica), and the idempotence rule that makes re-dispatch
+// byte-identical: sub-offloads never write far memory directly — stores are
+// staged per sub and committed by one fenced write-back after every sub
+// finished, so a lost sub's partial writes simply never happen.
+//
+// The engine deliberately knows nothing about the IR executor: the caller
+// supplies a Runner callback that executes the assigned index ranges
+// against a NodeEnv. That keeps the dependency arrow pointing one way
+// (exec -> offload) while the runtime only constructs and wires the engine.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mira/internal/cluster"
+	"mira/internal/codec"
+	"mira/internal/ir"
+	"mira/internal/netmodel"
+	"mira/internal/sim"
+	"mira/internal/trace"
+)
+
+// ErrNodeLost is returned by NodeEnv accesses (and may be returned by a
+// Runner) when the serving node crashed or lost its memory mid-run. The
+// engine treats it as re-dispatchable, not fatal.
+var ErrNodeLost = errors.New("offload: serving node lost")
+
+// Scalar is a runner result value: one partial accumulator.
+type Scalar struct {
+	I     int64
+	F     float64
+	Float bool
+}
+
+// Resolver maps object names to their far-memory extent. The runtime
+// implements it; the engine uses it for partitioning and address
+// resolution without depending on rt.
+type Resolver interface {
+	ObjectExtent(name string) (base uint64, elemBytes int, count int64, ok bool)
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Net is the interconnect cost model shared with the runtime.
+	Net netmodel.Config
+	// Chunk is the operand/result/commit streaming chunk size in bytes
+	// (<= 0 selects netmodel.DefaultStreamChunk).
+	Chunk int
+	// LocalCost is the far node's local memory access cost charged per
+	// element access a sub-offload serves from its own replica.
+	LocalCost sim.Duration
+}
+
+// Request describes one offloaded call to scatter.
+type Request struct {
+	// Func is the offloaded function name (trace labeling only).
+	Func string
+	// Object is the driving object whose placement partitions the work.
+	Object string
+	// Lo and Hi bound the driving index range [Lo, Hi).
+	Lo, Hi int64
+	// ArgBytes and ResBytes size the per-sub dispatch and result streams.
+	ArgBytes int
+	ResBytes int
+}
+
+// Runner executes one sub-offload's index ranges against env, charging
+// compute to clk and yielding at access boundaries. It returns the partial
+// accumulator, or ErrNodeLost if env detected the serving node dying.
+type Runner func(clk *sim.Clock, yield func(), ranges [][2]int64, env *NodeEnv) (Scalar, error)
+
+// Stats counts engine activity (test introspection).
+type Stats struct {
+	// Offloads counts Execute calls that were handled.
+	Offloads int
+	// Subs counts sub-offloads dispatched (including re-dispatches).
+	Subs int
+	// Redispatches counts sub-offloads that were lost and re-planned.
+	Redispatches int
+}
+
+// Engine is the scatter-gather offload engine. Construct one per cluster
+// runtime with NewEngine.
+type Engine struct {
+	pool *cluster.Pool
+	res  Resolver
+	cfg  Config
+
+	trc    *trace.Buffer
+	reg    *trace.Registry
+	cOps   map[int]*trace.Counter
+	cBytes map[int]*trace.Counter
+
+	stats Stats
+}
+
+// NewEngine wires an engine over a cluster pool.
+func NewEngine(pool *cluster.Pool, res Resolver, cfg Config) *Engine {
+	return &Engine{
+		pool:   pool,
+		res:    res,
+		cfg:    cfg,
+		cOps:   map[int]*trace.Counter{},
+		cBytes: map[int]*trace.Counter{},
+	}
+}
+
+// SetTrace attaches the tracing layer: offload.dispatch / offload.exec /
+// offload.commit spans on the "offload" buffer plus per-node
+// offload.ops{node=N} / offload.bytes{node=N} counters.
+func (e *Engine) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	e.trc = tr.Buffer("offload")
+	e.reg = tr.Registry()
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Chunk reports the effective streaming chunk size.
+func (e *Engine) Chunk() int {
+	if e.cfg.Chunk > 0 {
+		return e.cfg.Chunk
+	}
+	return netmodel.DefaultStreamChunk
+}
+
+// sub is one per-node sub-offload.
+type sub struct {
+	node   int
+	ranges [][2]int64
+	elems  int64
+
+	env    *NodeEnv
+	val    Scalar
+	lost   bool
+	failed error
+
+	start   sim.Time
+	dispEnd sim.Time
+	end     sim.Time
+	wire    int64
+}
+
+// Execute scatters req across the cluster and gathers the partial results,
+// charging all virtual time to clk. It returns handled=false (and no error)
+// when the request cannot be partitioned — unknown object, or no surviving
+// placement — in which case the caller should fall back to the legacy
+// whole-call RPC path. Partials are ordered by ascending first index, so
+// combining them in order is deterministic.
+func (e *Engine) Execute(clk *sim.Clock, req Request, run Runner) ([]Scalar, bool, error) {
+	if e == nil || e.pool == nil {
+		return nil, false, nil
+	}
+	base, elemBytes, count, ok := e.res.ObjectExtent(req.Object)
+	if !ok || elemBytes <= 0 {
+		return nil, false, nil
+	}
+	lo, hi := req.Lo, req.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > count {
+		hi = count
+	}
+	if lo >= hi {
+		e.stats.Offloads++
+		return nil, true, nil
+	}
+
+	t0 := clk.Now()
+	table := e.pool.Table()
+	sort.Slice(table, func(i, j int) bool { return table[i].VBase < table[j].VBase })
+
+	pending, err := e.partition(base, elemBytes, lo, hi, t0, table)
+	if err != nil {
+		return nil, false, nil // no surviving placement: fall back
+	}
+	e.stats.Offloads++
+
+	var all, done []*sub
+	finish := t0
+	for round := 0; len(pending) > 0; round++ {
+		if round > e.pool.NodeCount() {
+			return nil, true, fmt.Errorf("offload %s: no surviving replica after %d re-dispatch rounds", req.Func, round)
+		}
+		e.stats.Subs += len(pending)
+		all = append(all, pending...)
+		g := sim.NewThreadGroup(len(pending), finish)
+		sched := sim.NewScheduler(g)
+		for i := range pending {
+			sb := pending[i]
+			sched.Spawn(func(t *sim.Thread) error {
+				return e.runSub(t, sb, req, table, run)
+			})
+		}
+		if err := sched.Run(); err != nil {
+			return nil, true, err
+		}
+		join := g.Join()
+		var next []*sub
+		for _, sb := range pending {
+			switch {
+			case sb.failed != nil:
+				return nil, true, sb.failed
+			case sb.lost:
+				e.stats.Redispatches++
+				for _, r := range sb.ranges {
+					re, rerr := e.partition(base, elemBytes, r[0], r[1], join, table)
+					if rerr != nil {
+						return nil, true, fmt.Errorf("offload %s: %w", req.Func, rerr)
+					}
+					next = append(next, re...)
+				}
+			default:
+				done = append(done, sb)
+			}
+		}
+		pending = mergeByNode(next)
+		finish = join
+	}
+
+	clk.AdvanceTo(finish)
+	commitStart := clk.Now()
+	wire, err := e.commit(clk, done, table)
+	if err != nil {
+		return nil, true, err
+	}
+
+	e.emit(req, t0, commitStart, clk.Now(), wire, all, done)
+
+	sort.Slice(done, func(i, j int) bool { return done[i].ranges[0][0] < done[j].ranges[0][0] })
+	out := make([]Scalar, len(done))
+	for i, sb := range done {
+		out[i] = sb.val
+	}
+	return out, true, nil
+}
+
+// runSub is one sub-offload's thread body: stream the operands in, run the
+// ranges, stream the result back. A node loss at any point marks the sub
+// lost (never an error — loss is re-dispatchable, and the scheduler runs
+// every thread to completion regardless).
+func (e *Engine) runSub(t *sim.Thread, sb *sub, req Request, table []cluster.PlacementEntry, run Runner) error {
+	clk := t.Clock()
+	sb.start = clk.Now()
+	defer func() { sb.end = clk.Now() }()
+	if e.nodeLost(sb.node, clk.Now()) {
+		sb.lost = true
+		sb.dispEnd = clk.Now()
+		return nil
+	}
+	bw := e.pool.Transport(sb.node).BW
+	clk.AdvanceTo(netmodel.StreamCost(e.cfg.Net, bw, clk.Now(), req.ArgBytes, e.cfg.Chunk))
+	sb.wire += int64(req.ArgBytes)
+	sb.dispEnd = clk.Now()
+	t.Yield()
+	if e.nodeLost(sb.node, clk.Now()) {
+		sb.lost = true
+		return nil
+	}
+	env := &NodeEnv{eng: e, node: sb.node, table: table, staged: map[uint64][]byte{}}
+	sb.env = env
+	val, err := run(clk, t.Yield, sb.ranges, env)
+	if env.lost || errors.Is(err, ErrNodeLost) {
+		sb.lost = true
+		return nil
+	}
+	if err != nil {
+		sb.failed = err
+		return nil
+	}
+	clk.AdvanceTo(netmodel.StreamCost(e.cfg.Net, bw, clk.Now(), req.ResBytes, e.cfg.Chunk))
+	sb.wire += int64(req.ResBytes)
+	t.Yield()
+	if e.nodeLost(sb.node, clk.Now()) {
+		sb.lost = true
+		return nil
+	}
+	sb.val = val
+	return nil
+}
+
+// nodeLost reports whether node i cannot serve at instant now: inside a
+// crash/partition window, or its memory was wiped and not yet resynced.
+func (e *Engine) nodeLost(i int, now sim.Time) bool {
+	if inj := e.pool.Injector(i); inj != nil {
+		inj.Sync(now)
+		if inj.Down(now) {
+			return true
+		}
+	}
+	return e.pool.NodeStale(i)
+}
+
+// partition assigns every element of [lo, hi) to the first surviving home
+// of the placement entry owning its first byte, then merges contiguous
+// ranges into one sub per node (ascending node order). An element with no
+// surviving home is an error.
+func (e *Engine) partition(base uint64, elemBytes int, lo, hi int64, now sim.Time, table []cluster.PlacementEntry) ([]*sub, error) {
+	lost := map[int]bool{}
+	for i := 0; i < e.pool.NodeCount(); i++ {
+		lost[i] = e.nodeLost(i, now)
+	}
+	byNode := map[int][][2]int64{}
+	curNode, curLo := -1, int64(0)
+	flush := func(end int64) {
+		if curNode >= 0 {
+			byNode[curNode] = append(byNode[curNode], [2]int64{curLo, end})
+		}
+	}
+	for el := lo; el < hi; el++ {
+		addr := base + uint64(el)*uint64(elemBytes)
+		ent := entryFor(table, addr)
+		if ent == nil {
+			return nil, fmt.Errorf("offload: element %d at %#x outside placement table", el, addr)
+		}
+		node := -1
+		for _, h := range ent.Homes {
+			if !lost[h.Node] {
+				node = h.Node
+				break
+			}
+		}
+		if node < 0 {
+			return nil, fmt.Errorf("offload: element %d: every replica lost", el)
+		}
+		if node != curNode {
+			flush(el)
+			curNode, curLo = node, el
+		}
+	}
+	flush(hi)
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	subs := make([]*sub, 0, len(nodes))
+	for _, n := range nodes {
+		sb := &sub{node: n, ranges: byNode[n]}
+		for _, r := range sb.ranges {
+			sb.elems += r[1] - r[0]
+		}
+		subs = append(subs, sb)
+	}
+	return subs, nil
+}
+
+// mergeByNode folds re-planned subs targeting the same node into one.
+func mergeByNode(subs []*sub) []*sub {
+	if len(subs) <= 1 {
+		return subs
+	}
+	byNode := map[int]*sub{}
+	var nodes []int
+	for _, sb := range subs {
+		if cur, ok := byNode[sb.node]; ok {
+			cur.ranges = append(cur.ranges, sb.ranges...)
+			cur.elems += sb.elems
+			continue
+		}
+		byNode[sb.node] = sb
+		nodes = append(nodes, sb.node)
+	}
+	sort.Ints(nodes)
+	out := make([]*sub, 0, len(nodes))
+	for _, n := range nodes {
+		sb := byNode[n]
+		sort.Slice(sb.ranges, func(i, j int) bool { return sb.ranges[i][0] < sb.ranges[j][0] })
+		out = append(out, sb)
+	}
+	return out
+}
+
+// entryFor finds the placement entry covering addr in a VBase-sorted table.
+func entryFor(table []cluster.PlacementEntry, addr uint64) *cluster.PlacementEntry {
+	i := sort.Search(len(table), func(i int) bool { return table[i].VBase > addr })
+	if i == 0 {
+		return nil
+	}
+	ent := &table[i-1]
+	if addr >= ent.VBase+ent.Size {
+		return nil
+	}
+	return ent
+}
+
+// commit is the fenced write-back: merge every finished sub's staged
+// writes (disjoint by the scatter shape), coalesce adjacent extents, and
+// stream them back to their serving nodes — chunked, wire-codec-encoded,
+// priced on the per-node link — before applying them to the pool with
+// replica fan-out. Nothing touches far memory before this point, which is
+// what makes mid-run loss recoverable without double-applied results.
+func (e *Engine) commit(clk *sim.Clock, done []*sub, table []cluster.PlacementEntry) (int64, error) {
+	merged := map[uint64][]byte{}
+	for _, sb := range done {
+		for a, b := range sb.env.staged {
+			merged[a] = b
+		}
+	}
+	if len(merged) == 0 {
+		return 0, nil
+	}
+	addrs := make([]uint64, 0, len(merged))
+	for a := range merged {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	type extent struct {
+		addr uint64
+		data []byte
+	}
+	var exts []extent
+	for _, a := range addrs {
+		b := merged[a]
+		if n := len(exts); n > 0 && exts[n-1].addr+uint64(len(exts[n-1].data)) == a {
+			exts[n-1].data = append(exts[n-1].data, b...)
+			continue
+		}
+		exts = append(exts, extent{addr: a, data: append([]byte(nil), b...)})
+	}
+
+	now := clk.Now()
+	perNode := map[int][]extent{}
+	var nodes []int
+	for _, x := range exts {
+		n := e.servingNode(x.addr, now, table)
+		if _, ok := perNode[n]; !ok {
+			nodes = append(nodes, n)
+		}
+		perNode[n] = append(perNode[n], x)
+	}
+	sort.Ints(nodes)
+
+	chunk := e.Chunk()
+	id := e.pool.WireCodec()
+	cm := codec.DefaultCostModel()
+	var totalWire int64
+	for _, n := range nodes {
+		wire := 0
+		for _, x := range perNode[n] {
+			for off := 0; off < len(x.data); off += chunk {
+				end := off + chunk
+				if end > len(x.data) {
+					end = len(x.data)
+				}
+				piece := x.data[off:end]
+				wire += codec.EncodedLen(id, piece)
+				if id != codec.None {
+					clk.Advance(cm.EncodeCost(len(piece)))
+				}
+			}
+		}
+		bw := e.pool.Transport(n).BW
+		clk.AdvanceTo(netmodel.StreamCost(e.cfg.Net, bw, clk.Now(), wire, chunk))
+		totalWire += int64(wire)
+		e.addBytes(n, int64(wire))
+	}
+	for _, x := range exts {
+		if err := e.pool.Write(x.addr, x.data); err != nil {
+			return totalWire, err
+		}
+	}
+	return totalWire, nil
+}
+
+// servingNode picks the node a committed extent is attributed to: the
+// first surviving home of its placement entry (first home if none survive —
+// the write still fans out to every replica).
+func (e *Engine) servingNode(addr uint64, now sim.Time, table []cluster.PlacementEntry) int {
+	ent := entryFor(table, addr)
+	if ent == nil || len(ent.Homes) == 0 {
+		return 0
+	}
+	for _, h := range ent.Homes {
+		if !e.nodeLost(h.Node, now) {
+			return h.Node
+		}
+	}
+	return ent.Homes[0].Node
+}
+
+// emit writes the trace spans and per-node counters for one Execute, in a
+// fixed order (dispatch rounds, then node order) so traces are
+// byte-deterministic.
+func (e *Engine) emit(req Request, t0, commitStart, commitEnd sim.Time, commitWire int64, all, done []*sub) {
+	for _, sb := range all {
+		e.addBytes(sb.node, sb.wire)
+		if sb.env != nil {
+			e.addBytes(sb.node, sb.env.remoteWire)
+		}
+	}
+	for _, sb := range done {
+		e.addOps(sb.node, sb.elems)
+	}
+	if e.trc == nil {
+		return
+	}
+	dispEnd := t0
+	for _, sb := range all {
+		if sb.dispEnd > dispEnd {
+			dispEnd = sb.dispEnd
+		}
+	}
+	e.trc.Span(t0, dispEnd, "offload", "offload.dispatch",
+		trace.S("func", req.Func), trace.I("subs", int64(len(all))))
+	for _, sb := range all {
+		outcome := "ok"
+		if sb.lost {
+			outcome = "lost"
+		}
+		e.trc.Span(sb.start, sb.end, "offload", "offload.exec",
+			trace.S("func", req.Func),
+			trace.I("node", int64(sb.node)),
+			trace.I("lo", sb.ranges[0][0]),
+			trace.I("hi", sb.ranges[len(sb.ranges)-1][1]),
+			trace.I("elems", sb.elems),
+			trace.S("outcome", outcome))
+	}
+	e.trc.Span(commitStart, commitEnd, "offload", "offload.commit",
+		trace.S("func", req.Func), trace.I("bytes", commitWire))
+}
+
+func (e *Engine) addOps(node int, n int64) {
+	if e.reg == nil || n == 0 {
+		return
+	}
+	c := e.cOps[node]
+	if c == nil {
+		c = e.reg.Counter("offload.ops{node=" + strconv.Itoa(node) + "}")
+		e.cOps[node] = c
+	}
+	c.Add(n)
+}
+
+func (e *Engine) addBytes(node int, n int64) {
+	if e.reg == nil || n == 0 {
+		return
+	}
+	c := e.cBytes[node]
+	if c == nil {
+		c = e.reg.Counter("offload.bytes{node=" + strconv.Itoa(node) + "}")
+		e.cBytes[node] = c
+	}
+	c.Add(n)
+}
+
+// NodeEnv is one sub-offload's view of far memory: reads are served from
+// the serving node's own replica when it holds one (local memory cost) and
+// from peers over the network otherwise; writes are staged locally and
+// only reach the pool at commit time.
+type NodeEnv struct {
+	eng    *Engine
+	node   int
+	table  []cluster.PlacementEntry
+	staged map[uint64][]byte
+
+	remoteWire int64
+	lost       bool
+}
+
+// Node reports the serving node index.
+func (env *NodeEnv) Node() int { return env.node }
+
+// Slowdown reports the serving node's far-CPU slowdown factor.
+func (env *NodeEnv) Slowdown() float64 {
+	return env.eng.pool.FarNode(env.node).CPUSlowdown()
+}
+
+// Access reads or writes one element field. Writes stage; reads check the
+// staging area first (read-your-writes), then the local replica, then fall
+// back to a remote one-sided read. It returns ErrNodeLost when the serving
+// node died, which the engine turns into a re-dispatch.
+func (env *NodeEnv) Access(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool) error {
+	base, elemBytes, count, ok := env.eng.res.ObjectExtent(name)
+	if !ok {
+		return fmt.Errorf("offload: access to unknown or local object %q", name)
+	}
+	if elem < 0 || elem >= count {
+		return fmt.Errorf("offload: %s[%d] out of range (count %d)", name, elem, count)
+	}
+	if len(buf) > field.Bytes {
+		buf = buf[:field.Bytes]
+	}
+	addr := base + uint64(elem)*uint64(elemBytes) + uint64(field.Offset)
+	if write {
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		env.staged[addr] = cp
+		clk.Advance(env.eng.cfg.LocalCost)
+		return nil
+	}
+	if st, okSt := env.staged[addr]; okSt && len(st) >= len(buf) {
+		copy(buf, st)
+		clk.Advance(env.eng.cfg.LocalCost)
+		return nil
+	}
+	if lbase, okLocal := env.localBase(addr, len(buf)); okLocal {
+		if env.checkLost(clk.Now()) {
+			return ErrNodeLost
+		}
+		if err := env.eng.pool.FarNode(env.node).Read(lbase, buf); err != nil {
+			return err
+		}
+		clk.Advance(env.eng.cfg.LocalCost)
+		if env.checkLost(clk.Now()) {
+			return ErrNodeLost
+		}
+		return nil
+	}
+	// Remote replica: untimed pool read (first surviving home), priced as
+	// a one-sided read on this sub's clock.
+	if env.checkLost(clk.Now()) {
+		return ErrNodeLost
+	}
+	if err := env.eng.pool.Read(addr, buf); err != nil {
+		return err
+	}
+	clk.Advance(env.eng.cfg.Net.OneSidedCost(len(buf)))
+	env.remoteWire += int64(len(buf))
+	if env.checkLost(clk.Now()) {
+		return ErrNodeLost
+	}
+	return nil
+}
+
+// checkLost latches and reports serving-node loss.
+func (env *NodeEnv) checkLost(now sim.Time) bool {
+	if env.lost {
+		return true
+	}
+	if env.eng.nodeLost(env.node, now) {
+		env.lost = true
+	}
+	return env.lost
+}
+
+// localBase resolves addr to an offset in the serving node's own memory if
+// the node holds a replica of the whole [addr, addr+n) range.
+func (env *NodeEnv) localBase(addr uint64, n int) (uint64, bool) {
+	ent := entryFor(env.table, addr)
+	if ent == nil || addr+uint64(n) > ent.VBase+ent.Size {
+		return 0, false
+	}
+	for _, h := range ent.Homes {
+		if h.Node == env.node {
+			return h.Base + (addr - ent.VBase), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,132 @@
+package offload_test
+
+import (
+	"testing"
+
+	"mira/internal/apps/distagg"
+	"mira/internal/cluster"
+	"mira/internal/exec"
+	"mira/internal/farmem"
+	"mira/internal/faults"
+	"mira/internal/planner"
+	"mira/internal/rt"
+	"mira/internal/sim"
+)
+
+// planOffloaded plans the distagg workload with every scatter-safe function
+// offloaded against a 4-node, R=2 pool and returns the accepted
+// program/config pair.
+func planOffloaded(t *testing.T, w *distagg.Workload, co cluster.Options) *planner.Result {
+	t.Helper()
+	res, err := planner.Plan(w, planner.Options{
+		LocalBudget: w.FullMemoryBytes() / 4,
+		Offload:     "on",
+		Cluster:     &co,
+	})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if len(res.Offloaded) == 0 {
+		t.Fatalf("planner offloaded nothing; distagg's kernel should be scatter-safe")
+	}
+	return res
+}
+
+// runPlanned executes the accepted configuration once, optionally with a
+// per-node fault schedule, and returns the runtime (for stats and dumps)
+// plus the finish time.
+func runPlanned(t *testing.T, w *distagg.Workload, res *planner.Result, co cluster.Options, nodeFaults []*faults.Config) (*rt.Runtime, sim.Time) {
+	t.Helper()
+	cfg := res.Config
+	cocopy := co
+	cocopy.Faults = nodeFaults
+	cfg.Cluster = &cocopy
+	r, err := rt.New(cfg, farmem.NewNode(farmem.DefaultNodeConfig()))
+	if err != nil {
+		t.Fatalf("rt.New: %v", err)
+	}
+	if err := r.Bind(res.Program); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := w.Init(r); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	ex, err := exec.New(res.Program, r, exec.Options{Params: w.Params()})
+	if err != nil {
+		t.Fatalf("exec.New: %v", err)
+	}
+	clk := sim.NewClock(0)
+	if _, err := ex.Run(clk); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.FlushAll(clk); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	return r, clk.Now()
+}
+
+// TestOffloadUnderFaults: a sub-offload whose serving node crash-wipes
+// mid-run is re-dispatched to a surviving replica, and the staged-commit
+// protocol keeps results exactly-once — the final state verifies against
+// the native oracle. The crash instant is swept across the run so at least
+// one window provably lands inside a sub-offload's execution.
+func TestOffloadUnderFaults(t *testing.T) {
+	co := cluster.Options{Nodes: 4, Replicas: 2, Seed: 1, StripeBytes: 16 << 10}
+	w := distagg.New(distagg.Config{N: 1 << 14, Seed: 3})
+	res := planOffloaded(t, w, co)
+
+	// Fault-free reference run: bounds the sweep and checks the plan.
+	rref, total := runPlanned(t, w, res, co, nil)
+	if err := w.Verify(rref); err != nil {
+		t.Fatalf("fault-free verify: %v", err)
+	}
+	if rref.ScatterEngine().Stats().Offloads == 0 {
+		t.Fatalf("fault-free run never reached the scatter engine")
+	}
+
+	redispatched := false
+	for frac := 1; frac <= 15; frac++ {
+		at := sim.Time(uint64(total) * uint64(frac) / 16)
+		sched := &faults.Config{
+			Seed: 7,
+			Schedule: []faults.Event{
+				{At: at, Kind: faults.Crash, LoseMemory: true},
+				{At: at.Add(sim.Duration(2000)), Kind: faults.Restart},
+			},
+		}
+		rf, _ := runPlanned(t, w, res, co, []*faults.Config{nil, sched, nil, nil})
+		if err := w.Verify(rf); err != nil {
+			t.Fatalf("crash at %v: verify: %v (results double-applied or lost)", at, err)
+		}
+		if rf.ScatterEngine().Stats().Redispatches > 0 {
+			redispatched = true
+		}
+	}
+	if !redispatched {
+		t.Errorf("no crash window in the sweep triggered a sub-offload re-dispatch")
+	}
+}
+
+// TestOffloadFaultDeterminism: the same crash-wipe schedule produces the
+// same finish time and stats on repeated runs.
+func TestOffloadFaultDeterminism(t *testing.T) {
+	co := cluster.Options{Nodes: 4, Replicas: 2, Seed: 1, StripeBytes: 16 << 10}
+	w := distagg.New(distagg.Config{N: 1 << 14, Seed: 3})
+	res := planOffloaded(t, w, co)
+	_, total := runPlanned(t, w, res, co, nil)
+	sched := &faults.Config{
+		Seed: 7,
+		Schedule: []faults.Event{
+			{At: sim.Time(uint64(total) / 2), Kind: faults.Crash, LoseMemory: true},
+			{At: sim.Time(uint64(total) / 2).Add(sim.Duration(2000)), Kind: faults.Restart},
+		},
+	}
+	r1, t1 := runPlanned(t, w, res, co, []*faults.Config{nil, sched, nil, nil})
+	r2, t2 := runPlanned(t, w, res, co, []*faults.Config{nil, sched, nil, nil})
+	if t1 != t2 {
+		t.Errorf("faulted run not deterministic: %v vs %v", t1, t2)
+	}
+	if s1, s2 := r1.ScatterEngine().Stats(), r2.ScatterEngine().Stats(); s1 != s2 {
+		t.Errorf("engine stats not deterministic: %+v vs %+v", s1, s2)
+	}
+}

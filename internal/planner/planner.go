@@ -72,6 +72,16 @@ type Options struct {
 	// of a single node. Planning itself is offline and fault-free: any
 	// per-node fault schedules belong to the final run, not here.
 	Cluster *cluster.Options
+	// Offload selects the scatter-gather offload mode (Offload 2.0): "" or
+	// "off" plans without offloading, "on" marks every scatter-safe
+	// function offloaded, and "auto" races each candidate (and the
+	// all-candidates combination) against the accepted plan, keeping
+	// offload only where it is strictly faster — auto never loses to off
+	// or on. Distinct from the legacy EnableOffload whole-call heuristic.
+	Offload string
+	// OffloadChunk is the offload engine's streaming chunk size in bytes
+	// (0 = netmodel.DefaultStreamChunk).
+	OffloadChunk int
 	// Plane selects the data-plane mode: "" leaves the classic flow alone,
 	// "page" serves everything from the paged swap plane, "line" forces the
 	// line-granular section plan, and "hybrid" races both and a per-object
@@ -141,6 +151,10 @@ type Result struct {
 	// serves it from ("page", "line", or "local"). Set only when
 	// Options.Plane selected a plane mode.
 	Planes map[string]string
+	// Offloaded lists the functions the accepted configuration ships to
+	// the scatter-gather offload engine (empty when the offload phase ran
+	// and kept nothing, nil when it never ran).
+	Offloaded []string
 }
 
 // Plan runs the full iterative flow for one workload.
@@ -150,6 +164,11 @@ func Plan(w Workload, opts Options) (*Result, error) {
 	case "", "off", "on", "auto":
 	default:
 		return nil, fmt.Errorf("planner: unknown Compress mode %q (want off, on, or auto)", opts.Compress)
+	}
+	switch opts.Offload {
+	case "", "off", "on", "auto":
+	default:
+		return nil, fmt.Errorf("planner: unknown Offload mode %q (want off, on, or auto)", opts.Offload)
 	}
 	if err := validatePlane(opts); err != nil {
 		return nil, err
@@ -195,6 +214,7 @@ func Plan(w Workload, opts Options) (*Result, error) {
 		trace.I("time_ns", int64(baseTime)))
 
 	if opts.DisableSeparation {
+		cursor = offloadPhase(w, res, opts, ptrc, cursor)
 		if opts.Compress == "auto" {
 			compressAuto(w, res, opts, ptrc, cursor)
 		}
@@ -208,6 +228,7 @@ func Plan(w Workload, opts Options) (*Result, error) {
 		// candidate (and hybrid's classified split) against the page
 		// baseline, then let compression tune whichever plane split won.
 		cursor = planeRace(w, prog, res, baseCol, opts, ptrc, cursor)
+		cursor = offloadPhase(w, res, opts, ptrc, cursor)
 		if opts.Compress == "auto" {
 			compressAuto(w, res, opts, ptrc, cursor)
 		}
@@ -309,6 +330,7 @@ func Plan(w Workload, opts Options) (*Result, error) {
 			cursor = end
 		}
 	}
+	cursor = offloadPhase(w, res, opts, ptrc, cursor)
 	if opts.Compress == "auto" {
 		compressAuto(w, res, opts, ptrc, cursor)
 	}

@@ -113,6 +113,10 @@ type Config struct {
 	// across the pool and the runtime's data path routes per placement
 	// entry. Cluster.Net defaults to Config.Net.
 	Cluster *cluster.Options
+	// OffloadChunk is the scatter-gather offload engine's streaming chunk
+	// size in bytes (operand, result, and commit streams). Zero selects
+	// netmodel.DefaultStreamChunk. Cluster mode only.
+	OffloadChunk int
 	// Hybrid binds every far object — swap- and section-placed — into one
 	// contiguous far region covered end-to-end by the swap cache, with each
 	// object padded to whole pages. That unified layout is what makes

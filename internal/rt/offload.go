@@ -7,15 +7,19 @@ import (
 	"mira/internal/sim"
 )
 
-// This file implements the runtime half of function offloading (§4.8): the
-// executor flushes the cached state of the objects an offloaded function
-// touches, runs the function body against far-node memory directly via
-// RemoteAccess/RemoteBulk, and charges the RPC round trip with
-// OffloadTransfer.
+// This file implements the runtime half of the legacy whole-call offload
+// path (§4.8): the executor flushes the cached state of the objects an
+// offloaded function touches, runs the function body against far-node
+// memory directly via RemoteAccess/RemoteBulk, and charges the RPC round
+// trip with OffloadTransfer. The scatter-gather path (internal/offload)
+// supersedes this for calls the scatter analysis recognizes; everything
+// else still lands here.
 
 // RemoteAccess moves bytes of obj[elem].field directly in far-node memory —
-// the data path of code running on the far node itself.
-func (r *Runtime) RemoteAccess(name string, elem int64, field ir.Field, buf []byte, write bool) error {
+// the data path of code running on the far node itself. The far node's
+// local memory cost is charged to clk: remote execution does not ride free
+// on memory (only on the network it avoids).
+func (r *Runtime) RemoteAccess(clk *sim.Clock, name string, elem int64, field ir.Field, buf []byte, write bool) error {
 	o, ok := r.objs[name]
 	if !ok {
 		return fmt.Errorf("rt: remote access to unknown object %q", name)
@@ -30,14 +34,16 @@ func (r *Runtime) RemoteAccess(name string, elem int64, field ir.Field, buf []by
 	if len(buf) > field.Bytes {
 		buf = buf[:field.Bytes]
 	}
+	clk.Advance(r.cfg.Cost.NativeAccess)
 	if write {
 		return r.store.Write(addr, buf)
 	}
 	return r.store.Read(addr, buf)
 }
 
-// RemoteBulk is RemoteAccess for a contiguous element range.
-func (r *Runtime) RemoteBulk(name string, elem int64, buf []byte, write bool) error {
+// RemoteBulk is RemoteAccess for a contiguous element range; the far
+// node's memory cost is charged per cache line moved.
+func (r *Runtime) RemoteBulk(clk *sim.Clock, name string, elem int64, buf []byte, write bool) error {
 	o, ok := r.objs[name]
 	if !ok {
 		return fmt.Errorf("rt: remote bulk access to unknown object %q", name)
@@ -50,6 +56,7 @@ func (r *Runtime) RemoteBulk(name string, elem int64, buf []byte, write bool) er
 		return fmt.Errorf("rt: remote bulk [%d,+%d) outside %q", off, len(buf), name)
 	}
 	addr := o.farBase + off
+	clk.Advance(r.cfg.Cost.NativeAccess * sim.Duration(len(buf)/64+1))
 	if write {
 		return r.store.Write(addr, buf)
 	}

@@ -10,11 +10,11 @@ import (
 func TestRemoteAccessRoundtrip(t *testing.T) {
 	r, _ := mkRuntime(t, nil)
 	w := []byte{1, 2, 3, 4, 5, 6, 7, 8}
-	if err := r.RemoteAccess("items", 3, fld(8, 8), w, true); err != nil {
+	if err := r.RemoteAccess(sim.NewClock(0), "items", 3, fld(8, 8), w, true); err != nil {
 		t.Fatal(err)
 	}
 	g := make([]byte, 8)
-	if err := r.RemoteAccess("items", 3, fld(8, 8), g, false); err != nil {
+	if err := r.RemoteAccess(sim.NewClock(0), "items", 3, fld(8, 8), g, false); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(g, w) {
@@ -33,10 +33,10 @@ func TestRemoteAccessRoundtrip(t *testing.T) {
 
 func TestRemoteAccessBounds(t *testing.T) {
 	r, _ := mkRuntime(t, nil)
-	if err := r.RemoteAccess("items", 999, fld(0, 8), make([]byte, 8), false); err == nil {
+	if err := r.RemoteAccess(sim.NewClock(0), "items", 999, fld(0, 8), make([]byte, 8), false); err == nil {
 		t.Fatal("out-of-range remote access accepted")
 	}
-	if err := r.RemoteAccess("ghost", 0, fld(0, 8), make([]byte, 8), false); err == nil {
+	if err := r.RemoteAccess(sim.NewClock(0), "ghost", 0, fld(0, 8), make([]byte, 8), false); err == nil {
 		t.Fatal("unknown object accepted")
 	}
 }
@@ -47,17 +47,17 @@ func TestRemoteBulkRoundtrip(t *testing.T) {
 	for i := range w {
 		w[i] = byte(i)
 	}
-	if err := r.RemoteBulk("items", 2, w, true); err != nil {
+	if err := r.RemoteBulk(sim.NewClock(0), "items", 2, w, true); err != nil {
 		t.Fatal(err)
 	}
 	g := make([]byte, 64*4)
-	if err := r.RemoteBulk("items", 2, g, false); err != nil {
+	if err := r.RemoteBulk(sim.NewClock(0), "items", 2, g, false); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(g, w) {
 		t.Fatal("remote bulk roundtrip mismatch")
 	}
-	if err := r.RemoteBulk("items", 127, make([]byte, 128), false); err == nil {
+	if err := r.RemoteBulk(sim.NewClock(0), "items", 127, make([]byte, 128), false); err == nil {
 		t.Fatal("overrunning remote bulk accepted")
 	}
 }

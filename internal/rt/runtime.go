@@ -19,6 +19,7 @@ import (
 	"mira/internal/farmem"
 	"mira/internal/faults"
 	"mira/internal/ir"
+	"mira/internal/offload"
 	"mira/internal/prefetch"
 	"mira/internal/sim"
 	"mira/internal/swap"
@@ -58,6 +59,7 @@ type Runtime struct {
 	trT   *transport.T   // the single transport (nil in cluster mode)
 
 	inj    *faults.Injector // nil unless Config.Faults is enabled
+	engine *offload.Engine  // scatter-gather offload engine (cluster mode only)
 	la     *LocalAllocator
 	swapC  *swap.Cache
 	swapSz int64 // bytes of swap-placed objects
@@ -172,6 +174,11 @@ func New(cfg Config, node *farmem.Node) (*Runtime, error) {
 		r.pool = pool
 		r.store = pool
 		r.tr = pool
+		r.engine = offload.NewEngine(pool, r, offload.Config{
+			Net:       cfg.Net,
+			Chunk:     cfg.OffloadChunk,
+			LocalCost: cfg.Cost.NativeAccess,
+		})
 	} else {
 		r.node = node
 		r.store = node
@@ -218,6 +225,22 @@ func (r *Runtime) Link() transport.Link { return r.tr }
 
 // Pool exposes the far-node cluster, or nil in single-node mode.
 func (r *Runtime) Pool() *cluster.Pool { return r.pool }
+
+// ScatterEngine exposes the scatter-gather offload engine, or nil in
+// single-node mode. The executor probes for this capability to decide
+// whether an offloaded call can be scattered across the cluster.
+func (r *Runtime) ScatterEngine() *offload.Engine { return r.engine }
+
+// ObjectExtent implements offload.Resolver: the far extent of a bound,
+// non-local object. Local objects report ok=false — offloaded code must
+// not touch them.
+func (r *Runtime) ObjectExtent(name string) (base uint64, elemBytes int, count int64, ok bool) {
+	o, found := r.objs[name]
+	if !found || o.place.Kind == PlaceLocal {
+		return 0, 0, 0, false
+	}
+	return o.farBase, o.decl.ElemBytes, o.decl.Count, true
+}
 
 // Injector exposes the fault injector, or nil when faults are disabled.
 // In cluster mode fault domains are per-node: see Pool().Injector(i).

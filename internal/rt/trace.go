@@ -40,6 +40,9 @@ func (r *Runtime) SetTrace(tr *trace.Tracer) {
 	if r.pool != nil {
 		r.pool.SetTrace(tr)
 	}
+	if r.engine != nil {
+		r.engine.SetTrace(tr)
+	}
 	if r.swapC != nil {
 		r.swapC.SetTrace(tr)
 	}

@@ -30,6 +30,7 @@ package mira
 import (
 	"mira/internal/apps/arraysum"
 	"mira/internal/apps/dataframe"
+	"mira/internal/apps/distagg"
 	"mira/internal/apps/gpt2"
 	"mira/internal/apps/graphtraverse"
 	"mira/internal/apps/mcf"
@@ -391,6 +392,15 @@ type StrideScanConfig = stridescan.Config
 
 // NewStrideScanWorkload builds the memory-bound strided scan.
 func NewStrideScanWorkload(cfg StrideScanConfig) Workload { return stridescan.New(cfg) }
+
+// DistAggConfig sizes the distributed-aggregation workload (Mode "agg"
+// sums, Mode "filter" predicates and counts).
+type DistAggConfig = distagg.Config
+
+// NewDistAggWorkload builds the distributed-aggregation workload — the
+// scatter-gather offload engine's showcase: offloaded, each node reduces
+// the stripe ranges it owns and returns one scalar.
+func NewDistAggWorkload(cfg DistAggConfig) Workload { return distagg.New(cfg) }
 
 // IR construction surface: NewProgram returns the ir.Builder, and the
 // expression constructors below are re-exported so custom programs can be
